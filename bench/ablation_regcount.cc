@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Ablation A3 — physical register count sweep (paper section 5.4).
+ *
+ * Section 2.4 argues WS/WSRS need more registers than a conventional
+ * machine to absorb per-subset demand imbalance, and 5.4.2 observes that
+ * growing 384 -> 512 has only minor impact. The sweep exposes where each
+ * machine's IPC saturates.
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+#include "src/sim/presets.h"
+#include "src/sim/simulator.h"
+#include "src/workload/profiles.h"
+
+using namespace wsrs;
+
+namespace {
+
+double
+run(const char *bench, core::CoreParams params)
+{
+    sim::SimConfig cfg = sim::applyEnvOverrides(sim::SimConfig{});
+    cfg.core = params;
+    cfg.warmupUops = std::min<std::uint64_t>(cfg.warmupUops, 150000);
+    cfg.measureUops = std::min<std::uint64_t>(cfg.measureUops, 250000);
+    return sim::runSimulation(workload::findProfile(bench), cfg).ipc;
+}
+
+} // namespace
+
+int
+main()
+{
+    benchutil::banner("Ablation A3", "physical register count sweep");
+
+    const unsigned counts[] = {320, 384, 448, 512, 640};
+    for (const char *bench : {"gzip", "swim", "facerec"}) {
+        std::printf("\n%s (IPC)\n%-14s", bench, "regs");
+        for (unsigned c : counts)
+            std::printf("%9u", c);
+        std::printf("\n%-14s", "WSRR");
+        for (unsigned c : counts)
+            std::printf("%9.3f", run(bench, sim::presetWriteSpec(c)));
+        std::printf("\n%-14s", "WSRS-RC");
+        for (unsigned c : counts)
+            std::printf("%9.3f", run(bench, sim::presetWsrsRc(c)));
+        std::printf("\n%-14s", "conventional");
+        for (unsigned c : counts)
+            std::printf("%9.3f", run(bench, sim::presetConventional(c)));
+        std::printf("\n");
+    }
+    std::printf("\nPaper shape: 384 -> 512 is nearly flat for WS/WSRS\n"
+                "(per-subset slack already covers the window); the\n"
+                "conventional machine keeps gaining because 256 registers\n"
+                "cannot back the full 224-op window plus 80 architectural\n"
+                "registers.\n");
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Ablation A1 — the two renaming implementations of paper section 2.2.
+ *
+ * Impl-1 (over-pick + recycling pipeline) wastes free registers in flight
+ * but needs one less front-end stage on WSRS (min penalty 16 vs 18);
+ * Impl-2 picks exact counts. The paper reports the two "very close" —
+ * this harness quantifies both effects, including the recycling pressure
+ * when registers are scarce.
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+#include "src/sim/presets.h"
+#include "src/sim/simulator.h"
+#include "src/workload/profiles.h"
+
+using namespace wsrs;
+
+namespace {
+
+double
+run(const char *bench, core::CoreParams params, unsigned regs)
+{
+    params.numPhysRegs = regs;
+    sim::SimConfig cfg = sim::applyEnvOverrides(sim::SimConfig{});
+    cfg.core = params;
+    cfg.warmupUops = std::min<std::uint64_t>(cfg.warmupUops, 150000);
+    cfg.measureUops = std::min<std::uint64_t>(cfg.measureUops, 300000);
+    return sim::runSimulation(workload::findProfile(bench), cfg).ipc;
+}
+
+} // namespace
+
+int
+main()
+{
+    benchutil::banner("Ablation A1",
+                      "renaming Impl-1 (over-pick+recycle) vs Impl-2 "
+                      "(exact count)");
+
+    std::printf("%-10s %28s %28s\n", "", "WSRS-RC impl-1 (pen 16)",
+                "WSRS-RC impl-2 (pen 18)");
+    std::printf("%-10s %9s %9s %9s %9s %9s %9s\n", "bench", "384", "512",
+                "tight320", "384", "512", "tight320");
+    for (const char *bench : {"gzip", "gcc", "swim", "mgrid", "facerec"}) {
+        std::printf("%-10s", bench);
+        for (const core::RenameImpl impl :
+             {core::RenameImpl::OverPickRecycle,
+              core::RenameImpl::ExactCount}) {
+            for (const unsigned regs : {384u, 512u, 320u})
+                std::printf(" %9.3f",
+                            run(bench, sim::presetWsrsRc(regs, impl),
+                                regs));
+        }
+        std::printf("\n");
+    }
+    std::printf(
+        "\nPaper shape: the two implementations perform very closely at\n"
+        "384/512 registers; Impl-1's recycling pipeline only bites when\n"
+        "registers are scarce (tight320), where free registers spend\n"
+        "cycles in flight through the recycler.\n");
+    return 0;
+}

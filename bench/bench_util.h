@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction harnesses.
+ */
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace wsrs::benchutil {
+
+/** Print a harness banner naming the reproduced paper artifact. */
+inline void
+banner(const std::string &artifact, const std::string &description)
+{
+    std::printf("==========================================================="
+                "=====================\n");
+    std::printf("%s — %s\n", artifact.c_str(), description.c_str());
+    std::printf("(Seznec, Toullec, Rochecouste: \"Register Write "
+                "Specialization Register Read\n Specialization\", "
+                "MICRO-35, 2002)\n");
+    std::printf("==========================================================="
+                "=====================\n");
+}
+
+} // namespace wsrs::benchutil

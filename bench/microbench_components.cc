@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator's building blocks:
+ * trace generation, branch prediction, cache access, and whole-machine
+ * simulation throughput (micro-ops per second) for each machine
+ * configuration. These track the *host* performance of the simulator
+ * itself, not simulated metrics.
+ */
+#include <benchmark/benchmark.h>
+
+#include "src/bpred/simple_predictors.h"
+#include "src/bpred/two_bc_gskew.h"
+#include "src/memory/hierarchy.h"
+#include "src/sim/presets.h"
+#include "src/sim/simulator.h"
+#include "src/workload/profiles.h"
+#include "src/workload/trace_generator.h"
+
+using namespace wsrs;
+
+namespace {
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    workload::TraceGenerator gen(workload::findProfile("gzip"));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gen.next());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceGeneration);
+
+void
+BM_TwoBcGskewLookupUpdate(benchmark::State &state)
+{
+    bpred::TwoBcGskew bp;
+    XorShiftRng rng(5);
+    Addr pc = 0x400000;
+    for (auto _ : state) {
+        const bool taken = rng.chance(0.6);
+        benchmark::DoNotOptimize(bp.lookup(pc));
+        bp.update(pc, taken);
+        pc = 0x400000 + (rng.next() & 0x3ff) * 4;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TwoBcGskewLookupUpdate);
+
+void
+BM_CacheHierarchyAccess(benchmark::State &state)
+{
+    StatGroup stats("bm");
+    memory::MemoryHierarchy mem(memory::HierarchyParams{}, stats);
+    XorShiftRng rng(11);
+    Cycle now = 0;
+    for (auto _ : state) {
+        const Addr a = 8 * rng.below(1 << 16);
+        benchmark::DoNotOptimize(mem.access(a, false, now++));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheHierarchyAccess);
+
+void
+BM_SimulatorThroughput(benchmark::State &state, const char *machine,
+                       const char *bench)
+{
+    for (auto _ : state) {
+        sim::SimConfig cfg;
+        cfg.core = sim::findPreset(machine);
+        cfg.warmupUops = 0;
+        cfg.measureUops = 50000;
+        const sim::SimResults r =
+            sim::runSimulation(workload::findProfile(bench), cfg);
+        benchmark::DoNotOptimize(r.ipc);
+        state.SetItemsProcessed(state.items_processed() + 50000);
+    }
+}
+BENCHMARK_CAPTURE(BM_SimulatorThroughput, rr256_gzip, "RR-256", "gzip")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SimulatorThroughput, wsrs_rc512_gzip, "WSRS-RC-512",
+                  "gzip")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SimulatorThroughput, wsrs_rm512_swim, "WSRS-RM-512",
+                  "swim")
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Reproduces Table 1: register-file estimates for the five architecture
+ * configurations (noWS-M, noWS-D, WS, WSRS, noWS-2).
+ *
+ * Every row is *computed* from the structural organization descriptors and
+ * the calibrated CACTI-style model, not transcribed: the bit-area row uses
+ * the exact formula (1); pipeline cycles and bypass sources derive from the
+ * modeled access times.
+ */
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "src/rfmodel/regfile_model.h"
+
+using namespace wsrs;
+using namespace wsrs::rfmodel;
+
+int
+main()
+{
+    benchutil::banner("Table 1",
+                      "register file estimates for architecture configs");
+
+    const RegFileModel model;
+    const std::vector<RegFileOrg> orgs = table1Organizations();
+    const RegFileOrg reference = makeNoWs2Cluster();
+
+    auto row = [&](const char *label, auto getter) {
+        std::printf("%-34s", label);
+        for (const auto &org : orgs)
+            getter(org);
+        std::printf("\n");
+    };
+
+    std::printf("%-34s", "");
+    for (const auto &org : orgs)
+        std::printf("%10s", org.name.c_str());
+    std::printf("\n");
+
+    row("nb of registers", [&](const RegFileOrg &o) {
+        std::printf("%10u", o.totalRegs);
+    });
+    row("register copies", [&](const RegFileOrg &o) {
+        std::printf("%10u", o.copiesPerReg);
+    });
+    row("(R,W) ports per copy", [&](const RegFileOrg &o) {
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "(%u,%u)", o.portsPerCopy.reads,
+                      o.portsPerCopy.writes);
+        std::printf("%10s", buf);
+    });
+    row("physical subfiles", [&](const RegFileOrg &o) {
+        std::printf("%10u", o.numSubfiles);
+    });
+    row("nJ/cycle", [&](const RegFileOrg &o) {
+        std::printf("%10.2f", model.energyNJPerCycle(o));
+    });
+    row("Access time (ns)", [&](const RegFileOrg &o) {
+        std::printf("%10.2f", model.accessTimeNs(o));
+    });
+    row("Pipeline cycles: 10 GHz", [&](const RegFileOrg &o) {
+        std::printf("%10u", model.pipelineCycles(o, 10.0));
+    });
+    row("sources per bypass point: 10 GHz", [&](const RegFileOrg &o) {
+        std::printf("%10u", model.bypassSources(o, 10.0));
+    });
+    row("Pipeline cycles: 5 GHz", [&](const RegFileOrg &o) {
+        std::printf("%10u", model.pipelineCycles(o, 5.0));
+    });
+    row("sources per bypass point: 5 GHz", [&](const RegFileOrg &o) {
+        std::printf("%10u", model.bypassSources(o, 5.0));
+    });
+    row("Reg. bit area (x w^2)", [&](const RegFileOrg &o) {
+        std::printf("%10.0f", model.bitArea(o));
+    });
+    row("total area / area noWS-2", [&](const RegFileOrg &o) {
+        std::printf("%10.2f", model.totalArea(o) / model.totalArea(reference));
+    });
+
+    std::printf("\nPaper values for reference:\n");
+    std::printf("  nJ/cycle            3.20  2.90  1.70  1.25  0.63\n");
+    std::printf("  access time (ns)    0.71  0.52  0.40  0.35  0.34\n");
+    std::printf("  cycles@10GHz        8     6     5     4     4\n");
+    std::printf("  bypass@10GHz        97    73    61    25    25\n");
+    std::printf("  cycles@5GHz         5     4     3     3     3\n");
+    std::printf("  bypass@5GHz         61    49    37    19    19\n");
+    std::printf("  bit area (w^2)      1120  1792  280   140   320\n");
+    std::printf("  total area ratio    7     11.2  3.50  1.75  1\n");
+    return 0;
+}

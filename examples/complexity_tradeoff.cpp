@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The paper's core argument as a single report: for each register-file
+ * organization, combine the hardware-complexity estimates (area, energy,
+ * access time, bypass complexity) with measured IPC, and print the
+ * complexity-effectiveness summary — WSRS buys a ~6x smaller, ~2.5x
+ * cooler register file for a few percent of IPC.
+ *
+ *   ./build/examples/complexity_tradeoff [uops]
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "src/rfmodel/regfile_model.h"
+#include "src/sim/presets.h"
+#include "src/sim/simulator.h"
+#include "src/workload/profiles.h"
+
+using namespace wsrs;
+
+namespace {
+
+double
+geomeanIpc(const std::string &machine, std::uint64_t uops)
+{
+    double log_sum = 0;
+    unsigned n = 0;
+    for (const auto &p : workload::allProfiles()) {
+        sim::SimConfig cfg;
+        cfg.core = sim::findPreset(machine);
+        cfg.warmupUops = uops / 2;
+        cfg.measureUops = uops;
+        const sim::SimResults r = sim::runSimulation(p, cfg);
+        log_sum += std::log(r.ipc);
+        ++n;
+    }
+    return std::exp(log_sum / n);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::uint64_t uops =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 120000;
+
+    const rfmodel::RegFileModel model;
+    const rfmodel::RegFileOrg ref = rfmodel::makeNoWs2Cluster();
+
+    struct Row
+    {
+        const char *machine;
+        rfmodel::RegFileOrg org;
+    };
+    const std::vector<Row> rows = {
+        {"RR-256", rfmodel::makeNoWsDistributed()},
+        {"WSRR-512", rfmodel::makeWriteSpec()},
+        {"WSRS-RC-512", rfmodel::makeWsrs()},
+    };
+
+    std::printf("8-way 4-cluster machines: register-file complexity vs "
+                "delivered IPC\n");
+    std::printf("(geometric-mean IPC over the 12 SPEC2000 stand-ins, "
+                "%llu uops each)\n\n",
+                static_cast<unsigned long long>(uops));
+    std::printf("%-12s %10s %10s %10s %12s %10s\n", "machine",
+                "RF area*", "nJ/cycle", "t (ns)", "bypass@10GHz",
+                "gm IPC");
+
+    double base_ipc = 0;
+    for (const Row &row : rows) {
+        const double ipc = geomeanIpc(row.machine, uops);
+        if (base_ipc == 0)
+            base_ipc = ipc;
+        std::printf("%-12s %10.2f %10.2f %10.2f %12u %10.3f  (%+.1f%%)\n",
+                    row.machine,
+                    model.totalArea(row.org) / model.totalArea(ref),
+                    model.energyNJPerCycle(row.org),
+                    model.accessTimeNs(row.org),
+                    model.bypassSources(row.org, 10.0), ipc,
+                    100.0 * (ipc - base_ipc) / base_ipc);
+    }
+    std::printf("\n* register-file silicon area relative to a 4-way "
+                "2-cluster machine\n");
+    std::printf("\nReading: write specialization alone already shrinks "
+                "the register file\n3.2x with no IPC cost; adding read "
+                "specialization (WSRS) reaches the\n2-cluster machine's "
+                "wake-up/bypass complexity at a few percent of IPC.\n");
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Dataflow-limit analyzer: computes the ideal-machine IPC of a generated
+ * trace (infinite window/width, perfect memory and branches) by walking
+ * register readiness times. Used to validate that profile knobs give each
+ * benchmark the intended intrinsic ILP.
+ */
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "src/isa/micro_op.h"
+#include "src/workload/profiles.h"
+#include "src/workload/trace_generator.h"
+
+using namespace wsrs;
+
+int
+main(int argc, char **argv)
+{
+    const std::uint64_t n =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 100000;
+
+    std::printf("%-9s %10s %12s\n", "bench", "dataflowIPC", "critPathCyc");
+    for (const auto &p : workload::allProfiles()) {
+        workload::TraceGenerator gen(p);
+        std::array<std::uint64_t, isa::kNumLogRegs> ready{};
+        std::unordered_map<Addr, std::uint64_t> mem_ready;
+        std::uint64_t crit = 0;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const isa::MicroOp op = gen.next();
+            std::uint64_t start = 0;
+            if (op.src1 != kNoLogReg)
+                start = std::max(start, ready[op.src1]);
+            if (op.src2 != kNoLogReg)
+                start = std::max(start, ready[op.src2]);
+            if (op.isLoad()) {
+                const auto it = mem_ready.find(op.effAddr);
+                if (it != mem_ready.end())
+                    start = std::max(start, it->second);
+            }
+            const std::uint64_t done = start + op.latency();
+            if (op.hasDest())
+                ready[op.dst] = done;
+            if (op.isStore())
+                mem_ready[op.effAddr] = done;
+            crit = std::max(crit, done);
+        }
+        std::printf("%-9s %10.2f %12llu\n", p.name.c_str(),
+                    crit ? double(n) / crit : 0.0,
+                    (unsigned long long)crit);
+    }
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Using the public rfmodel API: explore the register-file design space —
+ * how per-register ports, replication and entry count trade area, energy
+ * and access time — and find the cheapest organization that serves an
+ * 8-way machine under a cycle-time budget.
+ *
+ *   ./build/examples/regfile_explorer [budget_ns]
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "src/rfmodel/regfile_model.h"
+
+using namespace wsrs::rfmodel;
+
+int
+main(int argc, char **argv)
+{
+    const double budget_ns =
+        argc > 1 ? std::strtod(argv[1], nullptr) : 0.40;
+
+    const RegFileModel model;
+
+    std::printf("Design space: organizations able to feed an 8-way "
+                "4-cluster machine\n");
+    std::printf("(16 reads and 12 results per cycle in total)\n\n");
+    std::printf("%-26s %8s %9s %9s %9s\n", "organization", "t (ns)",
+                "nJ/cycle", "area w^2", "fits?");
+
+    struct Candidate
+    {
+        const char *desc;
+        RegFileOrg org;
+    };
+    std::vector<Candidate> candidates;
+
+    // Monolithic: one array with all ports.
+    candidates.push_back({"monolithic (16R,12W)", makeNoWsMonolithic()});
+    // Read-distributed (Alpha 21264 style).
+    candidates.push_back({"4 copies (4R,12W)", makeNoWsDistributed()});
+    // Write specialization.
+    candidates.push_back({"WS: 4 copies (4R,3W)", makeWriteSpec()});
+    // WSRS.
+    candidates.push_back({"WSRS: 2 copies (4R,3W)", makeWsrs()});
+
+    // A hypothetical banked organization (8 banks, arbitration ignored):
+    RegFileOrg banked;
+    banked.name = "banked";
+    banked.totalRegs = 256;
+    banked.copiesPerReg = 1;
+    banked.portsPerCopy = {.reads = 4, .writes = 3};
+    banked.numSubfiles = 8;
+    banked.entriesPerSubfile = 32;
+    banked.writeBusesPerSubfile = 3;
+    banked.writeSpanRows = 32;
+    banked.producersVisible = 12;
+    candidates.push_back({"8 banks (4R,3W), ideal arb", banked});
+
+    const Candidate *best = nullptr;
+    for (const Candidate &c : candidates) {
+        const double t = model.accessTimeNs(c.org);
+        const bool fits = t <= budget_ns;
+        std::printf("%-26s %8.2f %9.2f %9.0f %9s\n", c.desc, t,
+                    model.energyNJPerCycle(c.org),
+                    model.totalArea(c.org) / 64,  // per-bit-row area
+                    fits ? "yes" : "no");
+        if (fits && (best == nullptr ||
+                     model.totalArea(c.org) < model.totalArea(best->org)))
+            best = &c;
+    }
+
+    std::printf("\ncheapest organization within the %.2f ns budget: %s\n",
+                budget_ns, best ? best->desc : "(none)");
+    std::printf("\nNote the structural pattern behind the paper: port\n"
+                "count enters cell area quadratically (formula 1), so\n"
+                "specializing writes (12 -> 3 ports) shrinks every cell\n"
+                "4x before any banking trick; read specialization then\n"
+                "halves replication. Banked organizations reach similar\n"
+                "areas but need conflict arbitration the paper avoids.\n");
+    return 0;
+}

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Plot Figures 4 and 5 from the bench harness outputs.
+
+Usage:
+    ./build/bench/figure4_ipc          > fig4.txt
+    ./build/bench/figure5_unbalancing  > fig5.txt
+    python3 scripts/plot_figures.py fig4.txt fig5.txt
+
+Produces grouped bar charts (matplotlib, if installed) mirroring the
+paper's presentation: one panel for the integer benchmarks, one for the
+floating-point benchmarks, one bar per machine configuration. Falls back
+to an ASCII rendering when matplotlib is unavailable.
+"""
+
+import re
+import sys
+
+
+def parse_table(path):
+    """Parse a bench table: header row of machine names, then rows of
+    'bench  v1 v2 ...'. Returns (machines, {bench: [values]}) per group."""
+    groups = []
+    machines, rows = None, {}
+    for line in open(path):
+        line = line.rstrip()
+        m = re.match(r"bench\s+(.*)", line)
+        if m:
+            if machines and rows:
+                groups.append((machines, rows))
+            machines = m.group(1).split()
+            rows = {}
+            continue
+        if machines is None:
+            continue
+        parts = line.split()
+        if len(parts) == len(machines) + 1:
+            try:
+                rows[parts[0]] = [float(x) for x in parts[1:]]
+            except ValueError:
+                pass
+    if machines and rows:
+        groups.append((machines, rows))
+    return groups
+
+
+def ascii_plot(machines, rows, title, scale):
+    print(f"\n{title}")
+    width = 46
+    for bench, values in rows.items():
+        print(f"  {bench}")
+        for machine, v in zip(machines, values):
+            bar = "#" * int(width * v / scale)
+            print(f"    {machine:>12} {v:7.2f} |{bar}")
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 1
+    for path in sys.argv[1:]:
+        groups = parse_table(path)
+        if not groups:
+            print(f"{path}: no tables found")
+            continue
+        try:
+            import matplotlib
+
+            matplotlib.use("Agg")
+            import matplotlib.pyplot as plt
+
+            fig, axes = plt.subplots(1, len(groups),
+                                     figsize=(7 * len(groups), 4))
+            if len(groups) == 1:
+                axes = [axes]
+            for ax, (machines, rows) in zip(axes, groups):
+                benches = list(rows)
+                n = len(machines)
+                for i, machine in enumerate(machines):
+                    xs = [j + i / (n + 1) for j in range(len(benches))]
+                    ax.bar(xs, [rows[b][i] for b in benches],
+                           width=1 / (n + 1), label=machine)
+                ax.set_xticks([j + 0.5 - 1 / (n + 1) / 2
+                               for j in range(len(benches))])
+                ax.set_xticklabels(benches, rotation=45, ha="right")
+                ax.legend(fontsize=7)
+            out = path.rsplit(".", 1)[0] + ".png"
+            fig.tight_layout()
+            fig.savefig(out, dpi=150)
+            print(f"wrote {out}")
+        except ImportError:
+            scale = max(max(v) for _, rows in groups
+                        for v in rows.values()) or 1.0
+            for i, (machines, rows) in enumerate(groups):
+                ascii_plot(machines, rows, f"{path} group {i}", scale)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

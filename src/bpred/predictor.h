@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Conditional branch direction predictor interface.
+ *
+ * The paper assumes perfect branch *target* prediction (PC-relative targets
+ * resolve early, returns use a return stack, indirect jumps are rare), so
+ * only direction prediction is modeled. The front end looks a branch up,
+ * compares against the trace outcome, and updates the predictor immediately
+ * (trace-driven idealization: history repair after a misprediction is
+ * perfect, which matches the paper's idealized front end).
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/common/types.h"
+
+namespace wsrs::bpred {
+
+/** Direction predictor with internal global-history management. */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /** Predict the direction of the conditional branch at @p pc. */
+    virtual bool lookup(Addr pc) = 0;
+
+    /**
+     * Train with the resolved outcome and advance the global history.
+     * Must be called exactly once per lookup, in the same order.
+     */
+    virtual void update(Addr pc, bool taken) = 0;
+
+    /** Storage budget in bits (0 for idealized predictors). */
+    virtual std::uint64_t storageBits() const = 0;
+
+    /** Idealized oracle predictors never mispredict. */
+    virtual bool isPerfect() const { return false; }
+
+    /** Short identifying name. */
+    virtual std::string name() const = 0;
+};
+
+/** Saturating n-bit counter helper. */
+class SatCounter
+{
+  public:
+    explicit SatCounter(std::uint8_t bits = 2, std::uint8_t init = 0)
+        : max_(static_cast<std::uint8_t>((1u << bits) - 1)), value_(init)
+    {
+    }
+
+    void increment() { if (value_ < max_) ++value_; }
+    void decrement() { if (value_ > 0) --value_; }
+    /** Train toward an outcome. */
+    void train(bool taken) { taken ? increment() : decrement(); }
+
+    /** Most-significant-bit "predict taken" reading. */
+    bool taken() const { return value_ > max_ / 2; }
+    std::uint8_t value() const { return value_; }
+
+  private:
+    std::uint8_t max_;
+    std::uint8_t value_;
+};
+
+} // namespace wsrs::bpred

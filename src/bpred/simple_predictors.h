@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Baseline predictors: always/perfect, bimodal, and gshare. Used by the
+ * branch-prediction ablation bench and as components of tests.
+ */
+#pragma once
+
+#include <vector>
+
+#include "src/bpred/predictor.h"
+
+namespace wsrs::bpred {
+
+/** Idealized oracle: the front end never mispredicts. */
+class PerfectPredictor : public BranchPredictor
+{
+  public:
+    bool lookup(Addr) override { return true; }
+    void update(Addr, bool) override {}
+    std::uint64_t storageBits() const override { return 0; }
+    std::string name() const override { return "perfect"; }
+    bool isPerfect() const override { return true; }
+};
+
+/** Classic per-PC 2-bit bimodal table. */
+class BimodalPredictor : public BranchPredictor
+{
+  public:
+    /** @param log_entries log2 of the table size. */
+    explicit BimodalPredictor(unsigned log_entries = 14)
+        : mask_((1u << log_entries) - 1),
+          table_(std::size_t{1} << log_entries, SatCounter(2, 1))
+    {
+    }
+
+    bool lookup(Addr pc) override { return table_[index(pc)].taken(); }
+
+    void
+    update(Addr pc, bool taken) override
+    {
+        table_[index(pc)].train(taken);
+    }
+
+    std::uint64_t storageBits() const override { return table_.size() * 2; }
+    std::string name() const override { return "bimodal"; }
+
+  private:
+    std::size_t index(Addr pc) const { return (pc >> 2) & mask_; }
+
+    std::size_t mask_;
+    std::vector<SatCounter> table_;
+};
+
+/** gshare: global history XOR PC indexing a 2-bit table. */
+class GsharePredictor : public BranchPredictor
+{
+  public:
+    /**
+     * @param log_entries log2 of the table size.
+     * @param hist_len global history length in branches.
+     */
+    explicit GsharePredictor(unsigned log_entries = 16,
+                             unsigned hist_len = 14)
+        : mask_((std::size_t{1} << log_entries) - 1), histLen_(hist_len),
+          table_(std::size_t{1} << log_entries, SatCounter(2, 1))
+    {
+    }
+
+    bool lookup(Addr pc) override { return table_[index(pc)].taken(); }
+
+    void
+    update(Addr pc, bool taken) override
+    {
+        table_[index(pc)].train(taken);
+        history_ = ((history_ << 1) | (taken ? 1 : 0)) &
+                   ((std::uint64_t{1} << histLen_) - 1);
+    }
+
+    std::uint64_t storageBits() const override { return table_.size() * 2; }
+    std::string name() const override { return "gshare"; }
+
+  private:
+    std::size_t
+    index(Addr pc) const
+    {
+        return ((pc >> 2) ^ history_) & mask_;
+    }
+
+    std::size_t mask_;
+    unsigned histLen_;
+    std::uint64_t history_ = 0;
+    std::vector<SatCounter> table_;
+};
+
+} // namespace wsrs::bpred

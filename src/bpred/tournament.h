@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Alpha 21264 (EV6)-style tournament predictor: a local-history predictor
+ * (per-PC history table indexing a pattern table) and a global predictor,
+ * arbitrated by a global-history-indexed chooser. The paper's clusters are
+ * EV6-like, so this is the natural historical baseline to compare the
+ * EV8-class 2Bc-gskew against (ablation A5).
+ */
+#pragma once
+
+#include <vector>
+
+#include "src/bpred/predictor.h"
+
+namespace wsrs::bpred {
+
+/** EV6-class tournament direction predictor (~36 Kbit default). */
+class TournamentPredictor : public BranchPredictor
+{
+  public:
+    struct Params
+    {
+        unsigned logLocalHist = 10;   ///< 1K local-history entries.
+        unsigned localHistBits = 10;  ///< Bits of local history kept.
+        unsigned logLocalPht = 10;    ///< 1K x 3-bit local counters.
+        unsigned logGlobal = 12;      ///< 4K x 2-bit global counters.
+        unsigned logChooser = 12;     ///< 4K x 2-bit chooser counters.
+    };
+
+    TournamentPredictor();
+    explicit TournamentPredictor(const Params &params);
+
+    bool lookup(Addr pc) override;
+    void update(Addr pc, bool taken) override;
+
+    std::uint64_t storageBits() const override;
+    std::string name() const override { return "tournament"; }
+
+  private:
+    std::size_t localHistIndex(Addr pc) const;
+    std::size_t globalIndex() const;
+
+    Params params_;
+    std::vector<std::uint16_t> localHist_;
+    std::vector<SatCounter> localPht_;   ///< 3-bit counters.
+    std::vector<SatCounter> global_;     ///< 2-bit counters.
+    std::vector<SatCounter> chooser_;    ///< 2-bit: taken() = use global.
+    std::uint64_t history_ = 0;
+};
+
+} // namespace wsrs::bpred

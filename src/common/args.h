@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Minimal self-contained command-line option parser for the driver tools.
+ *
+ * Supports "--key=value", "--key value" and boolean "--flag" syntax plus
+ * positional arguments; unknown options raise a FatalError listing the
+ * registered options.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wsrs {
+
+/** Parsed command line with typed accessors. */
+class ArgParser
+{
+  public:
+    /**
+     * Register an option before parsing.
+     *
+     * @param name long option name without the leading dashes.
+     * @param help one-line description for usage().
+     * @param is_flag true for boolean options that take no value.
+     */
+    void addOption(const std::string &name, const std::string &help,
+                   bool is_flag = false);
+
+    /** Parse argv; throws FatalError on unknown or malformed options. */
+    void parse(int argc, const char *const *argv);
+
+    /** True when the option appeared on the command line. */
+    bool has(const std::string &name) const;
+
+    /** String value with default. */
+    std::string get(const std::string &name,
+                    const std::string &def = "") const;
+
+    /** Unsigned integer value with default. */
+    std::uint64_t getUint(const std::string &name,
+                          std::uint64_t def) const;
+
+    /** Double value with default. */
+    double getDouble(const std::string &name, double def) const;
+
+    /** Positional (non-option) arguments, in order. */
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+    /** Formatted usage text from the registered options. */
+    std::string usage(const std::string &program) const;
+
+  private:
+    struct Option
+    {
+        std::string help;
+        bool isFlag = false;
+    };
+
+    std::map<std::string, Option> options_;
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace wsrs

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Deterministic value-mixing used for dataflow verification.
+ *
+ * The out-of-order core and the in-order oracle both "execute" micro-ops by
+ * hashing their operand values; equal commit-time values prove that renaming
+ * and memory ordering delivered the architecturally-correct dataflow.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace wsrs {
+
+/** 64-bit finalizer (murmur3 variant); never returns the identity. */
+inline std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ull;
+    x ^= x >> 33;
+    return x;
+}
+
+/** Combine two values order-sensitively. */
+inline std::uint64_t
+mixCombine(std::uint64_t a, std::uint64_t b)
+{
+    return mix64(a * 0x9e3779b97f4a7c15ull + b + 0x165667b19e3779f9ull);
+}
+
+/**
+ * Dataflow hash of a micro-op execution.
+ *
+ * @param opcode_salt per-op-class salt so different operations on the same
+ *                    inputs produce different results.
+ * @param src1 value of the first operand (0 if absent).
+ * @param src2 value of the second operand (0 if absent).
+ */
+inline std::uint64_t
+executeHash(std::uint64_t opcode_salt, std::uint64_t src1, std::uint64_t src2)
+{
+    return mixCombine(mixCombine(opcode_salt, src1), src2);
+}
+
+} // namespace wsrs

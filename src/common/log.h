@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 fatal/panic spirit.
+ *
+ * - wsrs::fatal(...)  : the *user's* fault (bad configuration, impossible
+ *   parameter combination). Throws wsrs::FatalError so library users and
+ *   tests can catch it.
+ * - WSRS_PANIC(...)   : a simulator bug (broken invariant). Aborts.
+ * - WSRS_ASSERT(cond) : cheap invariant check compiled in all build types;
+ *   panics with location info on failure.
+ */
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace wsrs {
+
+/** Exception thrown for unrecoverable user-facing configuration errors. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Printf-style formatting into a std::string. */
+template <typename... Args>
+std::string
+strprintf(const char *fmt, Args... args)
+{
+    if constexpr (sizeof...(Args) == 0) {
+        return std::string(fmt);
+    } else {
+        const int n = std::snprintf(nullptr, 0, fmt, args...);
+        std::string out(n > 0 ? static_cast<size_t>(n) : 0, '\0');
+        if (n > 0)
+            std::snprintf(out.data(), out.size() + 1, fmt, args...);
+        return out;
+    }
+}
+
+/** Report a user error: throws FatalError. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const char *fmt, Args... args)
+{
+    throw FatalError(strprintf(fmt, args...));
+}
+
+/** Internal: panic implementation. */
+[[noreturn]] inline void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s:%d: %s\n", file, line, msg.c_str());
+    std::abort();
+}
+
+} // namespace wsrs
+
+/** Abort with a message: simulator bug, never a user error. */
+#define WSRS_PANIC(...) \
+    ::wsrs::panicImpl(__FILE__, __LINE__, ::wsrs::strprintf(__VA_ARGS__))
+
+/** Invariant check active in every build type. */
+#define WSRS_ASSERT(cond) \
+    do { \
+        if (!(cond)) \
+            ::wsrs::panicImpl(__FILE__, __LINE__, \
+                              "assertion failed: " #cond); \
+    } while (0)

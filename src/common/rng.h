@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Simulation results must be exactly reproducible across runs and platforms,
+ * so all stochastic decisions (synthetic trace generation, random cluster
+ * allocation policies) draw from this self-contained xorshift128+ generator
+ * rather than <random> engines whose distributions are not
+ * implementation-defined.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace wsrs {
+
+/**
+ * xorshift128+ pseudo-random generator with convenience distributions.
+ *
+ * All distribution helpers are exact-arithmetic and portable: the same seed
+ * yields the same stream on every platform.
+ */
+class XorShiftRng
+{
+  public:
+    /** Seed the generator; two distinct non-zero words are derived. */
+    explicit XorShiftRng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // SplitMix64 scrambling to expand the seed into two state words.
+        state_[0] = splitMix(seed);
+        state_[1] = splitMix(state_[0]);
+        if (state_[0] == 0 && state_[1] == 0)
+            state_[0] = 1;
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t s1 = state_[0];
+        const std::uint64_t s0 = state_[1];
+        state_[0] = s0;
+        s1 ^= s1 << 23;
+        state_[1] = s1 ^ s0 ^ (s1 >> 17) ^ (s0 >> 26);
+        return state_[1] + s0;
+    }
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Multiply-shift bounded generation (Lemire); bias is negligible for
+        // the bounds used in simulation and the result is fully portable.
+        const std::uint64_t x = next();
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(x) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. @pre lo <= hi. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        // 53 random mantissa bits.
+        return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli draw: true with probability p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /**
+     * Geometric-ish draw: smallest k >= 1 such that k failures of
+     * probability p have not all occurred. Mean approximately 1/p.
+     */
+    std::uint64_t
+    geometric(double p)
+    {
+        std::uint64_t k = 1;
+        while (!chance(p) && k < 1000000)
+            ++k;
+        return k;
+    }
+
+  private:
+    static std::uint64_t
+    splitMix(std::uint64_t x)
+    {
+        x += 0x9e3779b97f4a7c15ull;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+        return x ^ (x >> 31);
+    }
+
+    std::uint64_t state_[2];
+};
+
+} // namespace wsrs

@@ -1,0 +1,131 @@
+#include "stats.h"
+
+#include <iomanip>
+
+namespace wsrs {
+
+StatBase::StatBase(StatGroup &group, std::string name, std::string desc)
+    : name_(group.name() + "." + std::move(name)), desc_(std::move(desc))
+{
+    group.add(this);
+}
+
+void
+Counter::dump(std::ostream &os) const
+{
+    os << std::left << std::setw(44) << name() << std::right << std::setw(16)
+       << value_ << "  # " << desc() << "\n";
+}
+
+void
+Average::dump(std::ostream &os) const
+{
+    os << std::left << std::setw(44) << name() << std::right << std::setw(16)
+       << std::fixed << std::setprecision(4) << mean() << "  # " << desc()
+       << "\n";
+}
+
+Histogram::Histogram(StatGroup &group, std::string name, std::string desc,
+                     std::size_t buckets)
+    : StatBase(group, std::move(name), std::move(desc)), buckets_(buckets, 0)
+{
+}
+
+void
+Histogram::sample(std::uint64_t v, std::uint64_t count)
+{
+    const std::size_t idx =
+        v < buckets_.size() ? static_cast<std::size_t>(v)
+                            : buckets_.size() - 1;
+    buckets_[idx] += count;
+    samples_ += count;
+    sum_ += static_cast<double>(v) * static_cast<double>(count);
+}
+
+void
+Histogram::dump(std::ostream &os) const
+{
+    os << std::left << std::setw(44) << name() << std::right << std::setw(16)
+       << samples_ << "  # " << desc() << " (mean " << std::fixed
+       << std::setprecision(3) << mean() << ")\n";
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        os << "  " << std::left << std::setw(42)
+           << (name() + "[" + std::to_string(i) + "]") << std::right
+           << std::setw(16) << buckets_[i] << "\n";
+    }
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : buckets_)
+        b = 0;
+    samples_ = 0;
+    sum_ = 0.0;
+}
+
+void
+Counter::dumpJson(std::ostream &os) const
+{
+    os << "\"" << name() << "\": " << value_;
+}
+
+void
+Average::dumpJson(std::ostream &os) const
+{
+    os << "\"" << name() << "\": " << mean();
+}
+
+void
+Histogram::dumpJson(std::ostream &os) const
+{
+    os << "\"" << name() << "\": [";
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        os << (i ? ", " : "") << buckets_[i];
+    os << "]";
+}
+
+void
+Formula::dump(std::ostream &os) const
+{
+    os << std::left << std::setw(44) << name() << std::right << std::setw(16)
+       << std::fixed << std::setprecision(4) << value() << "  # " << desc()
+       << "\n";
+}
+
+void
+Formula::dumpJson(std::ostream &os) const
+{
+    os << "\"" << name() << "\": " << value();
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const StatBase *s : stats_)
+        s->dump(os);
+}
+
+void
+StatGroup::dumpJson(std::ostream &os) const
+{
+    os << "{";
+    bool first = true;
+    for (const StatBase *s : stats_) {
+        os << (first ? "" : ", ");
+        s->dumpJson(os);
+        first = false;
+    }
+    os << "}";
+}
+
+void
+StatGroup::resetAll()
+{
+    for (StatBase *s : stats_)
+        s->reset();
+}
+
+} // namespace wsrs

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Lightweight statistics package: named scalar counters, averages and
+ * histograms that register themselves with a StatGroup and can be dumped as
+ * text. Modeled (loosely) on the gem5 stats package, sized for this
+ * simulator.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace wsrs {
+
+class StatGroup;
+
+/** Base class for every named statistic. */
+class StatBase
+{
+  public:
+    StatBase(StatGroup &group, std::string name, std::string desc);
+    virtual ~StatBase() = default;
+
+    StatBase(const StatBase &) = delete;
+    StatBase &operator=(const StatBase &) = delete;
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    /** Write "name value # desc" style line(s). */
+    virtual void dump(std::ostream &os) const = 0;
+    /** Append this statistic as a JSON object member (no trailing comma). */
+    virtual void dumpJson(std::ostream &os) const = 0;
+    /** Reset to the freshly-constructed state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string name_;
+    std::string desc_;
+};
+
+/** Monotonic (or at least additive) event counter. */
+class Counter : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
+
+    std::uint64_t value() const { return value_; }
+
+    void dump(std::ostream &os) const override;
+    void dumpJson(std::ostream &os) const override;
+    void reset() override { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Running average of submitted samples. */
+class Average : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        ++count_;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    /** Mean of all samples, 0 if none. */
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    void dump(std::ostream &os) const override;
+    void dumpJson(std::ostream &os) const override;
+    void reset() override { sum_ = 0.0; count_ = 0; }
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t count_ = 0;
+};
+
+/** Fixed-bucket histogram over [0, buckets); larger samples clamp. */
+class Histogram : public StatBase
+{
+  public:
+    Histogram(StatGroup &group, std::string name, std::string desc,
+              std::size_t buckets);
+
+    void sample(std::uint64_t v, std::uint64_t count = 1);
+
+    std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
+    std::size_t numBuckets() const { return buckets_.size(); }
+    std::uint64_t samples() const { return samples_; }
+    double mean() const { return samples_ ? sum_ / samples_ : 0.0; }
+
+    void dump(std::ostream &os) const override;
+    void dumpJson(std::ostream &os) const override;
+    void reset() override;
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t samples_ = 0;
+    double sum_ = 0.0;
+};
+
+/**
+ * Derived statistic: a value computed from other statistics at dump time
+ * (e.g. IPC = commits / cycles), in the spirit of gem5's Formula stats.
+ */
+class Formula : public StatBase
+{
+  public:
+    Formula(StatGroup &group, std::string name, std::string desc,
+            std::function<double()> fn)
+        : StatBase(group, std::move(name), std::move(desc)),
+          fn_(std::move(fn))
+    {
+    }
+
+    double value() const { return fn_(); }
+
+    void dump(std::ostream &os) const override;
+    void dumpJson(std::ostream &os) const override;
+    void reset() override {}
+
+  private:
+    std::function<double()> fn_;
+};
+
+/**
+ * Owner of a set of statistics. Statistics register on construction and are
+ * dumped in registration order. The group does not own the statistics
+ * objects (they are members of the structures being instrumented); it must
+ * outlive them being dumped, not the stats themselves.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Called by StatBase's constructor. */
+    void add(StatBase *stat) { stats_.push_back(stat); }
+
+    /** Dump all registered statistics. */
+    void dump(std::ostream &os) const;
+    /** Dump all registered statistics as one JSON object. */
+    void dumpJson(std::ostream &os) const;
+    /** Reset all registered statistics. */
+    void resetAll();
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::vector<StatBase *> stats_;
+};
+
+} // namespace wsrs

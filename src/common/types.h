@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every wsrs subsystem.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace wsrs {
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Dynamic instruction (micro-op) sequence number, 0-based in fetch order. */
+using SeqNum = std::uint64_t;
+
+/** Synthetic program counter used to index branch-prediction structures. */
+using Addr = std::uint64_t;
+
+/** Logical (architectural) register index. */
+using LogReg = std::uint8_t;
+
+/** Physical register index (global across all register subsets). */
+using PhysReg = std::uint16_t;
+
+/** Cluster index (0..numClusters-1). */
+using ClusterId = std::uint8_t;
+
+/** Physical register subset index (0..numSubsets-1). */
+using SubsetId = std::uint8_t;
+
+/** Sentinel meaning "no logical register operand / no destination". */
+inline constexpr LogReg kNoLogReg = 0xff;
+
+/** Sentinel meaning "no physical register". */
+inline constexpr PhysReg kNoPhysReg = 0xffff;
+
+/** Sentinel cycle value meaning "never / not yet scheduled". */
+inline constexpr Cycle kNeverCycle = ~Cycle{0};
+
+} // namespace wsrs

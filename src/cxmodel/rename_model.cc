@@ -1,0 +1,76 @@
+#include "rename_model.h"
+
+#include "src/core/cluster_alloc.h"
+#include "src/isa/micro_op.h"
+#include "src/sim/presets.h"
+
+namespace wsrs::cxmodel {
+
+RenameComplexity
+analyzeRename(const core::CoreParams &params)
+{
+    RenameComplexity out;
+    out.name = params.name;
+    const unsigned w = params.fetchWidth;
+
+    out.mapReadPorts = 2 * w;
+    out.mapWritePorts = w;
+
+    switch (params.mode) {
+      case core::RegFileMode::Conventional:
+        out.freeLists = 1;
+        out.freeListPopsPerCycle = w;
+        break;
+      case core::RegFileMode::WriteSpec:
+      case core::RegFileMode::Wsrs:
+        out.freeLists = params.numClusters;
+        break;
+      case core::RegFileMode::WriteSpecPools:
+        out.freeLists = core::kNumFuPools;
+        break;
+    }
+    if (params.mode != core::RegFileMode::Conventional) {
+        // Impl-1 pops W from every list; Impl-2 pops exactly W total
+        // (worst case all into one subset).
+        out.freeListPopsPerCycle =
+            params.renameImpl == core::RenameImpl::OverPickRecycle
+                ? w * out.freeLists
+                : w;
+    }
+
+    if (params.renameImpl == core::RenameImpl::OverPickRecycle) {
+        // Up to (lists*W - consumed) registers recycled per cycle, alive
+        // for recycleDelay cycles.
+        out.recyclerEntries =
+            (out.freeLists * w) * params.recycleDelay;
+    }
+
+    // Extra front-end stages relative to the conventional machine's
+    // 11-stage fetch-to-rename pipe.
+    constexpr unsigned conventional_fe = 11;
+    out.extraStages = params.frontEndDepth > conventional_fe
+                          ? params.frontEndDepth - conventional_fe
+                          : 0;
+
+    // Task (A): op i compares its 2 sources against i older dests.
+    out.dependencyComparators = w * (w - 1);  // 2 * sum(i=1..w-1, i)
+
+    if (params.mode == core::RegFileMode::Wsrs)
+        out.subsetTrackerBits = 2 * isa::kNumLogRegs;  // f and s vectors.
+    return out;
+}
+
+std::vector<RenameComplexity>
+renameComplexityTable()
+{
+    return {
+        analyzeRename(sim::presetConventional(256)),
+        analyzeRename(sim::presetWriteSpec(512)),
+        analyzeRename(sim::presetWriteSpecPools(512)),
+        analyzeRename(sim::presetWsrsRc(
+            512, core::RenameImpl::OverPickRecycle)),
+        analyzeRename(sim::presetWsrsRc(512, core::RenameImpl::ExactCount)),
+    };
+}
+
+} // namespace wsrs::cxmodel

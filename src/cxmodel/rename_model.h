@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Complexity model of the register-renaming hardware (paper sections 2.2,
+ * 3.2 and 4.1): map-table ports, free-list structures, the Impl-1
+ * recycling pipeline, and the WSRS subset-target computation, expressed as
+ * port/entry/stage counts so the "some extra hardware and/or a few extra
+ * pipeline stages" of the abstract becomes quantitative.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/params.h"
+
+namespace wsrs::cxmodel {
+
+/** Renaming-hardware inventory for one machine configuration. */
+struct RenameComplexity
+{
+    std::string name;
+    unsigned mapReadPorts = 0;    ///< 2 source lookups per renamed op.
+    unsigned mapWritePorts = 0;   ///< 1 destination update per op.
+    unsigned freeLists = 0;       ///< One per register subset.
+    unsigned freeListPopsPerCycle = 0;  ///< Worst-case pops per cycle.
+    unsigned recyclerEntries = 0; ///< Impl-1 registers in flight, worst case.
+    unsigned extraStages = 0;     ///< Front-end stages beyond conventional.
+    /** Comparators for intra-group dependency propagation (Task A):
+     *  each op checks its 2 sources against every older op's dest. */
+    unsigned dependencyComparators = 0;
+    /** Extra bit-vector state for the WSRS subset-target computation
+     *  (the f and s vectors, one bit pair per logical register). */
+    unsigned subsetTrackerBits = 0;
+};
+
+/**
+ * Derive the renaming-hardware inventory from a machine description.
+ *
+ * Stage accounting matches the presets: conventional and WS machines add
+ * no stages (static allocation, free lists read early, paper 2.4); WSRS
+ * adds 1 stage with Impl-1 and 3 with Impl-2 (paper 3.2).
+ */
+RenameComplexity analyzeRename(const core::CoreParams &params);
+
+/** Inventories for the Figure-4 machines plus the pools variant. */
+std::vector<RenameComplexity> renameComplexityTable();
+
+} // namespace wsrs::cxmodel

@@ -1,0 +1,77 @@
+#include "wakeup_model.h"
+
+namespace wsrs::cxmodel {
+
+SchedulerOrg
+makeConventional8Way()
+{
+    return SchedulerOrg{
+        .name = "noWS 8-way",
+        .issueWidth = 8,
+        .numClusters = 4,
+        .resultsPerCluster = 3,
+        .windowPerCluster = 56,
+        .producersVisible = 12,  // any of 4 clusters x 3 results
+        .regReadWritePipe = 4,   // Table 1 noWS-D at the simulated clock
+    };
+}
+
+SchedulerOrg
+makeWs8Way()
+{
+    SchedulerOrg org = makeConventional8Way();
+    org.name = "WS 8-way";
+    org.regReadWritePipe = 3;  // one register-read stage saved
+    return org;
+}
+
+SchedulerOrg
+makeWsrs8Way()
+{
+    return SchedulerOrg{
+        .name = "WSRS 8-way",
+        .issueWidth = 8,
+        .numClusters = 4,
+        .resultsPerCluster = 3,
+        .windowPerCluster = 56,
+        .producersVisible = 6,  // 2 clusters x 3 results per operand
+        .regReadWritePipe = 2,
+    };
+}
+
+SchedulerOrg
+makeConventional4Way()
+{
+    return SchedulerOrg{
+        .name = "noWS 4-way",
+        .issueWidth = 4,
+        .numClusters = 2,
+        .resultsPerCluster = 3,
+        .windowPerCluster = 56,
+        .producersVisible = 6,
+        .regReadWritePipe = 2,
+    };
+}
+
+SchedulerOrg
+makeWsrs7Cluster14Way()
+{
+    return SchedulerOrg{
+        .name = "WSRS 7-cluster",
+        .issueWidth = 14,
+        .numClusters = 7,
+        .resultsPerCluster = 3,
+        .windowPerCluster = 56,
+        .producersVisible = 6,  // still two clusters per operand port
+        .regReadWritePipe = 2,
+    };
+}
+
+std::vector<SchedulerOrg>
+section43Organizations()
+{
+    return {makeConventional8Way(), makeWs8Way(), makeWsrs8Way(),
+            makeConventional4Way(), makeWsrs7Cluster14Way()};
+}
+
+} // namespace wsrs::cxmodel

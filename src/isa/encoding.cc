@@ -1,0 +1,142 @@
+#include "encoding.h"
+
+#include "src/common/log.h"
+
+namespace wsrs::isa {
+
+namespace {
+
+constexpr unsigned kOpcodeShift = 27;
+constexpr unsigned kDstShift = 20;
+constexpr unsigned kSrc1Shift = 13;
+constexpr unsigned kSrc2Shift = 6;
+constexpr unsigned kCommutativeBit = 5;
+constexpr std::uint32_t kRegMask = 0x7f;
+/** Opcode values above the plain classes encode special forms. */
+constexpr std::uint32_t kIndexedStoreOpcode = kNumOpClasses;
+constexpr std::uint32_t kIndexedLoadOpcode = kNumOpClasses + 1;
+
+std::uint32_t
+regField(LogReg r)
+{
+    if (r == kNoLogReg)
+        return kEncNoReg;
+    if (r >= kNumLogRegs)
+        fatal("register %u out of range in encoder", unsigned(r));
+    return r;
+}
+
+LogReg
+fieldReg(std::uint32_t field, const char *what)
+{
+    if (field == kEncNoReg)
+        return kNoLogReg;
+    if (field >= kNumLogRegs)
+        fatal("instruction word %s field %u out of range", what,
+              unsigned(field));
+    return static_cast<LogReg>(field);
+}
+
+} // namespace
+
+InstWord
+encode(const StaticInst &inst)
+{
+    std::uint32_t opcode = static_cast<std::uint32_t>(inst.op);
+    if (inst.indexed) {
+        if (inst.op == OpClass::Store)
+            opcode = kIndexedStoreOpcode;
+        else if (inst.op == OpClass::Load)
+            opcode = kIndexedLoadOpcode;
+        else
+            fatal("only memory instructions have an indexed form");
+    }
+    if (inst.op == OpClass::Store && inst.dst != kNoLogReg && !inst.indexed)
+        fatal("plain stores produce no register result");
+    if (inst.commutative && (inst.src1 == kNoLogReg ||
+                             inst.src2 == kNoLogReg))
+        fatal("commutative instructions need two register operands");
+
+    return (opcode << kOpcodeShift) | (regField(inst.dst) << kDstShift) |
+           (regField(inst.src1) << kSrc1Shift) |
+           (regField(inst.src2) << kSrc2Shift) |
+           (std::uint32_t{inst.commutative} << kCommutativeBit);
+}
+
+StaticInst
+decode(InstWord word)
+{
+    if (word & 0x1f)
+        fatal("instruction word has nonzero reserved bits");
+    const std::uint32_t opcode = word >> kOpcodeShift;
+    StaticInst inst;
+    if (opcode == kIndexedStoreOpcode) {
+        inst.op = OpClass::Store;
+        inst.indexed = true;
+    } else if (opcode == kIndexedLoadOpcode) {
+        inst.op = OpClass::Load;
+        inst.indexed = true;
+    } else if (opcode < kNumOpClasses) {
+        inst.op = static_cast<OpClass>(opcode);
+    } else {
+        fatal("invalid opcode %u", unsigned(opcode));
+    }
+    inst.dst = fieldReg((word >> kDstShift) & kRegMask, "dst");
+    inst.src1 = fieldReg((word >> kSrc1Shift) & kRegMask, "src1");
+    inst.src2 = fieldReg((word >> kSrc2Shift) & kRegMask, "src2");
+    inst.commutative = (word >> kCommutativeBit) & 1;
+    return inst;
+}
+
+unsigned
+expand(const StaticInst &inst, Addr pc, MicroOp out[2])
+{
+    if (inst.indexed && inst.op == OpClass::Store) {
+        // Section 5.1.1: store [src1 + src2], data(dst-slot) splits into
+        // an address-generation micro-op and a two-source store.
+        MicroOp &ag = out[0];
+        ag = MicroOp{};
+        ag.pc = pc;
+        ag.op = OpClass::IntAlu;
+        ag.src1 = inst.src1;
+        ag.src2 = inst.src2;
+        ag.dst = kDecodeTempReg;
+
+        MicroOp &st = out[1];
+        st = MicroOp{};
+        st.pc = pc | 2;  // Distinct micro-PC within the instruction.
+        st.op = OpClass::Store;
+        st.src1 = kDecodeTempReg;
+        st.src2 = inst.dst;  // Data register travels in the dst slot.
+        return 2;
+    }
+    if (inst.indexed && inst.op == OpClass::Load) {
+        MicroOp &ag = out[0];
+        ag = MicroOp{};
+        ag.pc = pc;
+        ag.op = OpClass::IntAlu;
+        ag.src1 = inst.src1;
+        ag.src2 = inst.src2;
+        ag.dst = kDecodeTempReg;
+
+        MicroOp &ld = out[1];
+        ld = MicroOp{};
+        ld.pc = pc | 2;
+        ld.op = OpClass::Load;
+        ld.src1 = kDecodeTempReg;
+        ld.dst = inst.dst;
+        return 2;
+    }
+
+    MicroOp &m = out[0];
+    m = MicroOp{};
+    m.pc = pc;
+    m.op = inst.op;
+    m.src1 = inst.src1;
+    m.src2 = inst.src2;
+    m.dst = inst.dst;
+    m.commutative = inst.commutative;
+    return 1;
+}
+
+} // namespace wsrs::isa

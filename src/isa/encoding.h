@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Static instruction encoding: a compact 32-bit, Sparc-flavoured
+ * instruction word and the decoder that expands it into micro-ops —
+ * including the paper's decode rule that instructions using three
+ * register operands (indexed stores, ...) are translated into two
+ * micro-ops (section 5.1.1), so every micro-op entering the core has at
+ * most two register sources.
+ *
+ * Word layout (little-endian bit numbering):
+ *
+ *   [31:27] opcode       (OpClass, plus the indexed-store form)
+ *   [26:20] dst          (logical register, 0x7f = none)
+ *   [19:13] src1         (0x7f = none)
+ *   [12:6]  src2 / index (0x7f = none)
+ *   [5]     commutative
+ *   [4:0]   reserved (must be zero)
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "src/isa/micro_op.h"
+
+namespace wsrs::isa {
+
+/** Encoded 32-bit instruction word. */
+using InstWord = std::uint32_t;
+
+/** Register-field sentinel inside an instruction word. */
+inline constexpr std::uint8_t kEncNoReg = 0x7f;
+
+/** A decoded static instruction (before micro-op expansion). */
+struct StaticInst
+{
+    OpClass op = OpClass::IntAlu;
+    /** Three-register-operand memory form: address = src1 (+) index
+     *  register held in src2, data in dst's slot for stores. */
+    bool indexed = false;
+    bool commutative = false;
+    LogReg dst = kNoLogReg;
+    LogReg src1 = kNoLogReg;
+    LogReg src2 = kNoLogReg;
+};
+
+/**
+ * Encode a static instruction. Validates register ranges and form
+ * (wsrs::fatal on impossible combinations, e.g. an indexed ALU op).
+ */
+InstWord encode(const StaticInst &inst);
+
+/** Decode one instruction word; wsrs::fatal on malformed words. */
+StaticInst decode(InstWord word);
+
+/**
+ * Expand a decoded instruction into micro-ops, applying the paper's
+ * decode splitting: an indexed store becomes an address-generation
+ * micro-op writing the reserved temporary register followed by a plain
+ * store reading it.
+ *
+ * @param inst the decoded instruction.
+ * @param pc the instruction's PC (micro-ops get pc and pc|2).
+ * @param out receives 1 or 2 micro-ops.
+ * @return the number of micro-ops produced.
+ */
+unsigned expand(const StaticInst &inst, Addr pc, MicroOp out[2]);
+
+/** The architectural register reserved for decode-split temporaries. */
+inline constexpr LogReg kDecodeTempReg = isa::kNumLogRegs - 1;
+
+} // namespace wsrs::isa

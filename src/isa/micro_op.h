@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The decoded micro-op record flowing from the front end into the core.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/types.h"
+#include "src/isa/op_class.h"
+
+namespace wsrs::isa {
+
+/** Number of architectural general-purpose registers visible at once.
+ *
+ *  The paper simulates the Sparc ISA with 4 register windows resident in the
+ *  physical register file, i.e. a total of 80 logical general-purpose
+ *  registers (section 5.1.1).
+ */
+inline constexpr unsigned kNumLogRegs = 80;
+
+/**
+ * A single dynamic micro-op.
+ *
+ * Arity vocabulary follows the paper (section 3.3): a *dyadic* micro-op has
+ * two register sources, a *monadic* one has a single register source (it may
+ * still carry an immediate), and a *noadic* one has none.
+ */
+struct MicroOp
+{
+    SeqNum seq = 0;            ///< Dynamic sequence number (fetch order).
+    Addr pc = 0;               ///< Synthetic PC (indexes branch predictors).
+    OpClass op = OpClass::IntAlu;
+    LogReg src1 = kNoLogReg;   ///< First register operand or kNoLogReg.
+    LogReg src2 = kNoLogReg;   ///< Second register operand or kNoLogReg.
+    LogReg dst = kNoLogReg;    ///< Destination register or kNoLogReg.
+    bool commutative = false;  ///< Operand order may be swapped (add, or, ..).
+    bool taken = false;        ///< Branch outcome (valid when op == Branch).
+    Addr target = 0;           ///< Branch target PC (valid when op == Branch).
+    Addr effAddr = 0;          ///< Effective address (valid for Load/Store).
+
+    /** Number of register source operands (0, 1 or 2). */
+    unsigned
+    numSrcs() const
+    {
+        return (src1 != kNoLogReg ? 1u : 0u) + (src2 != kNoLogReg ? 1u : 0u);
+    }
+
+    bool isDyadic() const { return numSrcs() == 2; }
+    bool isMonadic() const { return numSrcs() == 1; }
+    bool isNoadic() const { return numSrcs() == 0; }
+    bool hasDest() const { return dst != kNoLogReg; }
+    bool isLoad() const { return op == OpClass::Load; }
+    bool isStore() const { return op == OpClass::Store; }
+    bool isBranch() const { return op == OpClass::Branch; }
+
+    /** Execution latency of this micro-op's class. */
+    Cycle latency() const { return opLatency(op); }
+};
+
+} // namespace wsrs::isa

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Operation classes of the simulated (Sparc-like) micro-op ISA.
+ *
+ * The paper evaluates on the Sparc ISA; what the execution core sees after
+ * decode is a stream of micro-ops with at most two register sources and at
+ * most one register destination (three-register-operand instructions such as
+ * indexed stores are split into two micro-ops at decode, paper section 5.1.1).
+ * This module defines that micro-op level.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/common/types.h"
+
+namespace wsrs::isa {
+
+/** Execution classes with distinct latency/resource behaviour (Table 2). */
+enum class OpClass : std::uint8_t {
+    IntAlu,   ///< 1-cycle integer operation (add, logic, shift, compare).
+    IntMul,   ///< integer multiply, 15 cycles (paper "mul/div").
+    IntDiv,   ///< integer divide, 15 cycles.
+    Load,     ///< memory load; 2 cycles on an L1 hit.
+    Store,    ///< memory store; address+data sources, no register result.
+    Branch,   ///< conditional branch; resolves at execute.
+    FpAdd,    ///< floating-point add/sub, 4 cycles (paper "fadd/fmul").
+    FpMul,    ///< floating-point multiply, 4 cycles.
+    FpDiv,    ///< floating-point divide, 15 cycles (paper "fdiv/fsqrt").
+    FpSqrt,   ///< floating-point square root, 15 cycles.
+    NumClasses
+};
+
+/** Number of distinct operation classes. */
+inline constexpr std::size_t kNumOpClasses =
+    static_cast<std::size_t>(OpClass::NumClasses);
+
+/** Execution latency in cycles for each class (paper Table 2). */
+constexpr Cycle
+opLatency(OpClass c)
+{
+    switch (c) {
+      case OpClass::IntAlu:
+      case OpClass::Store:
+      case OpClass::Branch:
+        return 1;
+      case OpClass::Load:
+        return 2;
+      case OpClass::IntMul:
+      case OpClass::IntDiv:
+      case OpClass::FpDiv:
+      case OpClass::FpSqrt:
+        return 15;
+      case OpClass::FpAdd:
+      case OpClass::FpMul:
+        return 4;
+      default:
+        return 1;
+    }
+}
+
+/** True for classes executed on the per-cluster load/store unit. */
+constexpr bool
+isMemOp(OpClass c)
+{
+    return c == OpClass::Load || c == OpClass::Store;
+}
+
+/** True for classes executed on the per-cluster floating-point unit. */
+constexpr bool
+isFpOp(OpClass c)
+{
+    return c == OpClass::FpAdd || c == OpClass::FpMul ||
+           c == OpClass::FpDiv || c == OpClass::FpSqrt;
+}
+
+/** True for classes executed on an integer ALU pipeline. */
+constexpr bool
+isIntOp(OpClass c)
+{
+    return c == OpClass::IntAlu || c == OpClass::IntMul ||
+           c == OpClass::IntDiv || c == OpClass::Branch;
+}
+
+/** True for long-latency integer ops that may be shared between clusters. */
+constexpr bool
+isComplexIntOp(OpClass c)
+{
+    return c == OpClass::IntMul || c == OpClass::IntDiv;
+}
+
+/** Human-readable mnemonic for an op class. */
+constexpr std::string_view
+opClassName(OpClass c)
+{
+    switch (c) {
+      case OpClass::IntAlu:  return "int_alu";
+      case OpClass::IntMul:  return "int_mul";
+      case OpClass::IntDiv:  return "int_div";
+      case OpClass::Load:    return "load";
+      case OpClass::Store:   return "store";
+      case OpClass::Branch:  return "branch";
+      case OpClass::FpAdd:   return "fp_add";
+      case OpClass::FpMul:   return "fp_mul";
+      case OpClass::FpDiv:   return "fp_div";
+      case OpClass::FpSqrt:  return "fp_sqrt";
+      default:               return "invalid";
+    }
+}
+
+} // namespace wsrs::isa

@@ -1,0 +1,91 @@
+#include "hierarchy.h"
+
+#include <algorithm>
+
+namespace wsrs::memory {
+
+MemoryHierarchy::MemoryHierarchy(const HierarchyParams &params,
+                                 StatGroup &stats)
+    : params_(params), l1_(params.l1), l2_(params.l2),
+      accesses_(stats, "mem.accesses", "data-memory accesses"),
+      l1Misses_(stats, "mem.l1_misses", "L1 D-cache misses"),
+      l2Misses_(stats, "mem.l2_misses", "L2 cache misses"),
+      writebacks_(stats, "mem.writebacks", "dirty-line writebacks to L2"),
+      mshrStalls_(stats, "mem.mshr_stalls", "misses delayed by MSHR limit"),
+      prefetches_(stats, "mem.prefetches", "prefetched lines into L2")
+{
+    if (params.mshrs > 0)
+        missDone_.assign(params.mshrs, 0);
+}
+
+TimedAccess
+MemoryHierarchy::access(Addr addr, bool is_store, Cycle now)
+{
+    ++accesses_;
+    TimedAccess out;
+    out.latency = params_.l1Latency;
+
+    const AccessOutcome l1 = l1_.access(addr, is_store);
+    out.l1Hit = l1.hit;
+    if (l1.hit)
+        return out;
+
+    ++l1Misses_;
+    if (l1.writebackVictim)
+        ++writebacks_;
+
+    // MSHR limit: a new miss waits for the oldest outstanding one when
+    // all miss registers are busy (0 = unlimited, default).
+    Cycle mshr_wait = 0;
+    if (params_.mshrs > 0) {
+        const Cycle oldest = missDone_[missDonePos_];
+        if (oldest > now) {
+            mshr_wait = oldest - now;
+            ++mshrStalls_;
+        }
+    }
+
+    // L2 refill port occupancy: one line at l2BytesPerCycle.
+    const Cycle refill_cycles = std::max<Cycle>(
+        1, params_.l1.lineBytes / std::max(1u, params_.l2BytesPerCycle));
+    const Cycle start = std::max(now + mshr_wait, l2PortFree_);
+    const Cycle queue_wait = start - now;
+    l2PortFree_ = start + refill_cycles;
+
+    out.latency += params_.l1MissPenalty + queue_wait;
+
+    const AccessOutcome l2 = l2_.access(addr, is_store);
+    out.l2Hit = l2.hit;
+    if (!l2.hit) {
+        ++l2Misses_;
+        out.latency += params_.l2MissPenalty;
+    }
+
+    if (params_.mshrs > 0) {
+        missDone_[missDonePos_] = now + out.latency;
+        missDonePos_ = (missDonePos_ + 1) % missDone_.size();
+    }
+
+    // Optional next-line stride prefetch into L2 (extension; default off).
+    for (unsigned i = 1; i <= params_.prefetchDepth; ++i) {
+        const Addr next = addr + Addr{i} * params_.l1.lineBytes;
+        if (!l2_.probe(next)) {
+            l2_.access(next, false);
+            ++prefetches_;
+        }
+    }
+    return out;
+}
+
+void
+MemoryHierarchy::flush()
+{
+    l1_.flush();
+    l2_.flush();
+    l2PortFree_ = 0;
+    for (auto &c : missDone_)
+        c = 0;
+    missDonePos_ = 0;
+}
+
+} // namespace wsrs::memory

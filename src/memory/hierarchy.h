@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Two-level data-memory hierarchy with the paper's Table 3 parameters.
+ *
+ *   L1 D-cache : 32 KB, 2-cycle latency, 12-cycle miss penalty (to L2),
+ *                bandwidth 4 accesses/cycle;
+ *   L2 cache   : 512 KB, 12-cycle latency, 80-cycle miss penalty (DRAM),
+ *                refill bandwidth 16 B/cycle.
+ *
+ * probeLatency() returns the total load-to-use latency of an access issued
+ * at a given cycle, charging L2/DRAM port occupancy so refill bandwidth is
+ * honoured (a 64 B line at 16 B/cycle holds the L2 port for 4 cycles).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/common/types.h"
+#include "src/memory/cache.h"
+
+namespace wsrs::memory {
+
+/** Timing and geometry parameters of the hierarchy (paper Table 3). */
+struct HierarchyParams
+{
+    CacheParams l1{.sizeBytes = 32 * 1024, .assoc = 4, .lineBytes = 64};
+    CacheParams l2{.sizeBytes = 512 * 1024, .assoc = 8, .lineBytes = 64};
+    Cycle l1Latency = 2;        ///< Load-use latency on an L1 hit.
+    Cycle l1MissPenalty = 12;   ///< Extra cycles for an L1 miss / L2 hit.
+    Cycle l2MissPenalty = 80;   ///< Extra cycles for an L2 miss.
+    unsigned l2BytesPerCycle = 16; ///< L2 refill bandwidth.
+    /** Maximum overlapped L1 misses (0 = unlimited, the paper-era
+     *  idealization this repo defaults to). */
+    unsigned mshrs = 0;
+    /** Optional next-N-line stride prefetcher into L2 on L1 misses
+     *  (0 = off; extension, not part of the paper's machine). */
+    unsigned prefetchDepth = 0;
+};
+
+/** Result of a timed access. */
+struct TimedAccess
+{
+    Cycle latency = 0;   ///< Total cycles until the value is usable.
+    bool l1Hit = false;
+    bool l2Hit = false;  ///< Meaningful when !l1Hit.
+};
+
+/** Two-level hierarchy with bandwidth-aware timing. */
+class MemoryHierarchy
+{
+  public:
+    /**
+     * @param params hierarchy description.
+     * @param stats group receiving the hit/miss counters.
+     */
+    MemoryHierarchy(const HierarchyParams &params, StatGroup &stats);
+
+    /**
+     * Perform a timed access.
+     *
+     * @param addr byte address.
+     * @param is_store stores allocate and dirty lines but their latency is
+     *        not on the critical path (the LSQ retires them at commit).
+     * @param now issue cycle, used for L2 port occupancy.
+     */
+    TimedAccess access(Addr addr, bool is_store, Cycle now);
+
+    /** Invalidate both levels and reset port state (not the counters). */
+    void flush();
+
+    const HierarchyParams &params() const { return params_; }
+
+    std::uint64_t l1Misses() const { return l1Misses_.value(); }
+    std::uint64_t mshrStalls() const { return mshrStalls_.value(); }
+    std::uint64_t prefetches() const { return prefetches_.value(); }
+    std::uint64_t l2Misses() const { return l2Misses_.value(); }
+    std::uint64_t accesses() const { return accesses_.value(); }
+
+  private:
+    HierarchyParams params_;
+    Cache l1_;
+    Cache l2_;
+    Cycle l2PortFree_ = 0;   ///< Next cycle the L2 refill port is free.
+    /** Completion times of in-flight misses (MSHR occupancy model). */
+    std::vector<Cycle> missDone_;
+    std::size_t missDonePos_ = 0;
+
+    Counter accesses_;
+    Counter l1Misses_;
+    Counter l2Misses_;
+    Counter writebacks_;
+    Counter mshrStalls_;
+    Counter prefetches_;
+};
+
+} // namespace wsrs::memory

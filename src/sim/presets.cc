@@ -1,0 +1,200 @@
+#include "presets.h"
+
+#include "src/common/log.h"
+
+namespace wsrs::sim {
+
+namespace {
+
+/** Shared 8-way 4-cluster shell. */
+core::CoreParams
+baseMachine()
+{
+    core::CoreParams p;
+    p.numClusters = 4;
+    p.fetchWidth = 8;
+    p.commitWidth = 8;
+    p.issuePerCluster = 2;
+    p.clusterWindow = 56;
+    p.lsqSize = 96;
+    return p;
+}
+
+} // namespace
+
+core::CoreParams
+presetConventional(unsigned num_regs)
+{
+    core::CoreParams p = baseMachine();
+    p.name = "RR-" + std::to_string(num_regs);
+    p.numPhysRegs = num_regs;
+    p.mode = core::RegFileMode::Conventional;
+    p.policy = core::AllocPolicy::RoundRobin;
+    p.renameImpl = core::RenameImpl::ExactCount;
+    p.frontEndDepth = 11;  // min penalty 11 + 1 + 4 + 1 = 17
+    p.regReadStages = 4;
+    return p;
+}
+
+core::CoreParams
+presetWriteSpec(unsigned num_regs, core::RenameImpl impl)
+{
+    core::CoreParams p = baseMachine();
+    p.name = "WSRR-" + std::to_string(num_regs);
+    p.numPhysRegs = num_regs;
+    p.mode = core::RegFileMode::WriteSpec;
+    p.policy = core::AllocPolicy::RoundRobin;
+    p.renameImpl = impl;
+    // Static allocation: the free lists are read early, no extra stage for
+    // either renaming implementation (paper 2.4); the register read
+    // pipeline is one cycle shorter -> min penalty 16.
+    p.frontEndDepth = 11;
+    p.regReadStages = 3;
+    return p;
+}
+
+core::CoreParams
+presetWriteSpecPools(unsigned num_regs)
+{
+    core::CoreParams p = baseMachine();
+    p.name = "WSP-" + std::to_string(num_regs);
+    p.numPhysRegs = num_regs;
+    p.mode = core::RegFileMode::WriteSpecPools;
+    p.policy = core::AllocPolicy::RoundRobin;
+    p.renameImpl = core::RenameImpl::ExactCount;
+    // The pool of an instruction is known at decode (predecoded bits in
+    // the instruction cache, paper 2.4): no extra rename stage, same
+    // shortened register read as cluster-level WS.
+    p.frontEndDepth = 11;
+    p.regReadStages = 3;
+    return p;
+}
+
+namespace {
+
+core::CoreParams
+wsrsBase(unsigned num_regs, core::RenameImpl impl)
+{
+    core::CoreParams p = baseMachine();
+    p.numPhysRegs = num_regs;
+    p.mode = core::RegFileMode::Wsrs;
+    p.renameImpl = impl;
+    // WSRS register read pipeline is two cycles shorter than conventional;
+    // the subset-target computation costs 1 (Impl-1) or 3 (Impl-2) extra
+    // front-end stages (paper 3.2) -> min penalties 16 and 18.
+    p.regReadStages = 2;
+    p.frontEndDepth =
+        impl == core::RenameImpl::OverPickRecycle ? 12 : 14;
+    return p;
+}
+
+} // namespace
+
+core::CoreParams
+presetWsrsRc(unsigned num_regs, core::RenameImpl impl)
+{
+    core::CoreParams p = wsrsBase(num_regs, impl);
+    p.name = "WSRS-RC-" + std::to_string(num_regs);
+    p.policy = core::AllocPolicy::RandomCommutative;
+    p.commutativeFus = true;
+    return p;
+}
+
+core::CoreParams
+presetWsrsRm(unsigned num_regs, core::RenameImpl impl)
+{
+    core::CoreParams p = wsrsBase(num_regs, impl);
+    p.name = "WSRS-RM-" + std::to_string(num_regs);
+    p.policy = core::AllocPolicy::RandomMonadic;
+    p.commutativeFus = false;
+    return p;
+}
+
+core::CoreParams
+presetWsrsDepAware(unsigned num_regs)
+{
+    core::CoreParams p = wsrsBase(num_regs, core::RenameImpl::ExactCount);
+    p.name = "WSRS-DEP-" + std::to_string(num_regs);
+    p.policy = core::AllocPolicy::DependenceAware;
+    p.commutativeFus = true;
+    return p;
+}
+
+core::CoreParams
+presetMonolithic8Way(unsigned num_regs)
+{
+    core::CoreParams p = baseMachine();
+    p.name = "MONO-" + std::to_string(num_regs);
+    p.numPhysRegs = num_regs;
+    p.mode = core::RegFileMode::Conventional;
+    p.policy = core::AllocPolicy::RoundRobin;
+    p.numClusters = 1;
+    p.issuePerCluster = 8;
+    p.lsusPerCluster = 4;
+    p.fpusPerCluster = 4;
+    p.alusPerCluster = 8;
+    p.clusterWindow = 224;
+    p.ffScope = core::FastForwardScope::Complete;
+    // Table 1 noWS-M: 5 register-read stages at the simulated clock ->
+    // minimum misprediction penalty 18 at the same frequency. (The whole
+    // point of the paper: this machine could not actually reach that
+    // frequency.)
+    p.frontEndDepth = 11;
+    p.regReadStages = 5;
+    return p;
+}
+
+core::CoreParams
+presetConventional4Way(unsigned num_regs)
+{
+    core::CoreParams p = baseMachine();
+    p.name = "RR4W-" + std::to_string(num_regs);
+    p.numPhysRegs = num_regs;
+    p.mode = core::RegFileMode::Conventional;
+    p.policy = core::AllocPolicy::RoundRobin;
+    p.numClusters = 2;
+    p.fetchWidth = 4;
+    p.commitWidth = 4;
+    p.clusterWindow = 56;
+    p.frontEndDepth = 11;
+    p.regReadStages = 3;  // Table 1 noWS-2 at the simulated clock.
+    return p;
+}
+
+core::CoreParams
+findPreset(std::string_view label)
+{
+    if (label == "RR-256")
+        return presetConventional(256);
+    if (label == "WSRR-384")
+        return presetWriteSpec(384);
+    if (label == "WSRR-512")
+        return presetWriteSpec(512);
+    if (label == "WSP-512")
+        return presetWriteSpecPools(512);
+    if (label == "WSRS-RC-384")
+        return presetWsrsRc(384);
+    if (label == "WSRS-RC-512")
+        return presetWsrsRc(512);
+    if (label == "WSRS-RM-512")
+        return presetWsrsRm(512);
+    if (label == "WSRS-DEP-512")
+        return presetWsrsDepAware(512);
+    if (label == "MONO-256")
+        return presetMonolithic8Way(256);
+    if (label == "MONO-320")
+        return presetMonolithic8Way(320);
+    if (label == "RR4W-128")
+        return presetConventional4Way(128);
+    fatal("unknown machine preset '%.*s'", static_cast<int>(label.size()),
+          label.data());
+}
+
+std::vector<std::string>
+figure4Presets()
+{
+    return {"RR-256",      "WSRR-384",    "WSRR-512",
+            "WSRS-RC-384", "WSRS-RC-512", "WSRS-RM-512"};
+}
+
+} // namespace wsrs::sim

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Named machine configurations of the paper's Section 5.
+ *
+ * All machines are 8-way, 4-cluster, 2-way-issue-per-cluster with 56
+ * in-flight micro-ops per cluster. They differ in register-file mode,
+ * physical register count, allocation policy and pipeline depths:
+ *
+ * | preset       | mode  | regs | policy | frontEnd | regRead | penalty |
+ * |--------------|-------|------|--------|----------|---------|---------|
+ * | RR-256       | conv. | 256  | RR     | 11       | 4       | 17      |
+ * | WSRR-384/512 | WS    | 384+ | RR     | 11       | 3       | 16      |
+ * | WSRS-RC/RM-* | WSRS  | 384+ | RC/RM  | 14       | 2       | 18      |
+ *
+ * The displayed WSRS/WS machines use the paper's second renaming strategy
+ * (ExactCount); Impl-1 variants are exposed for the renaming ablation
+ * (WSRS Impl-1: frontEnd 12, penalty 16).
+ */
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "src/core/params.h"
+
+namespace wsrs::sim {
+
+/** Conventional 4-cluster machine, round-robin, 256 registers. */
+core::CoreParams presetConventional(unsigned num_regs = 256);
+
+/** Write specialization only, round-robin (paper "WSRR"). */
+core::CoreParams presetWriteSpec(unsigned num_regs,
+                                 core::RenameImpl impl =
+                                     core::RenameImpl::ExactCount);
+
+/** Pool-level write specialization (paper Figure 2b): distinct pools of
+ *  functional units write distinct subsets. */
+core::CoreParams presetWriteSpecPools(unsigned num_regs);
+
+/** 4-cluster WSRS with the RC (random commutative-cluster) policy. */
+core::CoreParams presetWsrsRc(unsigned num_regs,
+                              core::RenameImpl impl =
+                                  core::RenameImpl::ExactCount);
+
+/** 4-cluster WSRS with the RM (random monadic) policy. */
+core::CoreParams presetWsrsRm(unsigned num_regs,
+                              core::RenameImpl impl =
+                                  core::RenameImpl::ExactCount);
+
+/** 4-cluster WSRS with the dependence-aware extension policy. */
+core::CoreParams presetWsrsDepAware(unsigned num_regs);
+
+/**
+ * Monolithic (non-clustered) 8-way machine: one scheduling domain with
+ * all functional units, complete fast-forwarding, and the slow Table-1
+ * noWS-M register file (5 read stages at the simulated clock). The
+ * equal-frequency comparison point that motivates clustering.
+ */
+core::CoreParams presetMonolithic8Way(unsigned num_regs = 256);
+
+/** Conventional 2-cluster 4-way machine (Table 1's noWS-2 reference). */
+core::CoreParams presetConventional4Way(unsigned num_regs = 128);
+
+/**
+ * Look up a preset by its paper label: "RR-256", "WSRR-384", "WSRR-512",
+ * "WSRS-RC-384", "WSRS-RC-512", "WSRS-RM-512", "WSRS-DEP-512".
+ * @throws wsrs::FatalError for unknown labels.
+ */
+core::CoreParams findPreset(std::string_view label);
+
+/** Labels of the six Figure-4 machines, in paper legend order. */
+std::vector<std::string> figure4Presets();
+
+} // namespace wsrs::sim

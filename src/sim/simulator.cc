@@ -1,0 +1,97 @@
+#include "simulator.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <memory>
+
+#include "src/bpred/simple_predictors.h"
+#include "src/bpred/tournament.h"
+#include "src/bpred/two_bc_gskew.h"
+#include "src/common/log.h"
+#include "src/workload/trace_generator.h"
+
+namespace wsrs::sim {
+
+namespace {
+
+std::unique_ptr<bpred::BranchPredictor>
+makePredictor(PredictorKind kind)
+{
+    switch (kind) {
+      case PredictorKind::TwoBcGskew:
+        return std::make_unique<bpred::TwoBcGskew>();
+      case PredictorKind::Tournament:
+        return std::make_unique<bpred::TournamentPredictor>();
+      case PredictorKind::Gshare:
+        return std::make_unique<bpred::GsharePredictor>();
+      case PredictorKind::Bimodal:
+        return std::make_unique<bpred::BimodalPredictor>();
+      case PredictorKind::Perfect:
+        return std::make_unique<bpred::PerfectPredictor>();
+    }
+    WSRS_PANIC("unhandled predictor kind");
+}
+
+} // namespace
+
+SimConfig
+applyEnvOverrides(SimConfig config)
+{
+    if (const char *s = std::getenv("WSRS_MEASURE_UOPS"))
+        config.measureUops = std::strtoull(s, nullptr, 10);
+    if (const char *s = std::getenv("WSRS_WARMUP_UOPS"))
+        config.warmupUops = std::strtoull(s, nullptr, 10);
+    return config;
+}
+
+SimResults
+runSimulation(const workload::BenchmarkProfile &profile,
+              const SimConfig &config)
+{
+    workload::TraceGenerator gen(profile, config.seed);
+    auto predictor = makePredictor(config.predictor);
+    StatGroup stats(profile.name);
+    memory::MemoryHierarchy mem(config.mem, stats);
+
+    core::CoreParams cp = config.core;
+    cp.verifyDataflow = config.verifyDataflow;
+    core::Core machine(cp, gen, *predictor, mem);
+
+    if (config.warmupUops > 0)
+        machine.run(config.warmupUops);
+
+    machine.resetStats();
+    if (config.timelineRows > 0)
+        machine.enableTimeline(config.timelineRows);
+    const std::uint64_t acc0 = mem.accesses();
+    const std::uint64_t l1m0 = mem.l1Misses();
+    const std::uint64_t l2m0 = mem.l2Misses();
+
+    machine.run(config.measureUops);
+
+    const core::CoreStats &cs = machine.stats();
+    if (config.verifyDataflow && cs.valueMismatches > 0)
+        fatal("dataflow verification failed: %llu mismatching values",
+              static_cast<unsigned long long>(cs.valueMismatches));
+
+    SimResults r;
+    r.benchmark = profile.name;
+    r.machine = cp.name;
+    r.stats = cs;
+    r.ipc = cs.ipc();
+    r.unbalancingDegree = cs.unbalancingDegree();
+    r.branchMispredictRate = cs.mispredictRate();
+    const std::uint64_t acc = mem.accesses() - acc0;
+    const std::uint64_t l1m = mem.l1Misses() - l1m0;
+    const std::uint64_t l2m = mem.l2Misses() - l2m0;
+    r.l1MissRate = acc ? double(l1m) / acc : 0.0;
+    r.l2MissRate = l1m ? double(l2m) / l1m : 0.0;
+    if (config.timelineRows > 0) {
+        std::ostringstream os;
+        machine.dumpTimeline(os, config.timelineRows);
+        r.timelineText = os.str();
+    }
+    return r;
+}
+
+} // namespace wsrs::sim

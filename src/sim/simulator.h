@@ -1,0 +1,65 @@
+/**
+ * @file
+ * One-call simulation facade: benchmark profile + machine preset ->
+ * measured results, following the paper's protocol (warm-up phase for
+ * caches and predictor state, then a measured slice).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/core.h"
+#include "src/core/params.h"
+#include "src/memory/hierarchy.h"
+#include "src/workload/profile.h"
+
+namespace wsrs::sim {
+
+/** Which direction predictor the front end uses. */
+enum class PredictorKind : std::uint8_t {
+    TwoBcGskew, ///< Paper baseline: 512 Kbit EV8-class 2Bc-gskew.
+    Tournament, ///< EV6-class local/global tournament.
+    Gshare,
+    Bimodal,
+    Perfect,
+};
+
+/** Full experiment description. */
+struct SimConfig
+{
+    core::CoreParams core;
+    memory::HierarchyParams mem;     ///< Defaults to the paper's Table 3.
+    PredictorKind predictor = PredictorKind::TwoBcGskew;
+    std::uint64_t warmupUops = 400000;   ///< Cache/predictor warm-up.
+    std::uint64_t measureUops = 1000000; ///< Measured slice.
+    std::uint64_t seed = 0;              ///< Extra trace seed.
+    bool verifyDataflow = false;         ///< Oracle value checking.
+    std::size_t timelineRows = 0;        ///< Record last-N pipeline rows.
+};
+
+/** Results of a measured slice. */
+struct SimResults
+{
+    std::string benchmark;
+    std::string machine;
+    core::CoreStats stats;
+    double ipc = 0;
+    double unbalancingDegree = 0;   ///< Figure-5 metric, percent.
+    double branchMispredictRate = 0;
+    double l1MissRate = 0;          ///< Per measured access.
+    double l2MissRate = 0;          ///< Per L1 miss.
+    std::string timelineText;       ///< Rendered pipeline rows (if asked).
+};
+
+/** Run one benchmark on one machine. */
+SimResults runSimulation(const workload::BenchmarkProfile &profile,
+                         const SimConfig &config);
+
+/**
+ * Override measured/warm-up slice lengths from the environment
+ * (WSRS_MEASURE_UOPS / WSRS_WARMUP_UOPS), for quick bench runs.
+ */
+SimConfig applyEnvOverrides(SimConfig config);
+
+} // namespace wsrs::sim

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The shared dataflow-value semantics of the synthetic ISA.
+ *
+ * Both the in-order oracle and the out-of-order core "execute" micro-ops
+ * with these functions; commit-time equality of the produced values proves
+ * the core delivered architecturally-correct register renaming and memory
+ * ordering. Commutative operations use an operand-order-insensitive value so
+ * that allocation policies which swap operand order (the paper's
+ * "commutative clusters") remain architecturally transparent.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/hash.h"
+#include "src/isa/micro_op.h"
+
+namespace wsrs::workload {
+
+/** Initial architectural value of a logical register at trace start. */
+inline std::uint64_t
+initRegValue(LogReg r)
+{
+    return mix64(0xa11c0de + r);
+}
+
+/** Initial (never-written) content of a memory double-word. */
+inline std::uint64_t
+memInitValue(Addr addr)
+{
+    return mix64(addr * 0x9e3779b97f4a7c15ull + 0x7f4a7c15ull);
+}
+
+/** Value stored to memory by a store micro-op with the given operands. */
+inline std::uint64_t
+storeValue(const isa::MicroOp &op, std::uint64_t addr_val,
+           std::uint64_t data_val)
+{
+    return executeHash(mix64(op.pc ^ 0x57075707ull), addr_val, data_val);
+}
+
+/**
+ * Register result of a micro-op.
+ *
+ * @param op       the micro-op (must have a destination).
+ * @param src1_val value of the first register operand (0 if absent).
+ * @param src2_val value of the second register operand (0 if absent).
+ * @param mem_val  for loads, the memory value read at op.effAddr.
+ */
+inline std::uint64_t
+execValue(const isa::MicroOp &op, std::uint64_t src1_val,
+          std::uint64_t src2_val, std::uint64_t mem_val = 0)
+{
+    if (op.isLoad())
+        return mix64(mem_val + (op.pc << 1) + 1);
+    const std::uint64_t salt =
+        mix64((static_cast<std::uint64_t>(op.op) << 56) ^ op.pc);
+    if (op.commutative) {
+        // Symmetric in (src1, src2) so physically swapped operand order
+        // yields the same architectural result.
+        return executeHash(salt, src1_val + src2_val,
+                           mix64(src1_val) ^ mix64(src2_val));
+    }
+    return executeHash(salt, src1_val, src2_val);
+}
+
+} // namespace wsrs::workload

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Statistical description of a synthetic benchmark.
+ *
+ * The paper evaluates 12 SPEC CPU2000 benchmarks on Sparc ref inputs. Those
+ * traces are not redistributable, so each benchmark is replaced by a
+ * *profile*: the set of statistical knobs that determine the properties the
+ * simulated mechanisms are sensitive to — instruction mix, operand arity and
+ * commutativity, register-dependence distances, long-lived invariant
+ * operands, branch predictability, and memory footprint/locality. The
+ * generator (TraceGenerator) expands a profile into a deterministic dynamic
+ * micro-op stream with a realistic static-program structure (loops, static
+ * branch sites, strided and pointer-chasing reference streams).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace wsrs::workload {
+
+/** All knobs describing one synthetic benchmark. Fractions are in [0,1]. */
+struct BenchmarkProfile
+{
+    std::string name;          ///< e.g. "gzip".
+    bool floatingPoint = false; ///< SPECfp (true) or SPECint (false).
+
+    /// @name Dynamic instruction mix (remainder of 1.0 is IntAlu).
+    /// @{
+    double fracLoad = 0.25;
+    double fracStore = 0.10;
+    double fracBranch = 0.12;
+    double fracIntMul = 0.01;
+    double fracIntDiv = 0.002;
+    double fracFpAdd = 0.0;
+    double fracFpMul = 0.0;
+    double fracFpDiv = 0.0;
+    double fracFpSqrt = 0.0;
+    /// @}
+
+    /// @name Operand structure of ALU/FP micro-ops.
+    /// @{
+    double fracNoadic = 0.05;   ///< No register source (load-immediate, ...).
+    double fracMonadic = 0.40;  ///< Exactly one register source.
+    double fracCommutative = 0.55; ///< Of dyadic ops: operands swappable.
+    /// @}
+
+    /// Fraction of stores emitted as an address-generation micro-op plus a
+    /// store micro-op (the paper's decode-split of 3-register-operand
+    /// instructions, section 5.1.1).
+    double fracIndexedStore = 0.15;
+
+    /// @name Register-dependence structure.
+    /// @{
+    /// Geometric parameter of the producer-distance distribution: a source
+    /// operand reads the destination of the micro-op emitted k static slots
+    /// earlier, k ~ 1 + Geometric(depGeomP). Larger values mean tighter
+    /// dependence chains (lower ILP).
+    double depGeomP = 0.35;
+    /// Probability that a dependence may reach beyond the current basic
+    /// block (and hence across loop iterations, serializing them). Loop
+    /// codes with independent iterations have low values; pointer/control
+    /// codes higher ones. Sources that would reach outside their window
+    /// read an invariant register instead, keeping iterations independent.
+    double depCrossBlockFrac = 0.3;
+    /// Bound on the accumulated dataflow depth (in latency cycles) of any
+    /// computation chain; a source whose producer chain is already deeper
+    /// reads a chain root instead. This is the generator's direct ILP
+    /// lever: real loop bodies have expression trees of bounded depth.
+    double maxChainDepth = 24.0;
+    /// Probability that a source operand reads a long-lived invariant
+    /// register instead (compiler-held loop invariants). High values create
+    /// the cluster-workload unbalancing the paper observes on SPECfp.
+    double invariantFrac = 0.10;
+    unsigned numInvariantRegs = 8; ///< How many registers hold invariants.
+    /// Probability that a source operand reads a recent load result (array
+    /// element feeding arithmetic). Loads root the dependence chains — their
+    /// own operands are mostly bases/induction values — so this knob, with
+    /// invariantFrac, bounds the depth of computation chains the way real
+    /// loop bodies do.
+    double loadValueFrac = 0.20;
+    /// Fraction of loads whose address register is a preceding load's
+    /// result (pointer chasing, e.g. mcf).
+    double pointerChaseFrac = 0.0;
+    /// Probability that a memory op's address register is a base/induction
+    /// value (invariant, ready early) rather than a computed value. Since
+    /// addresses are computed in order (paper section 5.2), low values
+    /// serialize the memory stream.
+    double addrInvariantFrac = 0.85;
+    /// @}
+
+    /// @name Static program shape.
+    ///
+    /// Basic-block length is derived from fracBranch (one branch terminates
+    /// each block), so it is not a separate knob.
+    /// @{
+    unsigned numSegments = 8;      ///< Outer segments (loop nests).
+    unsigned meanLoopBlocks = 6;   ///< Mean basic blocks per loop body.
+    unsigned meanTripCount = 50;   ///< Mean loop trip count.
+    /// @}
+
+    /// @name Branch behaviour (per static conditional branch site).
+    /// @{
+    double branchBiasedFrac = 0.70;  ///< Biased sites (vs. patterned sites).
+    double biasedTakenProb = 0.92;   ///< Taken probability of a biased site.
+    /// Random flip probability added to *patterned* sites; raises the floor
+    /// of achievable prediction accuracy.
+    double patternNoise = 0.02;
+    /// @}
+
+    /// @name Memory reference behaviour.
+    /// @{
+    unsigned numStreams = 8;            ///< Distinct strided streams.
+    double strideFrac = 0.75;           ///< Accesses that follow a stream.
+    /// Fraction of stream accesses that re-read the current element
+    /// instead of advancing (register-blocked stencil reuse); raises the
+    /// spatial hit rate the way real loop nests do.
+    double streamPeekFrac = 0.5;
+    /// Total data footprint; half backs the strided streams, half the
+    /// random-access region.
+    std::uint64_t workingSetBytes = 1u << 20;
+    /// Fraction of random-region accesses that stay within a small hot
+    /// subset (temporal locality of non-streaming references).
+    double randomHotFrac = 0.7;
+    /// Fraction of stores directed at a recently loaded address (enables
+    /// store-to-load conflicts and forwarding).
+    double storeAliasFrac = 0.20;
+    /// Fraction of loads directed at a recently stored address (spills and
+    /// reloads; exercises store-to-load forwarding).
+    double loadAfterStoreFrac = 0.05;
+    /// @}
+
+    std::uint64_t seed = 0x5eed;   ///< Base RNG seed for this benchmark.
+};
+
+} // namespace wsrs::workload

@@ -1,0 +1,287 @@
+#include "profiles.h"
+
+#include "src/common/log.h"
+
+namespace wsrs::workload {
+
+namespace {
+
+/**
+ * Per-benchmark rationale (sources: SPEC CPU2000 characterization
+ * literature and the behaviour the paper itself reports in Figures 4/5):
+ *
+ * - gzip: compression; tight integer loops, highly predictable branches,
+ *   small working set, many commutative logic ops. Mid-high IPC.
+ * - vpr: place & route; branchier, moderately predictable, pointerish
+ *   data accesses, medium working set. Mid IPC.
+ * - gcc: compiler; very branchy, large instruction/data footprint,
+ *   short dependence chains. Mid IPC.
+ * - mcf: network simplex; pointer chasing over a multi-MB arena, L2
+ *   misses dominate. IPC ~0.5 (lowest of the suite).
+ * - crafty: chess; long stretches of bit-board logic (commutative
+ *   and/or/xor), predictable control, small working set. Highest int IPC.
+ * - wupwise: BLAS-heavy QCD; dense FP, long independent chains, few
+ *   branches, strong loop invariants -> near-100% unbalancing (Fig. 5).
+ * - swim: shallow-water stencil; streaming FP adds/muls over big arrays.
+ * - mgrid: multigrid stencil; very high ILP, almost branch-free.
+ * - applu: SSOR solver; FP with divides, medium ILP.
+ * - galgel: Galerkin FEM; FP with shorter vectors, some int mix.
+ * - equake: sparse FEM; irregular loads (indirection), branchier FP,
+ *   lower IPC.
+ * - facerec: image correlation; very regular high-ILP FP, strong
+ *   invariants -> near-100% unbalancing and visible WSRS loss (Fig. 4/5).
+ */
+std::vector<BenchmarkProfile>
+makeProfiles()
+{
+    std::vector<BenchmarkProfile> v;
+
+    { // ---- SPECint2000 ----
+        BenchmarkProfile p;
+        p.name = "gzip";
+        p.fracLoad = 0.22; p.fracStore = 0.08; p.fracBranch = 0.12;
+        p.fracIntMul = 0.004; p.fracIntDiv = 0.001;
+        p.fracNoadic = 0.06; p.fracMonadic = 0.42; p.fracCommutative = 0.60;
+        p.depGeomP = 0.3; p.depCrossBlockFrac = 0.50; p.maxChainDepth = 40; p.addrInvariantFrac = 0.88; p.invariantFrac = 0.18; p.loadValueFrac = 0.22; p.numInvariantRegs = 6;
+        p.branchBiasedFrac = 0.80; p.biasedTakenProb = 0.995;
+        p.patternNoise = 0.003;
+        p.numStreams = 6; p.strideFrac = 0.85; p.streamPeekFrac = 0.65; p.randomHotFrac = 0.8;
+        p.workingSetBytes = 64u << 10; p.storeAliasFrac = 0.20;
+        p.loadAfterStoreFrac = 0.10;
+        p.meanTripCount = 60;
+        p.seed = 0x671b;
+        v.push_back(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "vpr";
+        p.fracLoad = 0.27; p.fracStore = 0.10; p.fracBranch = 0.14;
+        p.fracIntMul = 0.01; p.fracIntDiv = 0.002;
+        p.fracFpAdd = 0.03; p.fracFpMul = 0.02;
+        p.fracNoadic = 0.05; p.fracMonadic = 0.40; p.fracCommutative = 0.50;
+        p.depGeomP = 0.4; p.depCrossBlockFrac = 0.45; p.maxChainDepth = 30; p.addrInvariantFrac = 0.8; p.invariantFrac = 0.15; p.loadValueFrac = 0.22; p.numInvariantRegs = 8;
+        p.pointerChaseFrac = 0.06;
+        p.branchBiasedFrac = 0.70; p.biasedTakenProb = 0.98;
+        p.patternNoise = 0.012;
+        p.numStreams = 4; p.strideFrac = 0.75; p.streamPeekFrac = 0.6; p.randomHotFrac = 0.6;
+        p.workingSetBytes = 128u << 10; p.storeAliasFrac = 0.15;
+        p.loadAfterStoreFrac = 0.08;
+        p.meanTripCount = 25;
+        p.seed = 0x0bb1;
+        v.push_back(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "gcc";
+        p.fracLoad = 0.25; p.fracStore = 0.12; p.fracBranch = 0.16;
+        p.fracIntMul = 0.003; p.fracIntDiv = 0.001;
+        p.fracNoadic = 0.08; p.fracMonadic = 0.45; p.fracCommutative = 0.45;
+        p.depGeomP = 0.38; p.depCrossBlockFrac = 0.40; p.maxChainDepth = 24; p.addrInvariantFrac = 0.82; p.invariantFrac = 0.15; p.loadValueFrac = 0.25; p.numInvariantRegs = 6;
+        p.pointerChaseFrac = 0.04;
+        p.branchBiasedFrac = 0.72; p.biasedTakenProb = 0.985;
+        p.patternNoise = 0.008;
+        p.numStreams = 4; p.strideFrac = 0.75; p.streamPeekFrac = 0.6; p.randomHotFrac = 0.7;
+        p.workingSetBytes = 160u << 10; p.storeAliasFrac = 0.20;
+        p.loadAfterStoreFrac = 0.10;
+        p.numSegments = 12; p.meanLoopBlocks = 4; p.meanTripCount = 12;
+        p.seed = 0x9cc0;
+        v.push_back(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "mcf";
+        p.fracLoad = 0.33; p.fracStore = 0.09; p.fracBranch = 0.16;
+        p.fracIntMul = 0.003; p.fracIntDiv = 0.001;
+        p.fracNoadic = 0.04; p.fracMonadic = 0.45; p.fracCommutative = 0.40;
+        p.depGeomP = 0.4; p.depCrossBlockFrac = 0.7; p.maxChainDepth = 80; p.addrInvariantFrac = 0.55; p.invariantFrac = 0.1; p.loadValueFrac = 0.2; p.numInvariantRegs = 4;
+        p.pointerChaseFrac = 0.05;
+        p.branchBiasedFrac = 0.6; p.biasedTakenProb = 0.965;
+        p.patternNoise = 0.025;
+        p.numStreams = 2; p.strideFrac = 0.30; p.streamPeekFrac = 0.5; p.randomHotFrac = 0.65;
+        p.workingSetBytes = 3u << 20; p.storeAliasFrac = 0.10;
+        p.loadAfterStoreFrac = 0.04;
+        p.meanTripCount = 15;
+        p.seed = 0x3cf;
+        v.push_back(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "crafty";
+        p.fracLoad = 0.20; p.fracStore = 0.05; p.fracBranch = 0.11;
+        p.fracIntMul = 0.005; p.fracIntDiv = 0.001;
+        p.fracNoadic = 0.06; p.fracMonadic = 0.36; p.fracCommutative = 0.70;
+        p.depGeomP = 0.25; p.depCrossBlockFrac = 0.50; p.maxChainDepth = 40; p.addrInvariantFrac = 0.9; p.invariantFrac = 0.22; p.loadValueFrac = 0.22; p.numInvariantRegs = 8;
+        p.branchBiasedFrac = 0.80; p.biasedTakenProb = 0.995;
+        p.patternNoise = 0.003;
+        p.numStreams = 6; p.strideFrac = 0.85; p.streamPeekFrac = 0.65; p.randomHotFrac = 0.8;
+        p.workingSetBytes = 64u << 10; p.storeAliasFrac = 0.15;
+        p.loadAfterStoreFrac = 0.10;
+        p.meanTripCount = 30;
+        p.seed = 0xc4af;
+        v.push_back(p);
+    }
+
+    { // ---- SPECfp2000 ----
+        BenchmarkProfile p;
+        p.name = "wupwise";
+        p.floatingPoint = true;
+        p.fracLoad = 0.28; p.fracStore = 0.10; p.fracBranch = 0.04;
+        p.fracFpAdd = 0.21; p.fracFpMul = 0.18; p.fracFpDiv = 0.002;
+        p.fracNoadic = 0.03; p.fracMonadic = 0.25; p.fracCommutative = 0.65;
+        p.depGeomP = 0.25; p.depCrossBlockFrac = 0.06; p.maxChainDepth = 16; p.addrInvariantFrac = 0.93; p.invariantFrac = 0.3; p.loadValueFrac = 0.32; p.numInvariantRegs = 5;
+        p.branchBiasedFrac = 0.88; p.biasedTakenProb = 0.996;
+        p.patternNoise = 0.004;
+        p.numStreams = 12; p.strideFrac = 0.92; p.streamPeekFrac = 0.6; p.randomHotFrac = 0.7;
+        p.workingSetBytes = 384u << 10; p.storeAliasFrac = 0.08;
+        p.loadAfterStoreFrac = 0.06;
+        p.numSegments = 6; p.meanLoopBlocks = 5; p.meanTripCount = 120;
+        p.seed = 0x3013e;
+        v.push_back(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "swim";
+        p.floatingPoint = true;
+        p.fracLoad = 0.30; p.fracStore = 0.12; p.fracBranch = 0.03;
+        p.fracFpAdd = 0.24; p.fracFpMul = 0.16; p.fracFpDiv = 0.001;
+        p.fracNoadic = 0.03; p.fracMonadic = 0.22; p.fracCommutative = 0.60;
+        p.depGeomP = 0.25; p.depCrossBlockFrac = 0.04; p.maxChainDepth = 12; p.addrInvariantFrac = 0.95; p.invariantFrac = 0.25; p.loadValueFrac = 0.35; p.numInvariantRegs = 6;
+        p.branchBiasedFrac = 0.92; p.biasedTakenProb = 0.995;
+        p.patternNoise = 0.002;
+        p.numStreams = 14; p.strideFrac = 0.95; p.streamPeekFrac = 0.55; p.randomHotFrac = 0.7;
+        p.workingSetBytes = 320u << 10; p.storeAliasFrac = 0.06;
+        p.loadAfterStoreFrac = 0.04;
+        p.numSegments = 4; p.meanLoopBlocks = 4; p.meanTripCount = 250;
+        p.seed = 0x5019;
+        v.push_back(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "mgrid";
+        p.floatingPoint = true;
+        p.fracLoad = 0.32; p.fracStore = 0.07; p.fracBranch = 0.02;
+        p.fracFpAdd = 0.27; p.fracFpMul = 0.17;
+        p.fracNoadic = 0.02; p.fracMonadic = 0.20; p.fracCommutative = 0.70;
+        p.depGeomP = 0.22; p.depCrossBlockFrac = 0.03; p.maxChainDepth = 12; p.addrInvariantFrac = 0.95; p.invariantFrac = 0.25; p.loadValueFrac = 0.38; p.numInvariantRegs = 6;
+        p.branchBiasedFrac = 0.94; p.biasedTakenProb = 0.995;
+        p.patternNoise = 0.002;
+        p.numStreams = 10; p.strideFrac = 0.94; p.streamPeekFrac = 0.6; p.randomHotFrac = 0.7;
+        p.workingSetBytes = 384u << 10; p.storeAliasFrac = 0.04;
+        p.loadAfterStoreFrac = 0.03;
+        p.numSegments = 4; p.meanLoopBlocks = 5; p.meanTripCount = 300;
+        p.seed = 0x36c1d;
+        v.push_back(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "applu";
+        p.floatingPoint = true;
+        p.fracLoad = 0.28; p.fracStore = 0.10; p.fracBranch = 0.04;
+        p.fracFpAdd = 0.21; p.fracFpMul = 0.16; p.fracFpDiv = 0.008;
+        p.fracNoadic = 0.03; p.fracMonadic = 0.24; p.fracCommutative = 0.60;
+        p.depGeomP = 0.3; p.depCrossBlockFrac = 0.1; p.maxChainDepth = 18; p.addrInvariantFrac = 0.92; p.invariantFrac = 0.25; p.loadValueFrac = 0.3; p.numInvariantRegs = 6;
+        p.branchBiasedFrac = 0.88; p.biasedTakenProb = 0.993;
+        p.patternNoise = 0.003;
+        p.numStreams = 10; p.strideFrac = 0.9; p.streamPeekFrac = 0.6; p.randomHotFrac = 0.7;
+        p.workingSetBytes = 384u << 10; p.storeAliasFrac = 0.08;
+        p.loadAfterStoreFrac = 0.05;
+        p.numSegments = 6; p.meanLoopBlocks = 6; p.meanTripCount = 100;
+        p.seed = 0xa991;
+        v.push_back(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "galgel";
+        p.floatingPoint = true;
+        p.fracLoad = 0.26; p.fracStore = 0.08; p.fracBranch = 0.05;
+        p.fracFpAdd = 0.23; p.fracFpMul = 0.18; p.fracFpDiv = 0.002;
+        p.fracNoadic = 0.03; p.fracMonadic = 0.26; p.fracCommutative = 0.62;
+        p.depGeomP = 0.25; p.depCrossBlockFrac = 0.08; p.maxChainDepth = 24; p.addrInvariantFrac = 0.92; p.invariantFrac = 0.26; p.loadValueFrac = 0.3; p.numInvariantRegs = 6;
+        p.branchBiasedFrac = 0.85; p.biasedTakenProb = 0.993;
+        p.patternNoise = 0.005;
+        p.numStreams = 8; p.strideFrac = 0.9; p.streamPeekFrac = 0.6; p.randomHotFrac = 0.7;
+        p.workingSetBytes = 256u << 10; p.storeAliasFrac = 0.08;
+        p.loadAfterStoreFrac = 0.05;
+        p.numSegments = 8; p.meanLoopBlocks = 4; p.meanTripCount = 40;
+        p.seed = 0x9a19e1;
+        v.push_back(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "equake";
+        p.floatingPoint = true;
+        p.fracLoad = 0.31; p.fracStore = 0.08; p.fracBranch = 0.08;
+        p.fracFpAdd = 0.16; p.fracFpMul = 0.14; p.fracFpDiv = 0.003;
+        p.fracNoadic = 0.04; p.fracMonadic = 0.30; p.fracCommutative = 0.55;
+        p.depGeomP = 0.35; p.depCrossBlockFrac = 0.3; p.maxChainDepth = 40; p.addrInvariantFrac = 0.75; p.invariantFrac = 0.18; p.loadValueFrac = 0.25; p.numInvariantRegs = 7;
+        p.pointerChaseFrac = 0.03;
+        p.branchBiasedFrac = 0.75; p.biasedTakenProb = 0.98;
+        p.patternNoise = 0.008;
+        p.numStreams = 6; p.strideFrac = 0.75; p.streamPeekFrac = 0.55; p.randomHotFrac = 0.75;
+        p.workingSetBytes = 1u << 20; p.storeAliasFrac = 0.10;
+        p.loadAfterStoreFrac = 0.05;
+        p.numSegments = 8; p.meanLoopBlocks = 5; p.meanTripCount = 50;
+        p.seed = 0xe9ae;
+        v.push_back(p);
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "facerec";
+        p.floatingPoint = true;
+        p.fracLoad = 0.29; p.fracStore = 0.06; p.fracBranch = 0.03;
+        p.fracFpAdd = 0.27; p.fracFpMul = 0.20;
+        p.fracNoadic = 0.02; p.fracMonadic = 0.20; p.fracCommutative = 0.68;
+        p.depGeomP = 0.2; p.depCrossBlockFrac = 0.03; p.maxChainDepth = 14; p.addrInvariantFrac = 0.95; p.invariantFrac = 0.32; p.loadValueFrac = 0.38; p.numInvariantRegs = 4;
+        p.branchBiasedFrac = 0.94; p.biasedTakenProb = 0.995;
+        p.patternNoise = 0.002;
+        p.numStreams = 12; p.strideFrac = 0.94; p.streamPeekFrac = 0.6; p.randomHotFrac = 0.7;
+        p.workingSetBytes = 320u << 10; p.storeAliasFrac = 0.04;
+        p.loadAfterStoreFrac = 0.03;
+        p.numSegments = 4; p.meanLoopBlocks = 4; p.meanTripCount = 200;
+        p.seed = 0xfacee;
+        v.push_back(p);
+    }
+
+    return v;
+}
+
+} // namespace
+
+const std::vector<BenchmarkProfile> &
+allProfiles()
+{
+    static const std::vector<BenchmarkProfile> profiles = makeProfiles();
+    return profiles;
+}
+
+std::vector<BenchmarkProfile>
+integerProfiles()
+{
+    std::vector<BenchmarkProfile> out;
+    for (const auto &p : allProfiles())
+        if (!p.floatingPoint)
+            out.push_back(p);
+    return out;
+}
+
+std::vector<BenchmarkProfile>
+floatProfiles()
+{
+    std::vector<BenchmarkProfile> out;
+    for (const auto &p : allProfiles())
+        if (p.floatingPoint)
+            out.push_back(p);
+    return out;
+}
+
+const BenchmarkProfile &
+findProfile(std::string_view name)
+{
+    for (const auto &p : allProfiles())
+        if (p.name == name)
+            return p;
+    fatal("unknown benchmark profile '%.*s'",
+          static_cast<int>(name.size()), name.data());
+}
+
+} // namespace wsrs::workload

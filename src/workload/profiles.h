@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Registry of the 12 calibrated SPEC CPU2000 stand-in profiles.
+ *
+ * The paper simulates 5 SPECint2000 (gzip, vpr, gcc, mcf, crafty) and
+ * 7 SPECfp2000 (wupwise, swim, mgrid, applu, galgel, equake, facerec)
+ * benchmarks. Each profile below encodes the published qualitative
+ * behaviour of its benchmark (see profiles.cc for the per-benchmark
+ * rationale); absolute IPCs are calibrated to the ranges of Figure 4.
+ */
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "src/workload/profile.h"
+
+namespace wsrs::workload {
+
+/** All registered profiles, integer benchmarks first (paper order). */
+const std::vector<BenchmarkProfile> &allProfiles();
+
+/** The 5 SPECint2000 stand-ins in paper order. */
+std::vector<BenchmarkProfile> integerProfiles();
+
+/** The 7 SPECfp2000 stand-ins in paper order. */
+std::vector<BenchmarkProfile> floatProfiles();
+
+/** Look a profile up by name; wsrs::fatal on unknown names. */
+const BenchmarkProfile &findProfile(std::string_view name);
+
+} // namespace wsrs::workload

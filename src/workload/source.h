@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Abstract micro-op source consumed by the execution core: implemented by
+ * the synthetic TraceGenerator and by TraceReader (pre-recorded traces),
+ * so real traces in the micro-op format can drive the simulator.
+ */
+#pragma once
+
+#include "src/isa/micro_op.h"
+
+namespace wsrs::workload {
+
+/** Infinite in-order stream of micro-ops. */
+class MicroOpSource
+{
+  public:
+    virtual ~MicroOpSource() = default;
+
+    /** Produce the next dynamic micro-op (program order). */
+    virtual isa::MicroOp next() = 0;
+};
+
+} // namespace wsrs::workload

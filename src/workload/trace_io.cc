@@ -1,0 +1,146 @@
+#include "trace_io.h"
+
+#include <array>
+#include <cstring>
+
+#include "src/common/log.h"
+
+namespace wsrs::workload {
+
+namespace {
+
+constexpr char kMagic[8] = {'W', 'S', 'R', 'S', 'T', 'R', 'C', '1'};
+constexpr std::size_t kHeaderBytes = 16;
+constexpr std::size_t kRecordBytes = 30;
+
+void
+encodeU64(std::uint8_t *p, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint64_t
+decodeU64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= std::uint64_t{p[i]} << (8 * i);
+    return v;
+}
+
+std::array<std::uint8_t, kRecordBytes>
+encodeRecord(const isa::MicroOp &op)
+{
+    std::array<std::uint8_t, kRecordBytes> rec{};
+    encodeU64(&rec[0], op.pc);
+    encodeU64(&rec[8], op.effAddr);
+    encodeU64(&rec[16], op.target);
+    rec[24] = static_cast<std::uint8_t>(op.op);
+    rec[25] = op.src1;
+    rec[26] = op.src2;
+    rec[27] = op.dst;
+    rec[28] = static_cast<std::uint8_t>((op.commutative ? 1 : 0) |
+                                        (op.taken ? 2 : 0));
+    rec[29] = 0;
+    return rec;
+}
+
+isa::MicroOp
+decodeRecord(const std::array<std::uint8_t, kRecordBytes> &rec)
+{
+    isa::MicroOp op;
+    op.pc = decodeU64(&rec[0]);
+    op.effAddr = decodeU64(&rec[8]);
+    op.target = decodeU64(&rec[16]);
+    if (rec[24] >= isa::kNumOpClasses)
+        fatal("trace record has invalid op class %u", rec[24]);
+    op.op = static_cast<isa::OpClass>(rec[24]);
+    op.src1 = rec[25];
+    op.src2 = rec[26];
+    op.dst = rec[27];
+    op.commutative = rec[28] & 1;
+    op.taken = rec[28] & 2;
+    return op;
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+    : out_(path, std::ios::binary | std::ios::trunc), path_(path)
+{
+    if (!out_)
+        fatal("cannot open trace file '%s' for writing", path.c_str());
+    std::uint8_t header[kHeaderBytes] = {};
+    std::memcpy(header, kMagic, sizeof(kMagic));
+    encodeU64(header + 8, 0);  // patched in close()
+    out_.write(reinterpret_cast<const char *>(header), kHeaderBytes);
+}
+
+TraceWriter::~TraceWriter()
+{
+    if (!closed_)
+        close();
+}
+
+void
+TraceWriter::append(const isa::MicroOp &op)
+{
+    WSRS_ASSERT(!closed_);
+    const auto rec = encodeRecord(op);
+    out_.write(reinterpret_cast<const char *>(rec.data()), rec.size());
+    ++count_;
+}
+
+void
+TraceWriter::close()
+{
+    if (closed_)
+        return;
+    closed_ = true;
+    out_.seekp(8);
+    std::uint8_t buf[8];
+    encodeU64(buf, count_);
+    out_.write(reinterpret_cast<const char *>(buf), 8);
+    out_.flush();
+    if (!out_)
+        fatal("error writing trace file '%s'", path_.c_str());
+    out_.close();
+}
+
+TraceReader::TraceReader(const std::string &path, bool wrap)
+    : in_(path, std::ios::binary), path_(path), wrap_(wrap)
+{
+    if (!in_)
+        fatal("cannot open trace file '%s'", path.c_str());
+    std::uint8_t header[kHeaderBytes];
+    in_.read(reinterpret_cast<char *>(header), kHeaderBytes);
+    if (!in_ || std::memcmp(header, kMagic, sizeof(kMagic)) != 0)
+        fatal("'%s' is not a wsrs trace file (bad magic)", path.c_str());
+    count_ = decodeU64(header + 8);
+    if (count_ == 0)
+        fatal("trace file '%s' contains no records", path.c_str());
+}
+
+isa::MicroOp
+TraceReader::next()
+{
+    if (cursor_ >= count_) {
+        if (!wrap_)
+            fatal("trace file '%s' exhausted after %llu records",
+                  path_.c_str(), static_cast<unsigned long long>(count_));
+        in_.clear();
+        in_.seekg(kHeaderBytes);
+        cursor_ = 0;
+    }
+    std::array<std::uint8_t, kRecordBytes> rec;
+    in_.read(reinterpret_cast<char *>(rec.data()), rec.size());
+    if (!in_)
+        fatal("error reading trace file '%s'", path_.c_str());
+    ++cursor_;
+    isa::MicroOp op = decodeRecord(rec);
+    op.seq = produced_++;
+    return op;
+}
+
+} // namespace wsrs::workload

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Binary micro-op trace files.
+ *
+ * Format (little-endian, fixed-size records):
+ *
+ *   offset 0: magic "WSRSTRC1" (8 bytes)
+ *   offset 8: uint64 record count
+ *   then per micro-op a 30-byte record:
+ *     pc(8) effAddr(8) target(8) op(1) src1(1) src2(1) dst(1) flags(2)
+ *   flags bit 0: commutative, bit 1: taken.
+ *
+ * Sequence numbers are implicit (record index). TraceReader implements
+ * MicroOpSource; by default it rewinds at end of file so finite traces
+ * can drive arbitrarily long simulations (set wrap=false to fatal at EOF
+ * instead).
+ */
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "src/workload/source.h"
+
+namespace wsrs::workload {
+
+/** Streaming writer for the binary trace format. */
+class TraceWriter
+{
+  public:
+    /** Open @p path for writing; wsrs::fatal on failure. */
+    explicit TraceWriter(const std::string &path);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Append one micro-op (its seq is ignored; index is implicit). */
+    void append(const isa::MicroOp &op);
+
+    /** Finalize the header; called automatically by the destructor. */
+    void close();
+
+    std::uint64_t written() const { return count_; }
+
+  private:
+    std::ofstream out_;
+    std::string path_;
+    std::uint64_t count_ = 0;
+    bool closed_ = false;
+};
+
+/** MicroOpSource reading a binary trace file. */
+class TraceReader : public MicroOpSource
+{
+  public:
+    /**
+     * Open @p path; wsrs::fatal on missing file or bad magic.
+     * @param wrap rewind at end of file (default) instead of failing.
+     */
+    explicit TraceReader(const std::string &path, bool wrap = true);
+
+    isa::MicroOp next() override;
+
+    std::uint64_t records() const { return count_; }
+    std::uint64_t produced() const { return produced_; }
+
+  private:
+    std::ifstream in_;
+    std::string path_;
+    std::uint64_t count_ = 0;
+    std::uint64_t cursor_ = 0;    ///< Record index of the next read.
+    std::uint64_t produced_ = 0;  ///< Micro-ops handed out (seq numbers).
+    bool wrap_;
+};
+
+} // namespace wsrs::workload

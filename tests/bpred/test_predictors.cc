@@ -1,0 +1,188 @@
+/** @file Accuracy and behaviour tests for the direction predictors. */
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/bpred/simple_predictors.h"
+#include "src/bpred/tournament.h"
+#include "src/bpred/two_bc_gskew.h"
+#include "src/common/rng.h"
+
+namespace wsrs::bpred {
+namespace {
+
+/** Run a stream and return the misprediction rate. */
+template <typename Outcome>
+double
+mispredictRate(BranchPredictor &bp, unsigned n, Outcome &&outcome)
+{
+    unsigned wrong = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        const auto [pc, taken] = outcome(i);
+        if (bp.lookup(pc) != taken)
+            ++wrong;
+        bp.update(pc, taken);
+    }
+    return double(wrong) / n;
+}
+
+TEST(TwoBcGskew, LearnsStronglyBiasedBranch)
+{
+    TwoBcGskew bp;
+    XorShiftRng rng(1);
+    const double rate = mispredictRate(bp, 50000, [&](unsigned) {
+        return std::pair<Addr, bool>{0x4000, rng.chance(0.98)};
+    });
+    // An ideal predictor mispredicts ~2%; allow a small learning margin.
+    EXPECT_LT(rate, 0.035);
+}
+
+TEST(TwoBcGskew, LearnsShortLoop)
+{
+    TwoBcGskew bp;
+    // Loop branch: taken 9 times, not taken once. History captures the
+    // period, so steady-state accuracy should be near-perfect.
+    unsigned i = 0;
+    const double rate = mispredictRate(bp, 50000, [&](unsigned) {
+        const bool taken = (i++ % 10) != 9;
+        return std::pair<Addr, bool>{0x4100, taken};
+    });
+    EXPECT_LT(rate, 0.02);
+}
+
+TEST(TwoBcGskew, LearnsRepeatingPattern)
+{
+    TwoBcGskew bp;
+    const std::uint16_t pattern = 0xb5a3;
+    unsigned i = 0;
+    const double rate = mispredictRate(bp, 50000, [&](unsigned) {
+        const bool taken = (pattern >> (i++ % 16)) & 1;
+        return std::pair<Addr, bool>{0x4200, taken};
+    });
+    EXPECT_LT(rate, 0.02);
+}
+
+TEST(TwoBcGskew, HandlesManyIndependentBiasedSites)
+{
+    TwoBcGskew bp;
+    XorShiftRng rng(7);
+    // 256 sites, each with its own strong bias direction.
+    const double rate = mispredictRate(bp, 200000, [&](unsigned i) {
+        const unsigned site = i % 256;
+        const bool bias_taken = site & 1;
+        const bool taken = rng.chance(bias_taken ? 0.97 : 0.03);
+        return std::pair<Addr, bool>{0x8000 + 4 * site, taken};
+    });
+    EXPECT_LT(rate, 0.05);
+}
+
+TEST(TwoBcGskew, BeatsBimodalOnCorrelatedPattern)
+{
+    // Alternating branch: bimodal oscillates, history-based learns it.
+    TwoBcGskew gskew;
+    BimodalPredictor bimodal;
+    unsigned i = 0, j = 0;
+    const double g = mispredictRate(gskew, 30000, [&](unsigned) {
+        return std::pair<Addr, bool>{0x5000, (i++ % 2) == 0};
+    });
+    const double b = mispredictRate(bimodal, 30000, [&](unsigned) {
+        return std::pair<Addr, bool>{0x5000, (j++ % 2) == 0};
+    });
+    EXPECT_LT(g, 0.02);
+    EXPECT_GT(b, 0.3);
+}
+
+TEST(TwoBcGskew, StorageBudgetIs512Kbit)
+{
+    TwoBcGskew bp;
+    EXPECT_EQ(bp.storageBits(), 512u * 1024);
+}
+
+TEST(Gshare, LearnsPattern)
+{
+    GsharePredictor bp;
+    unsigned i = 0;
+    const double rate = mispredictRate(bp, 30000, [&](unsigned) {
+        const bool taken = (0x35 >> (i++ % 8)) & 1;
+        return std::pair<Addr, bool>{0x6000, taken};
+    });
+    EXPECT_LT(rate, 0.02);
+}
+
+TEST(Bimodal, LearnsBias)
+{
+    BimodalPredictor bp;
+    XorShiftRng rng(3);
+    const double rate = mispredictRate(bp, 30000, [&](unsigned) {
+        return std::pair<Addr, bool>{0x7000, rng.chance(0.95)};
+    });
+    EXPECT_LT(rate, 0.11);
+    EXPECT_GT(rate, 0.03);
+}
+
+
+TEST(Tournament, LocalHistoryLearnsPerBranchPattern)
+{
+    // Two interleaved branches with different short patterns: local
+    // history separates them where a global-only predictor aliases.
+    TournamentPredictor bp;
+    unsigned i = 0, j = 0;
+    const double rate = mispredictRate(bp, 60000, [&](unsigned n) {
+        if (n % 2 == 0)
+            return std::pair<Addr, bool>{0x9000, (i++ % 3) != 2};
+        return std::pair<Addr, bool>{0x9100, (j++ % 5) != 4};
+    });
+    EXPECT_LT(rate, 0.05);
+}
+
+TEST(Tournament, LearnsBiasedBranch)
+{
+    TournamentPredictor bp;
+    XorShiftRng rng(21);
+    const double rate = mispredictRate(bp, 50000, [&](unsigned) {
+        return std::pair<Addr, bool>{0xa000, rng.chance(0.97)};
+    });
+    EXPECT_LT(rate, 0.05);
+}
+
+TEST(Tournament, StorageBudgetIsEv6Class)
+{
+    TournamentPredictor bp;
+    // EV6's predictor was ~36 Kbit; ours is in the same class and far
+    // below the EV8-class 512 Kbit budget.
+    EXPECT_GT(bp.storageBits(), 16u * 1024);
+    EXPECT_LT(bp.storageBits(), 64u * 1024);
+}
+
+TEST(Perfect, NeverCountsAsMispredicted)
+{
+    PerfectPredictor bp;
+    EXPECT_TRUE(bp.isPerfect());
+    EXPECT_EQ(bp.storageBits(), 0u);
+}
+
+TEST(SatCounter, SaturatesBothEnds)
+{
+    SatCounter c(2, 0);
+    EXPECT_FALSE(c.taken());
+    for (int i = 0; i < 10; ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), 3);
+    EXPECT_TRUE(c.taken());
+    for (int i = 0; i < 10; ++i)
+        c.decrement();
+    EXPECT_EQ(c.value(), 0);
+}
+
+TEST(SatCounter, TrainMovesTowardOutcome)
+{
+    SatCounter c(2, 1);
+    c.train(true);
+    EXPECT_EQ(c.value(), 2);
+    c.train(false);
+    c.train(false);
+    EXPECT_EQ(c.value(), 0);
+}
+
+} // namespace
+} // namespace wsrs::bpred

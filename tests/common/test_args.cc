@@ -1,0 +1,102 @@
+/** @file Unit tests for the command-line parser. */
+#include <gtest/gtest.h>
+
+#include "src/common/args.h"
+#include "src/common/log.h"
+
+namespace wsrs {
+namespace {
+
+ArgParser
+makeParser()
+{
+    ArgParser p;
+    p.addOption("bench", "benchmark");
+    p.addOption("uops", "count");
+    p.addOption("ratio", "a double");
+    p.addOption("verify", "flag", true);
+    return p;
+}
+
+void
+parse(ArgParser &p, std::initializer_list<const char *> argv_tail)
+{
+    std::vector<const char *> argv = {"prog"};
+    argv.insert(argv.end(), argv_tail.begin(), argv_tail.end());
+    p.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgParser, EqualsSyntax)
+{
+    ArgParser p = makeParser();
+    parse(p, {"--bench=gzip", "--uops=123"});
+    EXPECT_EQ(p.get("bench"), "gzip");
+    EXPECT_EQ(p.getUint("uops", 0), 123u);
+}
+
+TEST(ArgParser, SpaceSyntax)
+{
+    ArgParser p = makeParser();
+    parse(p, {"--bench", "swim"});
+    EXPECT_EQ(p.get("bench"), "swim");
+}
+
+TEST(ArgParser, FlagsAndDefaults)
+{
+    ArgParser p = makeParser();
+    parse(p, {"--verify"});
+    EXPECT_TRUE(p.has("verify"));
+    EXPECT_FALSE(p.has("bench"));
+    EXPECT_EQ(p.get("bench", "gzip"), "gzip");
+    EXPECT_EQ(p.getUint("uops", 77), 77u);
+    EXPECT_DOUBLE_EQ(p.getDouble("ratio", 0.5), 0.5);
+}
+
+TEST(ArgParser, DoubleParsing)
+{
+    ArgParser p = makeParser();
+    parse(p, {"--ratio=0.25"});
+    EXPECT_DOUBLE_EQ(p.getDouble("ratio", 0), 0.25);
+}
+
+TEST(ArgParser, PositionalArguments)
+{
+    ArgParser p = makeParser();
+    parse(p, {"one", "--bench=gzip", "two"});
+    ASSERT_EQ(p.positional().size(), 2u);
+    EXPECT_EQ(p.positional()[0], "one");
+    EXPECT_EQ(p.positional()[1], "two");
+}
+
+TEST(ArgParser, Rejections)
+{
+    {
+        ArgParser p = makeParser();
+        EXPECT_THROW(parse(p, {"--nope=1"}), FatalError);
+    }
+    {
+        ArgParser p = makeParser();
+        EXPECT_THROW(parse(p, {"--verify=1"}), FatalError);
+    }
+    {
+        ArgParser p = makeParser();
+        EXPECT_THROW(parse(p, {"--bench"}), FatalError);
+    }
+    {
+        ArgParser p = makeParser();
+        parse(p, {"--uops=12x"});
+        EXPECT_THROW(p.getUint("uops", 0), FatalError);
+    }
+}
+
+TEST(ArgParser, UsageListsOptions)
+{
+    ArgParser p = makeParser();
+    const std::string u = p.usage("tool");
+    EXPECT_NE(u.find("--bench"), std::string::npos);
+    EXPECT_NE(u.find("--verify"), std::string::npos);
+    EXPECT_NE(u.find("usage: tool"), std::string::npos);
+}
+
+} // namespace
+} // namespace wsrs

@@ -1,0 +1,37 @@
+/** @file Unit tests for the dataflow hashing helpers. */
+#include <gtest/gtest.h>
+
+#include "src/common/hash.h"
+
+namespace wsrs {
+namespace {
+
+TEST(Hash, Mix64Deterministic)
+{
+    EXPECT_EQ(mix64(12345), mix64(12345));
+    EXPECT_NE(mix64(12345), mix64(12346));
+}
+
+TEST(Hash, MixCombineOrderSensitive)
+{
+    EXPECT_NE(mixCombine(1, 2), mixCombine(2, 1));
+}
+
+TEST(Hash, ExecuteHashDependsOnAllInputs)
+{
+    const auto base = executeHash(1, 2, 3);
+    EXPECT_NE(base, executeHash(9, 2, 3));
+    EXPECT_NE(base, executeHash(1, 9, 3));
+    EXPECT_NE(base, executeHash(1, 2, 9));
+}
+
+TEST(Hash, NoObviousFixedPoint)
+{
+    // All-zero operands must not hash to zero (would mask missing
+    // operands when values are combined downstream).
+    EXPECT_NE(executeHash(0, 0, 0), 0u);
+    EXPECT_NE(mixCombine(0, 0), 0u);
+}
+
+} // namespace
+} // namespace wsrs

@@ -1,0 +1,84 @@
+/** @file Unit tests for the deterministic RNG. */
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace wsrs {
+namespace {
+
+TEST(XorShiftRng, SameSeedSameStream)
+{
+    XorShiftRng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(XorShiftRng, DifferentSeedsDiverge)
+{
+    XorShiftRng a(1), b(2);
+    int diff = 0;
+    for (int i = 0; i < 100; ++i)
+        diff += a.next() != b.next();
+    EXPECT_GT(diff, 90);
+}
+
+TEST(XorShiftRng, BelowStaysInBounds)
+{
+    XorShiftRng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(XorShiftRng, RangeInclusive)
+{
+    XorShiftRng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.range(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(XorShiftRng, UniformInUnitInterval)
+{
+    XorShiftRng rng(11);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(XorShiftRng, ChanceMatchesProbability)
+{
+    XorShiftRng rng(13);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(double(hits) / n, 0.3, 0.02);
+}
+
+TEST(XorShiftRng, GeometricMeanApproxInverseP)
+{
+    XorShiftRng rng(17);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += double(rng.geometric(0.25));
+    EXPECT_NEAR(sum / n, 4.0, 0.25);
+}
+
+} // namespace
+} // namespace wsrs

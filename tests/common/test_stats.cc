@@ -1,0 +1,112 @@
+/** @file Unit tests for the statistics package. */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/common/stats.h"
+
+namespace wsrs {
+namespace {
+
+TEST(Stats, CounterIncrements)
+{
+    StatGroup g("g");
+    Counter c(g, "c", "a counter");
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 4;
+    EXPECT_EQ(c.value(), 5u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, AverageMean)
+{
+    StatGroup g("g");
+    Average a(g, "a", "an average");
+    EXPECT_EQ(a.mean(), 0.0);
+    a.sample(1.0);
+    a.sample(2.0);
+    a.sample(6.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+    EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(Stats, HistogramBucketsAndClamp)
+{
+    StatGroup g("g");
+    Histogram h(g, "h", "a histogram", 4);
+    h.sample(0);
+    h.sample(1, 2);
+    h.sample(9);  // clamps into last bucket
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 2u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.samples(), 4u);
+    EXPECT_DOUBLE_EQ(h.mean(), (0 + 1 + 1 + 9) / 4.0);
+}
+
+TEST(Stats, GroupDumpContainsNamesAndValues)
+{
+    StatGroup g("core");
+    Counter c(g, "commits", "committed ops");
+    c += 17;
+    std::ostringstream os;
+    g.dump(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("core.commits"), std::string::npos);
+    EXPECT_NE(text.find("17"), std::string::npos);
+    EXPECT_NE(text.find("committed ops"), std::string::npos);
+}
+
+
+TEST(Stats, FormulaComputesAtDumpTime)
+{
+    StatGroup g("g");
+    Counter commits(g, "commits", "");
+    Counter cycles(g, "cycles", "");
+    Formula ipc(g, "ipc", "commits per cycle", [&] {
+        return cycles.value() ? double(commits.value()) / cycles.value()
+                              : 0.0;
+    });
+    commits += 30;
+    cycles += 10;
+    EXPECT_DOUBLE_EQ(ipc.value(), 3.0);
+    commits += 10;
+    EXPECT_DOUBLE_EQ(ipc.value(), 4.0);
+}
+
+TEST(Stats, JsonDumpIsWellFormed)
+{
+    StatGroup g("core");
+    Counter c(g, "commits", "");
+    Average a(g, "occ", "");
+    Histogram h(g, "width", "", 3);
+    Formula f(g, "two", "", [] { return 2.0; });
+    c += 5;
+    a.sample(1.5);
+    h.sample(2);
+    std::ostringstream os;
+    g.dumpJson(os);
+    const std::string j = os.str();
+    EXPECT_EQ(j.front(), '{');
+    EXPECT_EQ(j.back(), '}');
+    EXPECT_NE(j.find("\"core.commits\": 5"), std::string::npos);
+    EXPECT_NE(j.find("\"core.width\": [0, 0, 1]"), std::string::npos);
+    EXPECT_NE(j.find("\"core.two\": 2"), std::string::npos);
+}
+
+TEST(Stats, GroupResetAll)
+{
+    StatGroup g("g");
+    Counter c(g, "c", "");
+    Average a(g, "a", "");
+    c += 3;
+    a.sample(5);
+    g.resetAll();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(a.count(), 0u);
+}
+
+} // namespace
+} // namespace wsrs

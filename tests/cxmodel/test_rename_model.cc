@@ -1,0 +1,84 @@
+/** @file Tests for the renaming-hardware complexity model. */
+#include <gtest/gtest.h>
+
+#include "src/cxmodel/rename_model.h"
+#include "src/sim/presets.h"
+
+namespace wsrs::cxmodel {
+namespace {
+
+TEST(RenameModel, ConventionalBaseline)
+{
+    const RenameComplexity r =
+        analyzeRename(sim::presetConventional(256));
+    EXPECT_EQ(r.mapReadPorts, 16u);   // 2 sources x 8-wide rename.
+    EXPECT_EQ(r.mapWritePorts, 8u);
+    EXPECT_EQ(r.freeLists, 1u);
+    EXPECT_EQ(r.freeListPopsPerCycle, 8u);
+    EXPECT_EQ(r.recyclerEntries, 0u);
+    EXPECT_EQ(r.extraStages, 0u);
+    EXPECT_EQ(r.subsetTrackerBits, 0u);
+}
+
+TEST(RenameModel, WriteSpecAddsFreeListsNotStages)
+{
+    // Paper 2.4: with static allocation neither implementation adds
+    // stages, but one free list per subset appears.
+    const RenameComplexity r = analyzeRename(sim::presetWriteSpec(512));
+    EXPECT_EQ(r.freeLists, 4u);
+    EXPECT_EQ(r.extraStages, 0u);
+}
+
+TEST(RenameModel, WsrsStageCountsMatchSection32)
+{
+    // 1 extra stage with Impl-1, 3 with Impl-2.
+    EXPECT_EQ(analyzeRename(sim::presetWsrsRc(
+                                512, core::RenameImpl::OverPickRecycle))
+                  .extraStages,
+              1u);
+    EXPECT_EQ(analyzeRename(
+                  sim::presetWsrsRc(512, core::RenameImpl::ExactCount))
+                  .extraStages,
+              3u);
+}
+
+TEST(RenameModel, Impl1PaysPopsAndRecycler)
+{
+    const RenameComplexity impl1 = analyzeRename(
+        sim::presetWsrsRc(512, core::RenameImpl::OverPickRecycle));
+    const RenameComplexity impl2 = analyzeRename(
+        sim::presetWsrsRc(512, core::RenameImpl::ExactCount));
+    // Impl-1 pops W from every list; Impl-2 exactly W.
+    EXPECT_EQ(impl1.freeListPopsPerCycle, 32u);
+    EXPECT_EQ(impl2.freeListPopsPerCycle, 8u);
+    EXPECT_GT(impl1.recyclerEntries, 0u);
+    EXPECT_EQ(impl2.recyclerEntries, 0u);
+}
+
+TEST(RenameModel, WsrsTracksSubsetBitsPerLogicalRegister)
+{
+    // The f/s vectors: two bits per logical register (section 3.2).
+    const RenameComplexity r = analyzeRename(sim::presetWsrsRc(512));
+    EXPECT_EQ(r.subsetTrackerBits, 2u * 80);
+    EXPECT_EQ(analyzeRename(sim::presetWriteSpec(512)).subsetTrackerBits,
+              0u);
+}
+
+TEST(RenameModel, DependencyComparatorsQuadraticInWidth)
+{
+    core::CoreParams p = sim::presetConventional(256);
+    EXPECT_EQ(analyzeRename(p).dependencyComparators, 8u * 7);
+    p.fetchWidth = 4;
+    EXPECT_EQ(analyzeRename(p).dependencyComparators, 4u * 3);
+}
+
+TEST(RenameModel, TableCoversTheMachines)
+{
+    const auto table = renameComplexityTable();
+    ASSERT_EQ(table.size(), 5u);
+    EXPECT_EQ(table[0].name, "RR-256");
+    EXPECT_EQ(table[2].name, "WSP-512");
+}
+
+} // namespace
+} // namespace wsrs::cxmodel

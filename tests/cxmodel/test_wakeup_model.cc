@@ -1,0 +1,91 @@
+/** @file Tests for the wake-up/selection/bypass complexity model. */
+#include <gtest/gtest.h>
+
+#include "src/cxmodel/wakeup_model.h"
+
+namespace wsrs::cxmodel {
+namespace {
+
+TEST(WakeupModel, Section432HeadlineClaim)
+{
+    // "A wake-up logic entry on a 8-way 4-cluster WSRS architecture
+    // features only the same number of comparators as the one of a 4-way
+    // issue conventional processor."
+    EXPECT_EQ(comparatorsPerEntry(makeWsrs8Way()),
+              comparatorsPerEntry(makeConventional4Way()));
+    // And half of the conventional 8-way machine's.
+    EXPECT_EQ(2 * comparatorsPerEntry(makeWsrs8Way()),
+              comparatorsPerEntry(makeConventional8Way()));
+}
+
+TEST(WakeupModel, ComparatorCounts)
+{
+    EXPECT_EQ(comparatorsPerEntry(makeConventional8Way()), 24u);
+    EXPECT_EQ(comparatorsPerEntry(makeWsrs8Way()), 12u);
+    EXPECT_EQ(totalComparators(makeConventional8Way()), 24u * 56 * 4);
+    EXPECT_EQ(totalComparators(makeWsrs8Way()), 12u * 56 * 4);
+}
+
+TEST(WakeupModel, DelayReproducesPalacharla46Percent)
+{
+    // Paper section 4.3.2 quoting [14]: doubling sources 4 -> 8 costs 46%.
+    SchedulerOrg four = makeConventional4Way();
+    four.producersVisible = 4;
+    SchedulerOrg eight = four;
+    eight.producersVisible = 8;
+    EXPECT_NEAR(relativeWakeupDelay(eight) / relativeWakeupDelay(four),
+                1.46, 1e-9);
+}
+
+TEST(WakeupModel, WsrsWakeupFasterThanConventional8Way)
+{
+    EXPECT_LT(relativeWakeupDelay(makeWsrs8Way()),
+              relativeWakeupDelay(makeConventional8Way()));
+    EXPECT_DOUBLE_EQ(relativeWakeupDelay(makeWsrs8Way()),
+                     relativeWakeupDelay(makeConventional4Way()));
+}
+
+TEST(WakeupModel, BypassSourcesMatchTable1Column)
+{
+    // Consistency with Table 1 at the 5 GHz pipeline lengths.
+    SchedulerOrg conv = makeConventional8Way();
+    conv.regReadWritePipe = 5;
+    EXPECT_EQ(bypassSources(conv), 61u);  // noWS-M @5GHz
+    EXPECT_EQ(bypassSources(makeWsrs8Way()),
+              2u * 6 + 1);  // X=2 at the simulated clock
+}
+
+TEST(WakeupModel, SevenClusterExtensionKeepsEntryComplexity)
+{
+    // Section 7: 14-way, yet the wake-up entry stays at 2-cluster level.
+    EXPECT_EQ(comparatorsPerEntry(makeWsrs7Cluster14Way()),
+              comparatorsPerEntry(makeConventional4Way()));
+    EXPECT_EQ(bypassSources(makeWsrs7Cluster14Way()),
+              bypassSources(makeWsrs8Way()));
+}
+
+TEST(WakeupModel, SelectionTreeDepthIsLogarithmic)
+{
+    SchedulerOrg org = makeConventional8Way();
+    org.windowPerCluster = 1;
+    EXPECT_EQ(selectionTreeDepth(org), 0u);
+    org.windowPerCluster = 4;
+    EXPECT_EQ(selectionTreeDepth(org), 1u);
+    org.windowPerCluster = 56;
+    EXPECT_EQ(selectionTreeDepth(org), 3u);
+    org.windowPerCluster = 64;
+    EXPECT_EQ(selectionTreeDepth(org), 3u);
+    org.windowPerCluster = 65;
+    EXPECT_EQ(selectionTreeDepth(org), 4u);
+}
+
+TEST(WakeupModel, OrganizationListOrder)
+{
+    const auto orgs = section43Organizations();
+    ASSERT_EQ(orgs.size(), 5u);
+    EXPECT_EQ(orgs[0].name, "noWS 8-way");
+    EXPECT_EQ(orgs[2].name, "WSRS 8-way");
+}
+
+} // namespace
+} // namespace wsrs::cxmodel

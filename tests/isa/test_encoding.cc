@@ -1,0 +1,162 @@
+/** @file Tests for the instruction encoding and decode-time expansion. */
+#include <gtest/gtest.h>
+
+#include "src/common/log.h"
+#include "src/isa/encoding.h"
+
+namespace wsrs::isa {
+namespace {
+
+TEST(Encoding, RoundTripEveryOpClass)
+{
+    for (std::size_t i = 0; i < kNumOpClasses; ++i) {
+        StaticInst inst;
+        inst.op = static_cast<OpClass>(i);
+        inst.src1 = 3;
+        if (inst.op != OpClass::Store)
+            inst.dst = 7;
+        const StaticInst back = decode(encode(inst));
+        EXPECT_EQ(back.op, inst.op);
+        EXPECT_EQ(back.dst, inst.dst);
+        EXPECT_EQ(back.src1, inst.src1);
+        EXPECT_EQ(back.src2, inst.src2);
+        EXPECT_FALSE(back.indexed);
+    }
+}
+
+TEST(Encoding, RoundTripAllFields)
+{
+    StaticInst inst;
+    inst.op = OpClass::IntAlu;
+    inst.dst = 79;
+    inst.src1 = 0;
+    inst.src2 = 42;
+    inst.commutative = true;
+    const StaticInst back = decode(encode(inst));
+    EXPECT_EQ(back.dst, 79);
+    EXPECT_EQ(back.src1, 0);
+    EXPECT_EQ(back.src2, 42);
+    EXPECT_TRUE(back.commutative);
+}
+
+TEST(Encoding, IndexedFormsRoundTrip)
+{
+    StaticInst st;
+    st.op = OpClass::Store;
+    st.indexed = true;
+    st.src1 = 5;
+    st.src2 = 6;
+    st.dst = 7;  // data register
+    const StaticInst back = decode(encode(st));
+    EXPECT_TRUE(back.indexed);
+    EXPECT_EQ(back.op, OpClass::Store);
+
+    StaticInst ld;
+    ld.op = OpClass::Load;
+    ld.indexed = true;
+    ld.src1 = 5;
+    ld.src2 = 6;
+    ld.dst = 8;
+    EXPECT_TRUE(decode(encode(ld)).indexed);
+}
+
+TEST(Encoding, RejectsIllegalForms)
+{
+    {
+        StaticInst inst;
+        inst.op = OpClass::IntAlu;
+        inst.indexed = true;  // only memory ops have an indexed form
+        EXPECT_THROW(encode(inst), FatalError);
+    }
+    {
+        StaticInst inst;
+        inst.op = OpClass::Store;
+        inst.dst = 3;  // plain stores have no result
+        EXPECT_THROW(encode(inst), FatalError);
+    }
+    {
+        StaticInst inst;
+        inst.op = OpClass::IntAlu;
+        inst.commutative = true;  // needs two sources
+        inst.src1 = 1;
+        EXPECT_THROW(encode(inst), FatalError);
+    }
+}
+
+TEST(Encoding, RejectsMalformedWords)
+{
+    EXPECT_THROW(decode(0x00000001u), FatalError);  // reserved bits
+    EXPECT_THROW(decode(0xffffffe0u), FatalError);  // bad opcode
+    // dst field = 100 (> 79, != sentinel).
+    StaticInst ok;
+    ok.op = OpClass::IntAlu;
+    ok.dst = 5;
+    InstWord w = encode(ok);
+    w = (w & ~(0x7fu << 20)) | (100u << 20);
+    EXPECT_THROW(decode(w), FatalError);
+}
+
+TEST(Expand, PlainInstructionIsOneMicroOp)
+{
+    StaticInst inst;
+    inst.op = OpClass::FpMul;
+    inst.src1 = 1;
+    inst.src2 = 2;
+    inst.dst = 3;
+    inst.commutative = true;
+    MicroOp uops[2];
+    ASSERT_EQ(expand(inst, 0x400, uops), 1u);
+    EXPECT_EQ(uops[0].op, OpClass::FpMul);
+    EXPECT_EQ(uops[0].pc, 0x400u);
+    EXPECT_TRUE(uops[0].commutative);
+    EXPECT_EQ(uops[0].numSrcs(), 2u);
+}
+
+TEST(Expand, IndexedStoreSplitsIntoAgenPlusStore)
+{
+    // Section 5.1.1: every micro-op entering the core has at most two
+    // register sources.
+    StaticInst inst;
+    inst.op = OpClass::Store;
+    inst.indexed = true;
+    inst.src1 = 10;  // base
+    inst.src2 = 11;  // index
+    inst.dst = 12;   // data
+    MicroOp uops[2];
+    ASSERT_EQ(expand(inst, 0x800, uops), 2u);
+
+    const MicroOp &ag = uops[0];
+    EXPECT_EQ(ag.op, OpClass::IntAlu);
+    EXPECT_EQ(ag.src1, 10);
+    EXPECT_EQ(ag.src2, 11);
+    EXPECT_EQ(ag.dst, kDecodeTempReg);
+
+    const MicroOp &st = uops[1];
+    EXPECT_EQ(st.op, OpClass::Store);
+    EXPECT_EQ(st.src1, kDecodeTempReg);  // consumes the agen result
+    EXPECT_EQ(st.src2, 12);
+    EXPECT_FALSE(st.hasDest());
+    EXPECT_NE(st.pc, ag.pc);
+
+    // Both micro-ops satisfy the two-source invariant.
+    EXPECT_LE(ag.numSrcs(), 2u);
+    EXPECT_LE(st.numSrcs(), 2u);
+}
+
+TEST(Expand, IndexedLoadSplitsToo)
+{
+    StaticInst inst;
+    inst.op = OpClass::Load;
+    inst.indexed = true;
+    inst.src1 = 20;
+    inst.src2 = 21;
+    inst.dst = 22;
+    MicroOp uops[2];
+    ASSERT_EQ(expand(inst, 0xc00, uops), 2u);
+    EXPECT_EQ(uops[0].dst, kDecodeTempReg);
+    EXPECT_EQ(uops[1].src1, kDecodeTempReg);
+    EXPECT_EQ(uops[1].dst, 22);
+}
+
+} // namespace
+} // namespace wsrs::isa

@@ -1,0 +1,85 @@
+/** @file Tests for op classes and the micro-op record. */
+#include <gtest/gtest.h>
+
+#include "src/isa/micro_op.h"
+#include "src/isa/op_class.h"
+
+namespace wsrs::isa {
+namespace {
+
+TEST(OpClass, Table2Latencies)
+{
+    // Paper Table 2: loads 2, ALU 1, mul/div 15, fadd/fmul 4,
+    // fdiv/fsqrt 15.
+    EXPECT_EQ(opLatency(OpClass::Load), 2u);
+    EXPECT_EQ(opLatency(OpClass::IntAlu), 1u);
+    EXPECT_EQ(opLatency(OpClass::IntMul), 15u);
+    EXPECT_EQ(opLatency(OpClass::IntDiv), 15u);
+    EXPECT_EQ(opLatency(OpClass::FpAdd), 4u);
+    EXPECT_EQ(opLatency(OpClass::FpMul), 4u);
+    EXPECT_EQ(opLatency(OpClass::FpDiv), 15u);
+    EXPECT_EQ(opLatency(OpClass::FpSqrt), 15u);
+}
+
+TEST(OpClass, UnitClassificationIsPartition)
+{
+    for (std::size_t i = 0; i < kNumOpClasses; ++i) {
+        const OpClass c = static_cast<OpClass>(i);
+        const int kinds = int(isMemOp(c)) + int(isFpOp(c)) + int(isIntOp(c));
+        EXPECT_EQ(kinds, 1) << opClassName(c);
+    }
+}
+
+TEST(OpClass, ComplexIntOpsAreIntOps)
+{
+    EXPECT_TRUE(isComplexIntOp(OpClass::IntMul));
+    EXPECT_TRUE(isComplexIntOp(OpClass::IntDiv));
+    EXPECT_FALSE(isComplexIntOp(OpClass::IntAlu));
+    EXPECT_TRUE(isIntOp(OpClass::IntMul));
+    EXPECT_TRUE(isIntOp(OpClass::Branch));
+}
+
+TEST(OpClass, NamesAreDistinct)
+{
+    for (std::size_t i = 0; i < kNumOpClasses; ++i)
+        for (std::size_t j = i + 1; j < kNumOpClasses; ++j)
+            EXPECT_NE(opClassName(static_cast<OpClass>(i)),
+                      opClassName(static_cast<OpClass>(j)));
+}
+
+TEST(MicroOp, ArityQueries)
+{
+    MicroOp op;
+    EXPECT_TRUE(op.isNoadic());
+    EXPECT_EQ(op.numSrcs(), 0u);
+    op.src1 = 3;
+    EXPECT_TRUE(op.isMonadic());
+    op.src2 = 4;
+    EXPECT_TRUE(op.isDyadic());
+    EXPECT_EQ(op.numSrcs(), 2u);
+    EXPECT_FALSE(op.hasDest());
+    op.dst = 9;
+    EXPECT_TRUE(op.hasDest());
+}
+
+TEST(MicroOp, KindQueries)
+{
+    MicroOp op;
+    op.op = OpClass::Load;
+    EXPECT_TRUE(op.isLoad());
+    EXPECT_FALSE(op.isStore());
+    op.op = OpClass::Store;
+    EXPECT_TRUE(op.isStore());
+    op.op = OpClass::Branch;
+    EXPECT_TRUE(op.isBranch());
+    EXPECT_EQ(op.latency(), 1u);
+}
+
+TEST(MicroOp, EightyLogicalRegisters)
+{
+    // Sparc with 4 resident register windows (paper 5.1.1).
+    EXPECT_EQ(kNumLogRegs, 80u);
+}
+
+} // namespace
+} // namespace wsrs::isa

@@ -1,0 +1,132 @@
+/** @file Unit and property tests for the set-associative cache model. */
+#include <gtest/gtest.h>
+
+#include "src/common/log.h"
+#include "src/memory/cache.h"
+
+namespace wsrs::memory {
+namespace {
+
+TEST(Cache, MissThenHit)
+{
+    Cache c({.sizeBytes = 4096, .assoc = 2, .lineBytes = 64});
+    EXPECT_FALSE(c.access(0x1000, false).hit);
+    EXPECT_TRUE(c.access(0x1000, false).hit);
+    EXPECT_TRUE(c.access(0x1038, false).hit);   // same line
+    EXPECT_FALSE(c.access(0x1040, false).hit);  // next line
+}
+
+TEST(Cache, ProbeDoesNotAllocate)
+{
+    Cache c({.sizeBytes = 4096, .assoc = 2, .lineBytes = 64});
+    EXPECT_FALSE(c.probe(0x2000));
+    EXPECT_FALSE(c.probe(0x2000));
+    c.access(0x2000, false);
+    EXPECT_TRUE(c.probe(0x2000));
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed)
+{
+    // 2-way, map three conflicting lines: sets = 4096/64/2 = 32,
+    // conflict stride = 32 * 64 = 2048.
+    Cache c({.sizeBytes = 4096, .assoc = 2, .lineBytes = 64});
+    const Addr a = 0x0000, b = 0x0800, d = 0x1000;
+    c.access(a, false);
+    c.access(b, false);
+    c.access(a, false);   // a most recent
+    c.access(d, false);   // evicts b
+    EXPECT_TRUE(c.probe(a));
+    EXPECT_FALSE(c.probe(b));
+    EXPECT_TRUE(c.probe(d));
+}
+
+TEST(Cache, DirtyEvictionSignalsWriteback)
+{
+    Cache c({.sizeBytes = 4096, .assoc = 1, .lineBytes = 64});
+    c.access(0x0000, true);                       // dirty
+    const AccessOutcome out = c.access(0x1000, false);  // conflicts (64 sets)
+    EXPECT_FALSE(out.hit);
+    EXPECT_TRUE(out.writebackVictim);
+    const AccessOutcome out2 = c.access(0x2000, false); // clean victim
+    EXPECT_FALSE(out2.hit);
+    EXPECT_FALSE(out2.writebackVictim);
+}
+
+TEST(Cache, StoreHitMarksLineDirty)
+{
+    Cache c({.sizeBytes = 4096, .assoc = 1, .lineBytes = 64});
+    c.access(0x0000, false);  // clean fill
+    c.access(0x0000, true);   // dirty it
+    const AccessOutcome out = c.access(0x1000, false);
+    EXPECT_TRUE(out.writebackVictim);
+}
+
+TEST(Cache, FlushInvalidatesEverything)
+{
+    Cache c({.sizeBytes = 4096, .assoc = 2, .lineBytes = 64});
+    for (Addr a = 0; a < 4096; a += 64)
+        c.access(a, false);
+    c.flush();
+    for (Addr a = 0; a < 4096; a += 64)
+        EXPECT_FALSE(c.probe(a));
+}
+
+TEST(Cache, WorkingSetLargerThanCacheMisses)
+{
+    Cache c({.sizeBytes = 32 * 1024, .assoc = 4, .lineBytes = 64});
+    // Sweep 64 KB twice; second sweep still misses (capacity).
+    for (Addr a = 0; a < 64 * 1024; a += 64)
+        c.access(a, false);
+    unsigned misses = 0;
+    for (Addr a = 0; a < 64 * 1024; a += 64)
+        misses += !c.access(a, false).hit;
+    EXPECT_GT(misses, 900u);
+}
+
+TEST(Cache, WorkingSetSmallerThanCacheHits)
+{
+    Cache c({.sizeBytes = 32 * 1024, .assoc = 4, .lineBytes = 64});
+    for (Addr a = 0; a < 16 * 1024; a += 64)
+        c.access(a, false);
+    for (Addr a = 0; a < 16 * 1024; a += 64)
+        EXPECT_TRUE(c.access(a, false).hit);
+}
+
+TEST(Cache, RejectsBadGeometry)
+{
+    EXPECT_THROW(Cache c({.sizeBytes = 4096, .assoc = 2, .lineBytes = 60}),
+                 FatalError);
+    EXPECT_THROW(Cache c({.sizeBytes = 4096, .assoc = 0, .lineBytes = 64}),
+                 FatalError);
+    EXPECT_THROW(Cache c({.sizeBytes = 5000, .assoc = 2, .lineBytes = 64}),
+                 FatalError);
+}
+
+/** Associativity sweep: a set holding exactly assoc lines never thrashes. */
+class AssocSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(AssocSweep, ConflictFreeUpToAssociativity)
+{
+    const unsigned assoc = GetParam();
+    Cache c({.sizeBytes = 64u * 64 * assoc, .assoc = assoc,
+             .lineBytes = 64});
+    const Addr stride = 64 * c.numSets();
+    // assoc conflicting lines fit; reuse them all.
+    for (unsigned w = 0; w < assoc; ++w)
+        c.access(w * stride, false);
+    for (unsigned w = 0; w < assoc; ++w)
+        EXPECT_TRUE(c.access(w * stride, false).hit) << "way " << w;
+    // One more line overflows the set.
+    c.access(assoc * stride, false);
+    unsigned hits = 0;
+    for (unsigned w = 0; w <= assoc; ++w)
+        hits += c.probe(w * stride);
+    EXPECT_EQ(hits, assoc);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, AssocSweep, ::testing::Values(1, 2, 4, 8));
+
+} // namespace
+} // namespace wsrs::memory

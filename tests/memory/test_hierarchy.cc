@@ -1,0 +1,101 @@
+/** @file Tests for the two-level hierarchy timing (paper Table 3). */
+#include <gtest/gtest.h>
+
+#include "src/memory/hierarchy.h"
+
+namespace wsrs::memory {
+namespace {
+
+class HierarchyTest : public ::testing::Test
+{
+  protected:
+    StatGroup stats_{"test"};
+    MemoryHierarchy mem_{HierarchyParams{}, stats_};
+};
+
+TEST_F(HierarchyTest, Table3DefaultParameters)
+{
+    const HierarchyParams &p = mem_.params();
+    EXPECT_EQ(p.l1.sizeBytes, 32u * 1024);
+    EXPECT_EQ(p.l1Latency, 2u);
+    EXPECT_EQ(p.l1MissPenalty, 12u);
+    EXPECT_EQ(p.l2.sizeBytes, 512u * 1024);
+    EXPECT_EQ(p.l2MissPenalty, 80u);
+    EXPECT_EQ(p.l2BytesPerCycle, 16u);
+}
+
+TEST_F(HierarchyTest, L1HitLatency)
+{
+    mem_.access(0x1000, false, 0);  // fill
+    const TimedAccess t = mem_.access(0x1000, false, 100);
+    EXPECT_TRUE(t.l1Hit);
+    EXPECT_EQ(t.latency, 2u);
+}
+
+TEST_F(HierarchyTest, L1MissL2HitLatency)
+{
+    mem_.access(0x1000, false, 0);   // fill both levels
+    // Evict from L1 by sweeping > 32 KB, keep L2 resident (< 512 KB).
+    for (Addr a = 0x100000; a < 0x100000 + 64 * 1024; a += 64)
+        mem_.access(a, false, 1000);
+    const TimedAccess t = mem_.access(0x1000, false, 50000);
+    EXPECT_FALSE(t.l1Hit);
+    EXPECT_TRUE(t.l2Hit);
+    EXPECT_EQ(t.latency, 2u + 12u);
+}
+
+TEST_F(HierarchyTest, ColdMissPaysFullPath)
+{
+    const TimedAccess t = mem_.access(0xdead000, false, 0);
+    EXPECT_FALSE(t.l1Hit);
+    EXPECT_FALSE(t.l2Hit);
+    EXPECT_EQ(t.latency, 2u + 12u + 80u);
+}
+
+TEST_F(HierarchyTest, RefillBandwidthQueuesConcurrentMisses)
+{
+    // Two misses in the same cycle: the second's refill waits for the
+    // 64 B / 16 B-per-cycle = 4-cycle L2 port occupancy of the first.
+    const TimedAccess a = mem_.access(0x10000, false, 0);
+    const TimedAccess b = mem_.access(0x20000, false, 0);
+    EXPECT_EQ(a.latency, 94u);
+    EXPECT_EQ(b.latency, 94u + 4u);
+    // A later miss, after the port freed, pays no queue delay.
+    const TimedAccess c = mem_.access(0x30000, false, 100);
+    EXPECT_EQ(c.latency, 94u);
+}
+
+TEST_F(HierarchyTest, MissCountersTrackAccesses)
+{
+    mem_.access(0x1000, false, 0);
+    mem_.access(0x1000, false, 1);
+    mem_.access(0x2000, true, 2);
+    EXPECT_EQ(mem_.accesses(), 3u);
+    EXPECT_EQ(mem_.l1Misses(), 2u);
+    EXPECT_EQ(mem_.l2Misses(), 2u);
+}
+
+TEST_F(HierarchyTest, FlushResetsTagsNotCounters)
+{
+    mem_.access(0x1000, false, 0);
+    mem_.flush();
+    const TimedAccess t = mem_.access(0x1000, false, 10);
+    EXPECT_FALSE(t.l1Hit);
+    EXPECT_EQ(mem_.accesses(), 2u);
+}
+
+TEST(Hierarchy, CustomGeometry)
+{
+    StatGroup stats("g");
+    HierarchyParams p;
+    p.l1.sizeBytes = 8 * 1024;
+    p.l1Latency = 1;
+    p.l1MissPenalty = 6;
+    p.l2MissPenalty = 40;
+    MemoryHierarchy mem(p, stats);
+    EXPECT_EQ(mem.access(0x40, false, 0).latency, 1u + 6u + 40u);
+    EXPECT_EQ(mem.access(0x40, false, 10).latency, 1u);
+}
+
+} // namespace
+} // namespace wsrs::memory

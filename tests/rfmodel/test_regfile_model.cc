@@ -1,0 +1,196 @@
+/** @file Tests for the register-file area/time/energy model (Table 1). */
+#include <gtest/gtest.h>
+
+#include "src/rfmodel/regfile_model.h"
+
+namespace wsrs::rfmodel {
+namespace {
+
+TEST(BitCellArea, Formula1ExactValues)
+{
+    // Paper formula (1): (R + 2W)(R + W) in w^2.
+    EXPECT_DOUBLE_EQ(bitCellArea({16, 12}), 40.0 * 28.0);  // 1120
+    EXPECT_DOUBLE_EQ(bitCellArea({4, 12}), 28.0 * 16.0);   // 448
+    EXPECT_DOUBLE_EQ(bitCellArea({4, 3}), 10.0 * 7.0);     // 70
+    EXPECT_DOUBLE_EQ(bitCellArea({4, 6}), 16.0 * 10.0);    // 160
+}
+
+TEST(Table1, BitAreasMatchPaperExactly)
+{
+    const RegFileModel model;
+    EXPECT_DOUBLE_EQ(model.bitArea(makeNoWsMonolithic()), 1120.0);
+    EXPECT_DOUBLE_EQ(model.bitArea(makeNoWsDistributed()), 1792.0);
+    EXPECT_DOUBLE_EQ(model.bitArea(makeWriteSpec()), 280.0);
+    EXPECT_DOUBLE_EQ(model.bitArea(makeWsrs()), 140.0);
+    EXPECT_DOUBLE_EQ(model.bitArea(makeNoWs2Cluster()), 320.0);
+}
+
+TEST(Table1, TotalAreaRatiosMatchPaper)
+{
+    const RegFileModel model;
+    const RegFileOrg ref = makeNoWs2Cluster();
+    const double base = model.totalArea(ref);
+    EXPECT_NEAR(model.totalArea(makeNoWsMonolithic()) / base, 7.0, 1e-9);
+    EXPECT_NEAR(model.totalArea(makeNoWsDistributed()) / base, 11.2, 1e-9);
+    EXPECT_NEAR(model.totalArea(makeWriteSpec()) / base, 3.50, 1e-9);
+    EXPECT_NEAR(model.totalArea(makeWsrs()) / base, 1.75, 1e-9);
+}
+
+TEST(Table1, AccessTimesWithinCalibrationTolerance)
+{
+    const RegFileModel model;
+    // Paper CACTI-2.0 values at 0.10 um; calibrated model within ~3%.
+    EXPECT_NEAR(model.accessTimeNs(makeNoWsMonolithic()), 0.71, 0.03);
+    EXPECT_NEAR(model.accessTimeNs(makeNoWsDistributed()), 0.52, 0.03);
+    EXPECT_NEAR(model.accessTimeNs(makeWriteSpec()), 0.40, 0.02);
+    EXPECT_NEAR(model.accessTimeNs(makeWsrs()), 0.35, 0.02);
+    EXPECT_NEAR(model.accessTimeNs(makeNoWs2Cluster()), 0.34, 0.02);
+}
+
+TEST(Table1, EnergiesWithinCalibrationTolerance)
+{
+    const RegFileModel model;
+    EXPECT_NEAR(model.energyNJPerCycle(makeNoWsMonolithic()), 3.20, 0.35);
+    EXPECT_NEAR(model.energyNJPerCycle(makeNoWsDistributed()), 2.90, 0.35);
+    EXPECT_NEAR(model.energyNJPerCycle(makeWriteSpec()), 1.70, 0.25);
+    EXPECT_NEAR(model.energyNJPerCycle(makeWsrs()), 1.25, 0.15);
+    EXPECT_NEAR(model.energyNJPerCycle(makeNoWs2Cluster()), 0.63, 0.10);
+}
+
+TEST(Table1, EnergyOrderingMatchesPaper)
+{
+    const RegFileModel m;
+    const double e_mono = m.energyNJPerCycle(makeNoWsMonolithic());
+    const double e_dist = m.energyNJPerCycle(makeNoWsDistributed());
+    const double e_ws = m.energyNJPerCycle(makeWriteSpec());
+    const double e_wsrs = m.energyNJPerCycle(makeWsrs());
+    const double e_2cl = m.energyNJPerCycle(makeNoWs2Cluster());
+    EXPECT_GT(e_mono, e_dist);
+    EXPECT_GT(e_dist, e_ws);
+    EXPECT_GT(e_ws, e_wsrs);
+    EXPECT_GT(e_wsrs, e_2cl);
+    // Headline claims: WSRS more than halves noWS-D power, and is no more
+    // than ~2x the 4-way 2-cluster machine.
+    EXPECT_GT(e_dist / e_wsrs, 2.0);
+    EXPECT_LT(e_wsrs / e_2cl, 2.2);
+}
+
+TEST(Table1, PipelineCyclesMatchPaperAtBothClocks)
+{
+    const RegFileModel m;
+    EXPECT_EQ(m.pipelineCycles(makeNoWsMonolithic(), 10.0), 8u);
+    EXPECT_EQ(m.pipelineCycles(makeNoWsDistributed(), 10.0), 6u);
+    EXPECT_EQ(m.pipelineCycles(makeWriteSpec(), 10.0), 5u);
+    EXPECT_EQ(m.pipelineCycles(makeWsrs(), 10.0), 4u);
+    EXPECT_EQ(m.pipelineCycles(makeNoWs2Cluster(), 10.0), 4u);
+
+    EXPECT_EQ(m.pipelineCycles(makeNoWsMonolithic(), 5.0), 5u);
+    EXPECT_EQ(m.pipelineCycles(makeNoWsDistributed(), 5.0), 4u);
+    EXPECT_EQ(m.pipelineCycles(makeWriteSpec(), 5.0), 3u);
+    EXPECT_EQ(m.pipelineCycles(makeWsrs(), 5.0), 3u);
+    EXPECT_EQ(m.pipelineCycles(makeNoWs2Cluster(), 5.0), 3u);
+}
+
+TEST(Table1, BypassSourcesMatchPaper)
+{
+    const RegFileModel m;
+    EXPECT_EQ(m.bypassSources(makeNoWsMonolithic(), 10.0), 97u);
+    EXPECT_EQ(m.bypassSources(makeNoWsDistributed(), 10.0), 73u);
+    EXPECT_EQ(m.bypassSources(makeWriteSpec(), 10.0), 61u);
+    EXPECT_EQ(m.bypassSources(makeWsrs(), 10.0), 25u);
+    EXPECT_EQ(m.bypassSources(makeNoWs2Cluster(), 10.0), 25u);
+
+    EXPECT_EQ(m.bypassSources(makeNoWsMonolithic(), 5.0), 61u);
+    EXPECT_EQ(m.bypassSources(makeNoWsDistributed(), 5.0), 49u);
+    EXPECT_EQ(m.bypassSources(makeWriteSpec(), 5.0), 37u);
+    EXPECT_EQ(m.bypassSources(makeWsrs(), 5.0), 19u);
+    EXPECT_EQ(m.bypassSources(makeNoWs2Cluster(), 5.0), 19u);
+}
+
+TEST(Table1, HeadlineClaimsHold)
+{
+    const RegFileModel m;
+    // "total silicon area of the physical register file divided by more
+    // than six" (WSRS vs noWS-D) despite twice the registers.
+    EXPECT_GT(m.totalArea(makeNoWsDistributed()) / m.totalArea(makeWsrs()),
+              6.0);
+    // "access time reduced by more than one third".
+    EXPECT_LT(m.accessTimeNs(makeWsrs()),
+              m.accessTimeNs(makeNoWsDistributed()) * (2.0 / 3.0) * 1.03);
+    // WSRS wake-up/bypass complexity equals the 4-way 2-cluster machine.
+    EXPECT_EQ(m.bypassSources(makeWsrs(), 10.0),
+              m.bypassSources(makeNoWs2Cluster(), 10.0));
+}
+
+TEST(Wsrs7Cluster, ExtensionKeepsPerRegisterComplexity)
+{
+    // Paper section 7: the 7-cluster extension still uses two (4R,3W)
+    // copies per register and 2-cluster-level bypass complexity.
+    const RegFileOrg org = makeWsrs7Cluster();
+    EXPECT_EQ(org.copiesPerReg, 2u);
+    EXPECT_EQ(org.portsPerCopy.reads, 4u);
+    EXPECT_EQ(org.portsPerCopy.writes, 3u);
+    const RegFileModel m;
+    EXPECT_DOUBLE_EQ(m.bitArea(org), 140.0);
+    EXPECT_EQ(m.bypassSources(org, 10.0),
+              m.bypassSources(makeNoWs2Cluster(), 10.0));
+}
+
+/** Property: area grows monotonically with either port count. */
+class PortSweep
+    : public ::testing::TestWithParam<std::pair<unsigned, unsigned>>
+{
+};
+
+TEST_P(PortSweep, AreaMonotoneInPorts)
+{
+    const auto [r, w] = GetParam();
+    const double base = bitCellArea({r, w});
+    EXPECT_GT(bitCellArea({r + 1, w}), base);
+    EXPECT_GT(bitCellArea({r, w + 1}), base);
+    // A write port costs more than a read port (two bitlines).
+    EXPECT_GT(bitCellArea({r, w + 1}), bitCellArea({r + 1, w}));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ports, PortSweep,
+    ::testing::Values(std::pair{2u, 1u}, std::pair{4u, 3u},
+                      std::pair{8u, 6u}, std::pair{16u, 12u}));
+
+TEST(RegFileModel, AccessTimeMonotoneInEntries)
+{
+    const RegFileModel m;
+    RegFileOrg org = makeWsrs();
+    double prev = 0;
+    for (unsigned entries : {64u, 128u, 256u, 512u, 1024u}) {
+        org.entriesPerSubfile = entries;
+        const double t = m.accessTimeNs(org);
+        EXPECT_GT(t, prev);
+        prev = t;
+    }
+}
+
+TEST(RegFileModel, EstimateBundlesAllDerivedValues)
+{
+    const RegFileModel m;
+    const RegFileEstimate e = m.estimate(makeWsrs(), makeNoWs2Cluster());
+    EXPECT_NEAR(e.totalAreaRel, 1.75, 1e-9);
+    EXPECT_EQ(e.pipeCycles10GHz, 4u);
+    EXPECT_EQ(e.bypassSources5GHz, 19u);
+    EXPECT_GT(e.energyNJPerCycle, 0.0);
+    EXPECT_GT(e.accessTimeNs, 0.0);
+}
+
+TEST(RegFileModel, Table1OrganizationListOrder)
+{
+    const auto orgs = table1Organizations();
+    ASSERT_EQ(orgs.size(), 5u);
+    EXPECT_EQ(orgs[0].name, "noWS-M");
+    EXPECT_EQ(orgs[1].name, "noWS-D");
+    EXPECT_EQ(orgs[2].name, "WS");
+    EXPECT_EQ(orgs[3].name, "WSRS");
+    EXPECT_EQ(orgs[4].name, "noWS-2");
+}
+
+} // namespace
+} // namespace wsrs::rfmodel

@@ -1,0 +1,138 @@
+/** @file Tests for the in-order oracle and the dataflow-value semantics. */
+#include <gtest/gtest.h>
+
+#include "src/workload/dataflow.h"
+#include "src/workload/oracle.h"
+#include "src/workload/profiles.h"
+#include "src/workload/trace_generator.h"
+
+namespace wsrs::workload {
+namespace {
+
+isa::MicroOp
+aluOp(LogReg s1, LogReg s2, LogReg d, bool commutative = false)
+{
+    isa::MicroOp op;
+    op.op = isa::OpClass::IntAlu;
+    op.src1 = s1;
+    op.src2 = s2;
+    op.dst = d;
+    op.commutative = commutative;
+    op.pc = 0x1000;
+    return op;
+}
+
+TEST(Dataflow, InitialRegisterValuesAreDistinct)
+{
+    for (unsigned a = 0; a < isa::kNumLogRegs; ++a)
+        for (unsigned b = a + 1; b < isa::kNumLogRegs; ++b)
+            EXPECT_NE(initRegValue(LogReg(a)), initRegValue(LogReg(b)));
+}
+
+TEST(Dataflow, CommutativeValueIsOrderInsensitive)
+{
+    isa::MicroOp op = aluOp(0, 1, 2, true);
+    EXPECT_EQ(execValue(op, 111, 222), execValue(op, 222, 111));
+}
+
+TEST(Dataflow, NonCommutativeValueIsOrderSensitive)
+{
+    isa::MicroOp op = aluOp(0, 1, 2, false);
+    EXPECT_NE(execValue(op, 111, 222), execValue(op, 222, 111));
+}
+
+TEST(Dataflow, ValueDependsOnPcAndClass)
+{
+    isa::MicroOp a = aluOp(0, 1, 2);
+    isa::MicroOp b = a;
+    b.pc = 0x2000;
+    EXPECT_NE(execValue(a, 1, 2), execValue(b, 1, 2));
+    isa::MicroOp c = a;
+    c.op = isa::OpClass::FpAdd;
+    EXPECT_NE(execValue(a, 1, 2), execValue(c, 1, 2));
+}
+
+TEST(Dataflow, LoadValueDependsOnMemoryContent)
+{
+    isa::MicroOp ld;
+    ld.op = isa::OpClass::Load;
+    ld.src1 = 0;
+    ld.dst = 1;
+    ld.pc = 0x3000;
+    ld.effAddr = 0x8000;
+    EXPECT_NE(execValue(ld, 1, 0, 0xaaaa), execValue(ld, 1, 0, 0xbbbb));
+    // And not on the address register's value.
+    EXPECT_EQ(execValue(ld, 1, 0, 0xaaaa), execValue(ld, 2, 0, 0xaaaa));
+}
+
+TEST(Oracle, RegisterWriteReadRoundTrip)
+{
+    OracleExecutor oracle;
+    const isa::MicroOp op = aluOp(3, 4, 7);
+    const std::uint64_t v = oracle.execute(op);
+    EXPECT_EQ(oracle.reg(7), v);
+    EXPECT_NE(v, 0u);
+}
+
+TEST(Oracle, StoreThenLoadReturnsStoredValue)
+{
+    OracleExecutor oracle;
+    isa::MicroOp st;
+    st.op = isa::OpClass::Store;
+    st.src1 = 0;
+    st.src2 = 1;
+    st.pc = 0x10;
+    st.effAddr = 0xdead0;
+    oracle.execute(st);
+
+    isa::MicroOp ld;
+    ld.op = isa::OpClass::Load;
+    ld.src1 = 2;
+    ld.dst = 5;
+    ld.pc = 0x14;
+    ld.effAddr = 0xdead0;
+    const std::uint64_t v = oracle.execute(ld);
+    EXPECT_EQ(v, execValue(ld, oracle.reg(2), 0,
+                           storeValue(st, initRegValue(0),
+                                      initRegValue(1))));
+}
+
+TEST(Oracle, UntouchedMemoryHasInitPattern)
+{
+    OracleExecutor oracle;
+    EXPECT_EQ(oracle.loadMem(0x1234560), memInitValue(0x1234560));
+    EXPECT_NE(oracle.loadMem(0x1234560), oracle.loadMem(0x1234568));
+}
+
+TEST(Oracle, DependencyChainPropagates)
+{
+    OracleExecutor a, b;
+    // Two identical executions produce identical state.
+    for (int i = 0; i < 100; ++i) {
+        isa::MicroOp op = aluOp(LogReg(i % 8), LogReg((i + 3) % 8),
+                                LogReg((i + 5) % 8));
+        op.pc = 0x100 + 4 * i;
+        EXPECT_EQ(a.execute(op), b.execute(op));
+    }
+    // Perturbing one step diverges the chain.
+    OracleExecutor c;
+    for (int i = 0; i < 100; ++i) {
+        isa::MicroOp op = aluOp(LogReg(i % 8), LogReg((i + 3) % 8),
+                                LogReg((i + 5) % 8));
+        op.pc = 0x100 + 4 * i + (i == 50 ? 4000 : 0);
+        c.execute(op);
+    }
+    EXPECT_NE(a.reg(5), c.reg(5));
+}
+
+TEST(Oracle, TwoOraclesOverSameTraceAgree)
+{
+    const BenchmarkProfile &p = findProfile("gzip");
+    TraceGenerator g1(p, 9), g2(p, 9);
+    OracleExecutor o1, o2;
+    for (int i = 0; i < 20000; ++i)
+        EXPECT_EQ(o1.execute(g1.next()), o2.execute(g2.next()));
+}
+
+} // namespace
+} // namespace wsrs::workload

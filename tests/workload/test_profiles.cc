@@ -1,0 +1,96 @@
+/** @file Tests for the SPEC CPU2000 stand-in profile registry. */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/log.h"
+#include "src/workload/profiles.h"
+
+namespace wsrs::workload {
+namespace {
+
+TEST(Profiles, TwelveBenchmarksRegistered)
+{
+    EXPECT_EQ(allProfiles().size(), 12u);
+    EXPECT_EQ(integerProfiles().size(), 5u);
+    EXPECT_EQ(floatProfiles().size(), 7u);
+}
+
+TEST(Profiles, PaperOrderPreserved)
+{
+    const std::vector<std::string> expected = {
+        "gzip", "vpr",   "gcc",   "mcf",    "crafty", "wupwise",
+        "swim", "mgrid", "applu", "galgel", "equake", "facerec"};
+    const auto &all = allProfiles();
+    ASSERT_EQ(all.size(), expected.size());
+    for (std::size_t i = 0; i < all.size(); ++i)
+        EXPECT_EQ(all[i].name, expected[i]);
+}
+
+TEST(Profiles, NamesAreUniqueAndSeedsDistinct)
+{
+    std::set<std::string> names;
+    std::set<std::uint64_t> seeds;
+    for (const auto &p : allProfiles()) {
+        EXPECT_TRUE(names.insert(p.name).second) << p.name;
+        EXPECT_TRUE(seeds.insert(p.seed).second) << p.name;
+    }
+}
+
+TEST(Profiles, FindProfileMatchesRegistry)
+{
+    EXPECT_EQ(findProfile("mcf").name, "mcf");
+    EXPECT_TRUE(findProfile("swim").floatingPoint);
+    EXPECT_FALSE(findProfile("gzip").floatingPoint);
+    EXPECT_THROW(findProfile("notabenchmark"), FatalError);
+}
+
+TEST(Profiles, FloatingPointProfilesHaveFpMix)
+{
+    for (const auto &p : floatProfiles())
+        EXPECT_GT(p.fracFpAdd + p.fracFpMul, 0.2) << p.name;
+    for (const auto &p : integerProfiles())
+        EXPECT_LT(p.fracFpAdd + p.fracFpMul, 0.1) << p.name;
+}
+
+TEST(Profiles, McfIsTheMemoryBoundOutlier)
+{
+    const BenchmarkProfile &mcf = findProfile("mcf");
+    for (const auto &p : allProfiles()) {
+        if (p.name == "mcf")
+            continue;
+        EXPECT_GE(mcf.workingSetBytes, p.workingSetBytes) << p.name;
+        
+        EXPECT_LE(mcf.strideFrac, p.strideFrac) << p.name;
+    }
+}
+
+TEST(Profiles, FpCodesHaveStrongerInvariantReuse)
+{
+    // The paper's unbalancing argument: FP codes keep invariant operands
+    // in registers more aggressively than integer codes.
+    double int_avg = 0, fp_avg = 0;
+    for (const auto &p : integerProfiles())
+        int_avg += p.invariantFrac;
+    for (const auto &p : floatProfiles())
+        fp_avg += p.invariantFrac;
+    int_avg /= integerProfiles().size();
+    fp_avg /= floatProfiles().size();
+    EXPECT_GT(fp_avg, int_avg);
+}
+
+TEST(Profiles, AllSatisfyGeneratorValidation)
+{
+    for (const auto &p : allProfiles()) {
+        const double mix = p.fracLoad + p.fracStore + p.fracBranch +
+                           p.fracIntMul + p.fracIntDiv + p.fracFpAdd +
+                           p.fracFpMul + p.fracFpDiv + p.fracFpSqrt;
+        EXPECT_LE(mix, 1.0) << p.name;
+        EXPECT_GT(p.fracBranch, 0.0) << p.name;
+        EXPECT_LE(p.fracNoadic + p.fracMonadic, 1.0) << p.name;
+        EXPECT_GE(p.workingSetBytes, 4096u) << p.name;
+    }
+}
+
+} // namespace
+} // namespace wsrs::workload

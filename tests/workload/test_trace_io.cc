@@ -1,0 +1,147 @@
+/** @file Tests for the binary trace file format. */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "src/bpred/two_bc_gskew.h"
+#include "src/common/log.h"
+#include "src/core/core.h"
+#include "src/sim/presets.h"
+#include "src/sim/simulator.h"
+#include "src/workload/profiles.h"
+#include "src/workload/trace_generator.h"
+#include "src/workload/trace_io.h"
+
+namespace wsrs::workload {
+namespace {
+
+/** Temporary file deleted on scope exit. */
+struct TempFile
+{
+    TempFile()
+    {
+        path = (std::filesystem::temp_directory_path() /
+                ("wsrs_trace_" + std::to_string(::getpid()) + "_" +
+                 std::to_string(counter++) + ".trc"))
+                   .string();
+    }
+    ~TempFile() { std::remove(path.c_str()); }
+    static inline int counter = 0;
+    std::string path;
+};
+
+TEST(TraceIo, RoundTripPreservesEveryField)
+{
+    TempFile tmp;
+    TraceGenerator gen(findProfile("vpr"), 3);
+    std::vector<isa::MicroOp> original;
+    {
+        TraceWriter writer(tmp.path);
+        for (int i = 0; i < 5000; ++i) {
+            const isa::MicroOp op = gen.next();
+            original.push_back(op);
+            writer.append(op);
+        }
+        EXPECT_EQ(writer.written(), 5000u);
+    }
+
+    TraceReader reader(tmp.path);
+    EXPECT_EQ(reader.records(), 5000u);
+    for (const isa::MicroOp &want : original) {
+        const isa::MicroOp got = reader.next();
+        EXPECT_EQ(got.seq, want.seq);
+        EXPECT_EQ(got.pc, want.pc);
+        EXPECT_EQ(got.op, want.op);
+        EXPECT_EQ(got.src1, want.src1);
+        EXPECT_EQ(got.src2, want.src2);
+        EXPECT_EQ(got.dst, want.dst);
+        EXPECT_EQ(got.commutative, want.commutative);
+        EXPECT_EQ(got.taken, want.taken);
+        EXPECT_EQ(got.target, want.target);
+        EXPECT_EQ(got.effAddr, want.effAddr);
+    }
+}
+
+TEST(TraceIo, WrapRestartsAtBeginningWithFreshSeqNumbers)
+{
+    TempFile tmp;
+    TraceGenerator gen(findProfile("gzip"));
+    isa::MicroOp first;
+    {
+        TraceWriter writer(tmp.path);
+        for (int i = 0; i < 100; ++i) {
+            const isa::MicroOp op = gen.next();
+            if (i == 0)
+                first = op;
+            writer.append(op);
+        }
+    }
+    TraceReader reader(tmp.path, /*wrap=*/true);
+    for (int i = 0; i < 100; ++i)
+        reader.next();
+    const isa::MicroOp again = reader.next();
+    EXPECT_EQ(again.pc, first.pc);
+    EXPECT_EQ(again.seq, 100u);  // sequence numbers keep increasing
+}
+
+TEST(TraceIo, NoWrapFailsAtEof)
+{
+    TempFile tmp;
+    {
+        TraceWriter writer(tmp.path);
+        TraceGenerator gen(findProfile("gzip"));
+        for (int i = 0; i < 10; ++i)
+            writer.append(gen.next());
+    }
+    TraceReader reader(tmp.path, /*wrap=*/false);
+    for (int i = 0; i < 10; ++i)
+        reader.next();
+    EXPECT_THROW(reader.next(), FatalError);
+}
+
+TEST(TraceIo, RejectsMissingAndCorruptFiles)
+{
+    EXPECT_THROW(TraceReader r("/nonexistent/file.trc"), FatalError);
+
+    TempFile tmp;
+    {
+        std::ofstream out(tmp.path, std::ios::binary);
+        out << "not a trace file at all, definitely";
+    }
+    EXPECT_THROW(TraceReader r(tmp.path), FatalError);
+}
+
+TEST(TraceIo, RecordedTraceDrivesTheCoreIdentically)
+{
+    // Simulating from a recorded trace must give cycle-identical results
+    // to simulating from the live generator.
+    TempFile tmp;
+    const BenchmarkProfile &profile = findProfile("gcc");
+    {
+        TraceGenerator gen(profile, 0);
+        TraceWriter writer(tmp.path);
+        for (int i = 0; i < 80000; ++i)
+            writer.append(gen.next());
+    }
+
+    auto simulate = [&](workload::MicroOpSource &src) {
+        bpred::TwoBcGskew bp;
+        StatGroup stats("t");
+        memory::MemoryHierarchy mem(memory::HierarchyParams{}, stats);
+        core::CoreParams params = sim::findPreset("WSRS-RC-512");
+        params.verifyDataflow = true;
+        core::Core machine(params, src, bp, mem);
+        machine.run(50000);
+        EXPECT_EQ(machine.stats().valueMismatches, 0u);
+        return machine.stats().cycles;
+    };
+
+    TraceGenerator live(profile, 0);
+    TraceReader recorded(tmp.path);
+    EXPECT_EQ(simulate(live), simulate(recorded));
+}
+
+} // namespace
+} // namespace wsrs::workload

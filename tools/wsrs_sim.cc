@@ -1,0 +1,245 @@
+/**
+ * @file
+ * The main simulation driver: run any benchmark on any machine with full
+ * parameter control, emitting text, CSV or JSON results.
+ *
+ *   wsrs_sim --bench=gzip --machine=WSRS-RC-512 --uops=1000000
+ *   wsrs_sim --all --csv > results.csv
+ *   wsrs_sim --bench=swim --machine=RR-256 --set-window=128 --json
+ */
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/args.h"
+#include "src/common/log.h"
+#include "src/sim/presets.h"
+#include "src/sim/simulator.h"
+#include "src/workload/profiles.h"
+
+using namespace wsrs;
+
+namespace {
+
+sim::PredictorKind
+predictorFromName(const std::string &name)
+{
+    if (name == "2bc-gskew")
+        return sim::PredictorKind::TwoBcGskew;
+    if (name == "tournament")
+        return sim::PredictorKind::Tournament;
+    if (name == "gshare")
+        return sim::PredictorKind::Gshare;
+    if (name == "bimodal")
+        return sim::PredictorKind::Bimodal;
+    if (name == "perfect")
+        return sim::PredictorKind::Perfect;
+    fatal("unknown predictor '%s' (2bc-gskew|tournament|gshare|bimodal|perfect)",
+          name.c_str());
+}
+
+core::FastForwardScope
+ffScopeFromName(const std::string &name)
+{
+    if (name == "intra")
+        return core::FastForwardScope::IntraCluster;
+    if (name == "adjacent")
+        return core::FastForwardScope::AdjacentPair;
+    if (name == "complete")
+        return core::FastForwardScope::Complete;
+    fatal("unknown fast-forward scope '%s' (intra|adjacent|complete)",
+          name.c_str());
+}
+
+void
+printText(const sim::SimResults &r)
+{
+    std::printf("benchmark            %s\n", r.benchmark.c_str());
+    std::printf("machine              %s\n", r.machine.c_str());
+    std::printf("IPC                  %.4f\n", r.ipc);
+    std::printf("cycles               %llu\n",
+                (unsigned long long)r.stats.cycles);
+    std::printf("committed uops       %llu\n",
+                (unsigned long long)r.stats.committed);
+    std::printf("branch mispredict    %.3f%%\n",
+                100 * r.branchMispredictRate);
+    std::printf("L1 miss rate         %.3f%%\n", 100 * r.l1MissRate);
+    std::printf("L2 miss rate         %.3f%% (of L1 misses)\n",
+                100 * r.l2MissRate);
+    std::printf("unbalancing degree   %.1f%%\n", r.unbalancingDegree);
+    std::printf("load forwards        %llu\n",
+                (unsigned long long)r.stats.loadForwards);
+    std::printf("injected moves       %llu\n",
+                (unsigned long long)r.stats.injectedMoves);
+    std::printf("rename stalls        freeReg=%llu window=%llu rob=%llu "
+                "lsq=%llu\n",
+                (unsigned long long)r.stats.renameStallFreeReg,
+                (unsigned long long)r.stats.renameStallWindow,
+                (unsigned long long)r.stats.renameStallRob,
+                (unsigned long long)r.stats.renameStallLsq);
+    std::printf("cluster shares       ");
+    std::uint64_t tot = 0;
+    for (unsigned c = 0; c < 4; ++c)
+        tot += r.stats.perCluster[c];
+    for (unsigned c = 0; c < 4; ++c)
+        std::printf("%.1f%% ",
+                    tot ? 100.0 * r.stats.perCluster[c] / tot : 0.0);
+    std::printf("\n");
+}
+
+void
+printCsvHeader()
+{
+    std::printf("benchmark,machine,ipc,cycles,committed,mispredict_rate,"
+                "l1_miss_rate,l2_miss_rate,unbalancing_degree,"
+                "load_forwards,injected_moves,stall_free,stall_window,"
+                "stall_rob,stall_lsq\n");
+}
+
+void
+printCsv(const sim::SimResults &r)
+{
+    std::printf("%s,%s,%.4f,%llu,%llu,%.5f,%.5f,%.5f,%.2f,%llu,%llu,%llu,"
+                "%llu,%llu,%llu\n",
+                r.benchmark.c_str(), r.machine.c_str(), r.ipc,
+                (unsigned long long)r.stats.cycles,
+                (unsigned long long)r.stats.committed,
+                r.branchMispredictRate, r.l1MissRate, r.l2MissRate,
+                r.unbalancingDegree,
+                (unsigned long long)r.stats.loadForwards,
+                (unsigned long long)r.stats.injectedMoves,
+                (unsigned long long)r.stats.renameStallFreeReg,
+                (unsigned long long)r.stats.renameStallWindow,
+                (unsigned long long)r.stats.renameStallRob,
+                (unsigned long long)r.stats.renameStallLsq);
+}
+
+void
+printJson(const sim::SimResults &r)
+{
+    std::printf("{\n");
+    std::printf("  \"benchmark\": \"%s\",\n", r.benchmark.c_str());
+    std::printf("  \"machine\": \"%s\",\n", r.machine.c_str());
+    std::printf("  \"ipc\": %.4f,\n", r.ipc);
+    std::printf("  \"cycles\": %llu,\n",
+                (unsigned long long)r.stats.cycles);
+    std::printf("  \"committed\": %llu,\n",
+                (unsigned long long)r.stats.committed);
+    std::printf("  \"mispredict_rate\": %.5f,\n", r.branchMispredictRate);
+    std::printf("  \"l1_miss_rate\": %.5f,\n", r.l1MissRate);
+    std::printf("  \"l2_miss_rate\": %.5f,\n", r.l2MissRate);
+    std::printf("  \"unbalancing_degree\": %.2f,\n", r.unbalancingDegree);
+    std::printf("  \"load_forwards\": %llu,\n",
+                (unsigned long long)r.stats.loadForwards);
+    std::printf("  \"injected_moves\": %llu,\n",
+                (unsigned long long)r.stats.injectedMoves);
+    std::printf("  \"rename_stalls\": {\"free\": %llu, \"window\": %llu, "
+                "\"rob\": %llu, \"lsq\": %llu}\n",
+                (unsigned long long)r.stats.renameStallFreeReg,
+                (unsigned long long)r.stats.renameStallWindow,
+                (unsigned long long)r.stats.renameStallRob,
+                (unsigned long long)r.stats.renameStallLsq);
+    std::printf("}\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args;
+    args.addOption("bench", "benchmark name (gzip .. facerec)");
+    args.addOption("machine",
+                   "machine preset (RR-256, WSRR-384, WSRR-512, WSP-512, "
+                   "WSRS-RC-384, WSRS-RC-512, WSRS-RM-512, WSRS-DEP-512)");
+    args.addOption("uops", "measured micro-ops (default 1000000)");
+    args.addOption("warmup", "warm-up micro-ops (default 400000)");
+    args.addOption("seed", "extra trace seed (default 0)");
+    args.addOption("predictor",
+                   "2bc-gskew | tournament | gshare | bimodal | perfect");
+    args.addOption("ff-scope", "intra | adjacent | complete");
+    args.addOption("set-regs", "override physical register count");
+    args.addOption("set-window", "override per-cluster window");
+    args.addOption("set-lsq", "override LSQ size");
+    args.addOption("set-issue", "override per-cluster issue width");
+    args.addOption("verify", "enable commit-time oracle checking", true);
+    args.addOption("timeline", "print the last N committed micro-ops");
+    args.addOption("all", "run all benchmarks x Figure-4 machines", true);
+    args.addOption("csv", "emit one CSV row per run", true);
+    args.addOption("json", "emit JSON (single run only)", true);
+    args.addOption("help", "show this help", true);
+
+    try {
+        args.parse(argc, argv);
+        if (args.has("help")) {
+            std::printf("%s", args.usage("wsrs_sim").c_str());
+            return 0;
+        }
+
+        auto configure = [&](const std::string &machine) {
+            sim::SimConfig cfg;
+            cfg.core = sim::findPreset(machine);
+            cfg.measureUops = args.getUint("uops", 1000000);
+            cfg.warmupUops = args.getUint("warmup", 400000);
+            cfg.seed = args.getUint("seed", 0);
+            cfg.verifyDataflow = args.has("verify");
+            cfg.timelineRows =
+                std::size_t(args.getUint("timeline", 0));
+            if (args.has("predictor"))
+                cfg.predictor = predictorFromName(args.get("predictor"));
+            if (args.has("ff-scope"))
+                cfg.core.ffScope = ffScopeFromName(args.get("ff-scope"));
+            if (args.has("set-regs"))
+                cfg.core.numPhysRegs =
+                    unsigned(args.getUint("set-regs", 0));
+            if (args.has("set-window"))
+                cfg.core.clusterWindow =
+                    unsigned(args.getUint("set-window", 0));
+            if (args.has("set-lsq"))
+                cfg.core.lsqSize = unsigned(args.getUint("set-lsq", 0));
+            if (args.has("set-issue"))
+                cfg.core.issuePerCluster =
+                    unsigned(args.getUint("set-issue", 0));
+            return cfg;
+        };
+
+        if (args.has("all")) {
+            if (args.has("csv"))
+                printCsvHeader();
+            for (const auto &p : workload::allProfiles()) {
+                for (const std::string &m : sim::figure4Presets()) {
+                    const sim::SimResults r =
+                        sim::runSimulation(p, configure(m));
+                    if (args.has("csv")) {
+                        printCsv(r);
+                    } else {
+                        std::printf("%-10s %-12s IPC %.3f\n",
+                                    r.benchmark.c_str(),
+                                    r.machine.c_str(), r.ipc);
+                    }
+                    std::fflush(stdout);
+                }
+            }
+            return 0;
+        }
+
+        const std::string bench = args.get("bench", "gzip");
+        const std::string machine = args.get("machine", "RR-256");
+        const sim::SimResults r = sim::runSimulation(
+            workload::findProfile(bench), configure(machine));
+        if (args.has("csv")) {
+            printCsvHeader();
+            printCsv(r);
+        } else if (args.has("json")) {
+            printJson(r);
+        } else {
+            printText(r);
+        }
+        if (!r.timelineText.empty())
+            std::printf("\n%s", r.timelineText.c_str());
+        return 0;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "wsrs_sim: %s\n", e.what());
+        return 1;
+    }
+}
