@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "src/common/log.h"
+#include "src/runner/sweep_runner.h"
 #include "src/sim/presets.h"
 #include "src/sim/simulator.h"
 #include "src/workload/profiles.h"
@@ -30,17 +32,23 @@ runGroup(const std::vector<workload::BenchmarkProfile> &profiles,
         std::printf("%12s", m.c_str());
     std::printf("\n");
 
+    // One parallel sweep over the whole profiles x machines matrix; the
+    // submission-ordered outcomes map row-major onto the printed table.
+    const auto jobs = runner::SweepRunner::crossProduct(
+        profiles, machines, sim::applyEnvOverrides(sim::SimConfig{}));
+    const auto outcomes = runner::SweepRunner().run(jobs);
+
+    std::size_t i = 0;
     for (const auto &p : profiles) {
         std::printf("%-12s", p.name.c_str());
-        std::fflush(stdout);
-        for (const auto &m : machines) {
-            sim::SimConfig cfg = sim::applyEnvOverrides(sim::SimConfig{});
-            cfg.core = sim::findPreset(m);
-            const sim::SimResults r = sim::runSimulation(p, cfg);
-            std::printf("%12.3f", r.ipc);
-            std::fflush(stdout);
+        for (std::size_t m = 0; m < machines.size(); ++m, ++i) {
+            if (!outcomes[i].ok)
+                fatal("%s on %s: %s", p.name.c_str(),
+                      machines[m].c_str(), outcomes[i].error.c_str());
+            std::printf("%12.3f", outcomes[i].results.ipc);
         }
         std::printf("\n");
+        std::fflush(stdout);
     }
 }
 

@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "src/common/log.h"
+#include "src/runner/sweep_runner.h"
 #include "src/sim/presets.h"
 #include "src/sim/simulator.h"
 #include "src/workload/profiles.h"
@@ -34,17 +36,21 @@ runGroup(const std::vector<workload::BenchmarkProfile> &profiles,
         std::printf("%14s", m.c_str());
     std::printf("\n");
 
+    const auto jobs = runner::SweepRunner::crossProduct(
+        profiles, machines, sim::applyEnvOverrides(sim::SimConfig{}));
+    const auto outcomes = runner::SweepRunner().run(jobs);
+
+    std::size_t i = 0;
     for (const auto &p : profiles) {
         std::printf("%-12s", p.name.c_str());
-        std::fflush(stdout);
-        for (const auto &m : machines) {
-            sim::SimConfig cfg = sim::applyEnvOverrides(sim::SimConfig{});
-            cfg.core = sim::findPreset(m);
-            const sim::SimResults r = sim::runSimulation(p, cfg);
-            std::printf("%14.1f", r.unbalancingDegree);
-            std::fflush(stdout);
+        for (std::size_t m = 0; m < machines.size(); ++m, ++i) {
+            if (!outcomes[i].ok)
+                fatal("%s on %s: %s", p.name.c_str(),
+                      machines[m].c_str(), outcomes[i].error.c_str());
+            std::printf("%14.1f", outcomes[i].results.unbalancingDegree);
         }
         std::printf("\n");
+        std::fflush(stdout);
     }
 }
 

@@ -8,9 +8,16 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
 #include "src/bpred/simple_predictors.h"
 #include "src/bpred/two_bc_gskew.h"
 #include "src/memory/hierarchy.h"
+#include "src/runner/sweep_runner.h"
 #include "src/sim/presets.h"
 #include "src/sim/simulator.h"
 #include "src/workload/profiles.h"
@@ -85,6 +92,109 @@ BENCHMARK_CAPTURE(BM_SimulatorThroughput, wsrs_rm512_swim, "WSRS-RM-512",
                   "swim")
     ->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------
+// Machine-readable throughput tracking (BENCH_sim_throughput.json).
+//
+// `microbench_components --sim-throughput-json=PATH` skips the google
+// benchmarks and instead measures (a) whole-machine simulation throughput
+// in micro-ops/second for each Figure-4 preset and (b) the wall-clock of
+// the full 12-benchmark x 6-machine sweep, serial versus parallel. The
+// JSON feeds scripts/check_throughput.py (ctest label `perf-smoke`) so
+// host-performance regressions are caught from this file onward.
+// ---------------------------------------------------------------------
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+}
+
+int
+emitThroughputJson(const std::string &path)
+{
+    const std::uint64_t kWarmup = 20000, kMeasure = 200000;
+    const std::uint64_t kSweepWarmup = 10000, kSweepMeasure = 40000;
+
+    std::FILE *out = std::fopen(path.c_str(), "w");
+    if (!out) {
+        std::fprintf(stderr, "cannot open '%s' for writing\n", path.c_str());
+        return 1;
+    }
+
+    std::fprintf(out, "{\n  \"schema\": \"wsrs-sim-throughput-v1\",\n");
+    std::fprintf(out, "  \"host_threads\": %u,\n",
+                 std::thread::hardware_concurrency());
+
+    // (a) Single-run simulator throughput per machine preset.
+    std::fprintf(out, "  \"single_run\": {\n");
+    const auto presets = sim::figure4Presets();
+    const auto &profile = workload::findProfile("gzip");
+    for (std::size_t i = 0; i < presets.size(); ++i) {
+        sim::SimConfig cfg;
+        cfg.core = sim::findPreset(presets[i]);
+        cfg.warmupUops = kWarmup;
+        cfg.measureUops = kMeasure;
+        const auto t0 = std::chrono::steady_clock::now();
+        const sim::SimResults r = sim::runSimulation(profile, cfg);
+        const double secs = secondsSince(t0);
+        const double uops = double(kWarmup) + double(kMeasure);
+        std::fprintf(out,
+                     "    \"%s\": {\"uops\": %.0f, \"seconds\": %.4f, "
+                     "\"uops_per_second\": %.0f}%s\n",
+                     presets[i].c_str(), uops, secs, uops / secs,
+                     i + 1 < presets.size() ? "," : "");
+        benchmark::DoNotOptimize(r.ipc);
+    }
+    std::fprintf(out, "  },\n");
+
+    // (b) Full-matrix sweep wall-clock, serial versus parallel runner.
+    sim::SimConfig base;
+    base.warmupUops = kSweepWarmup;
+    base.measureUops = kSweepMeasure;
+    const auto jobs = runner::SweepRunner::crossProduct(
+        workload::allProfiles(), presets, base);
+
+    runner::SweepRunner::Options serial;
+    serial.threads = 1;
+    serial.shareTraces = false;  // The pre-runner, regenerate-always path.
+    const auto t_serial = std::chrono::steady_clock::now();
+    runner::SweepRunner(serial).run(jobs);
+    const double serialSecs = secondsSince(t_serial);
+
+    runner::SweepRunner::Options parallel;  // Defaults: all cores, cache.
+    const auto t_par = std::chrono::steady_clock::now();
+    runner::SweepRunner(parallel).run(jobs);
+    const double parSecs = secondsSince(t_par);
+
+    std::fprintf(out,
+                 "  \"sweep\": {\"jobs\": %zu, \"uops_per_job\": %llu,\n"
+                 "    \"serial_seconds\": %.4f, \"parallel_seconds\": %.4f,"
+                 " \"speedup\": %.3f}\n}\n",
+                 jobs.size(),
+                 static_cast<unsigned long long>(kSweepWarmup +
+                                                 kSweepMeasure),
+                 serialSecs, parSecs, serialSecs / parSecs);
+    std::fclose(out);
+    std::printf("wrote %s\n", path.c_str());
+    return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const char *flag = "--sim-throughput-json=";
+        if (std::strncmp(argv[i], flag, std::strlen(flag)) == 0)
+            return emitThroughputJson(argv[i] + std::strlen(flag));
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

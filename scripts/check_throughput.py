@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Fail when simulator host throughput regresses against the baseline.
+
+Reads the BENCH_sim_throughput.json emitted by
+
+    microbench_components --sim-throughput-json=BENCH_sim_throughput.json
+
+and compares whole-machine simulation throughput (micro-ops simulated per
+second, per machine preset) against a checked-in baseline. The check fails
+when any preset's throughput drops more than --tolerance (default 10%)
+below its baseline value.
+
+Baseline semantics: bench/throughput_baseline.json stores conservative
+floors (deliberately below the reference host's measured numbers) so the
+check is stable across reasonably-sized machines while still catching
+order-of-magnitude regressions such as an accidental Debug build or an
+O(window) scheduler scan creeping back in. Re-baseline on a quiet host
+with:
+
+    python3 scripts/check_throughput.py --json BENCH_sim_throughput.json \
+        --write-baseline bench/throughput_baseline.json --headroom 0.5
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--json", required=True,
+                    help="BENCH_sim_throughput.json to check")
+    ap.add_argument("--baseline",
+                    help="baseline JSON with per-preset uops_per_second")
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="allowed fractional drop below baseline "
+                         "(default 0.10)")
+    ap.add_argument("--write-baseline",
+                    help="instead of checking, write a new baseline here")
+    ap.add_argument("--headroom", type=float, default=0.5,
+                    help="fraction of measured throughput recorded when "
+                         "writing a baseline (default 0.5)")
+    args = ap.parse_args()
+
+    data = load(args.json)
+    if data.get("schema") != "wsrs-sim-throughput-v1":
+        sys.exit(f"unrecognized schema in {args.json}")
+    single = data["single_run"]
+
+    if args.write_baseline:
+        baseline = {
+            "schema": "wsrs-sim-throughput-baseline-v1",
+            "note": ("conservative floors: measured uops/second x "
+                     f"{args.headroom}; regenerate with --write-baseline"),
+            "single_run_uops_per_second": {
+                preset: round(row["uops_per_second"] * args.headroom)
+                for preset, row in single.items()
+            },
+        }
+        with open(args.write_baseline, "w") as f:
+            json.dump(baseline, f, indent=2)
+            f.write("\n")
+        print(f"wrote {args.write_baseline}")
+        return
+
+    if not args.baseline:
+        sys.exit("--baseline is required unless --write-baseline is given")
+    baseline = load(args.baseline)
+    floors = baseline["single_run_uops_per_second"]
+
+    failures = []
+    for preset, floor in floors.items():
+        if preset not in single:
+            failures.append(f"{preset}: missing from {args.json}")
+            continue
+        measured = single[preset]["uops_per_second"]
+        limit = floor * (1.0 - args.tolerance)
+        status = "ok" if measured >= limit else "REGRESSED"
+        print(f"{preset:14s} {measured:12.0f} uops/s "
+              f"(floor {floor:.0f}, limit {limit:.0f}) {status}")
+        if measured < limit:
+            failures.append(
+                f"{preset}: {measured:.0f} uops/s is more than "
+                f"{args.tolerance:.0%} below baseline {floor:.0f}")
+
+    sweep = data.get("sweep", {})
+    if sweep:
+        print(f"sweep: {sweep.get('jobs')} jobs, "
+              f"serial {sweep.get('serial_seconds'):.2f}s, "
+              f"parallel {sweep.get('parallel_seconds'):.2f}s, "
+              f"speedup {sweep.get('speedup'):.2f}x")
+
+    if failures:
+        print("\nthroughput regression detected:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        sys.exit(1)
+    print("throughput ok")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,173 @@
+#include "cluster_alloc.h"
+
+#include <algorithm>
+
+#include "src/common/log.h"
+
+namespace wsrs::core {
+
+ClusterAllocator::ClusterAllocator(const CoreParams &params)
+    : params_(params), rng_(params.seed ^ 0xa110c8ull)
+{
+    if (params.mode == RegFileMode::Wsrs && params.numClusters != 4)
+        fatal("the WSRS allocation geometry requires 4 clusters (got %u)",
+              params.numClusters);
+    if (params.numClusters == 0 || params.numClusters > kMaxClusters)
+        fatal("unsupported cluster count %u", params.numClusters);
+}
+
+std::array<AllocDecision, 4>
+ClusterAllocator::wsrsOptions(const isa::MicroOp &op,
+                              const AllocContext &ctx,
+                              unsigned &count) const
+{
+    std::array<AllocDecision, 4> opts{};
+    count = 0;
+    const bool can_swap =
+        params_.commutativeFus || op.commutative;
+
+    if (op.isDyadic()) {
+        opts[count++] = {wsrsCluster(ctx.src1Subset, ctx.src2Subset), false};
+        if (can_swap && ctx.src1Subset != ctx.src2Subset)
+            opts[count++] = {wsrsCluster(ctx.src2Subset, ctx.src1Subset),
+                             true};
+    } else if (op.isMonadic()) {
+        // Operand on the first port: top/bottom fixed, left/right free.
+        const SubsetId s = ctx.src1Subset;
+        opts[count++] = {static_cast<ClusterId>((s & 2) | 0), false};
+        opts[count++] = {static_cast<ClusterId>((s & 2) | 1), false};
+        if (params_.commutativeFus) {
+            // Operand on the second port: left/right fixed by the subset's
+            // g bit, top/bottom free. One of the two coincides with an
+            // option above; keep the distinct one.
+            const ClusterId a = static_cast<ClusterId>(0 | (s & 1));
+            const ClusterId b = static_cast<ClusterId>(2 | (s & 1));
+            const ClusterId distinct = ((a >> 1) == ((s & 2) >> 1)) ? b : a;
+            opts[count++] = {distinct, true};
+        }
+    } else {
+        for (ClusterId c = 0; c < 4; ++c)
+            opts[count++] = {c, false};
+    }
+    return opts;
+}
+
+AllocDecision
+ClusterAllocator::allocateWsrs(const isa::MicroOp &op,
+                               const AllocContext &ctx)
+{
+    unsigned count = 0;
+    auto opts = wsrsOptions(op, ctx, count);
+    WSRS_ASSERT(count > 0);
+
+    // Drop options whose cluster window is full when alternatives exist:
+    // the allocator knows per-cluster occupancy and stalling is always
+    // worse than taking another legal cluster.
+    if (ctx.inflight != nullptr) {
+        unsigned kept = 0;
+        for (unsigned i = 0; i < count; ++i)
+            if ((*ctx.inflight)[opts[i].cluster] < params_.clusterWindow)
+                opts[kept++] = opts[i];
+        if (kept > 0)
+            count = kept;
+    }
+
+    switch (params_.policy) {
+      case AllocPolicy::RandomMonadic:
+        // Only the monadic (and noadic) freedom is exploited; dyadic ops
+        // take the no-swap option and monadic ops never use the second
+        // port even when the hardware would allow it.
+        if (op.isDyadic())
+            return opts[0];
+        if (op.isMonadic())
+            return opts[rng_.below(std::min(count, 2u))];
+        return opts[rng_.below(count)];
+
+      case AllocPolicy::RandomCommutative: {
+        if (op.isMonadic() && params_.commutativeFus && count == 3) {
+            // Paper's RC: pick the instruction form first (operand on the
+            // first or second port), then one of that form's two clusters.
+            if (rng_.chance(0.5)) {
+                return opts[rng_.below(2)];  // First-port form.
+            }
+            // Second-port form: the distinct third option or its
+            // coincident twin.
+            if (rng_.chance(0.5))
+                return opts[2];
+            const SubsetId s = ctx.src1Subset;
+            return {static_cast<ClusterId>((s & 2) | (s & 1)), true};
+        }
+        return opts[rng_.below(count)];
+      }
+
+      case AllocPolicy::DependenceAware: {
+        // Prefer the producer's cluster so the result is captured through
+        // intra-cluster fast-forwarding; break ties toward the least
+        // loaded cluster.
+        WSRS_ASSERT(ctx.inflight != nullptr);
+        unsigned best = 0;
+        long best_score = 1L << 30;
+        for (unsigned i = 0; i < count; ++i) {
+            const ClusterId c = opts[i].cluster;
+            long score = static_cast<long>((*ctx.inflight)[c]);
+            if (c == ctx.src1Producer || c == ctx.src2Producer)
+                score -= static_cast<long>(params_.clusterWindow);
+            if (score < best_score) {
+                best_score = score;
+                best = i;
+            }
+        }
+        return opts[best];
+      }
+
+      case AllocPolicy::RoundRobin:
+        // Legal but degenerate on WSRS: cycle through the options.
+        return opts[rrCounter_++ % count];
+    }
+    WSRS_PANIC("unhandled allocation policy");
+}
+
+AllocDecision
+ClusterAllocator::allocateUnconstrained(const isa::MicroOp &op,
+                                        const AllocContext &ctx)
+{
+    switch (params_.policy) {
+      case AllocPolicy::RoundRobin:
+        return {static_cast<ClusterId>(rrCounter_++ % params_.numClusters),
+                false};
+
+      case AllocPolicy::RandomMonadic:
+      case AllocPolicy::RandomCommutative:
+        return {static_cast<ClusterId>(rng_.below(params_.numClusters)),
+                false};
+
+      case AllocPolicy::DependenceAware: {
+        WSRS_ASSERT(ctx.inflight != nullptr);
+        // Follow a producer when its cluster has window room; otherwise
+        // pick the least-loaded cluster.
+        for (const ClusterId p : {ctx.src1Producer, ctx.src2Producer}) {
+            if (p < params_.numClusters &&
+                (*ctx.inflight)[p] + 1 < params_.clusterWindow) {
+                return {p, false};
+            }
+        }
+        ClusterId best = 0;
+        for (ClusterId c = 1; c < params_.numClusters; ++c)
+            if ((*ctx.inflight)[c] < (*ctx.inflight)[best])
+                best = c;
+        (void)op;
+        return {best, false};
+      }
+    }
+    WSRS_PANIC("unhandled allocation policy");
+}
+
+AllocDecision
+ClusterAllocator::allocate(const isa::MicroOp &op, const AllocContext &ctx)
+{
+    if (params_.mode == RegFileMode::Wsrs)
+        return allocateWsrs(op, ctx);
+    return allocateUnconstrained(op, ctx);
+}
+
+} // namespace wsrs::core

@@ -1,0 +1,873 @@
+#include "core.h"
+#include <cstdlib>
+
+#include <algorithm>
+
+#include "src/workload/dataflow.h"
+
+namespace wsrs::core {
+
+namespace {
+
+/** Validate a machine description before construction. */
+CoreParams
+validated(CoreParams p)
+{
+    if (p.fetchWidth == 0 || p.commitWidth == 0 || p.issuePerCluster == 0)
+        fatal("zero pipeline width");
+    if (p.numClusters == 0 || p.numClusters > kMaxClusters)
+        fatal("unsupported cluster count %u", p.numClusters);
+    if (p.clusterWindow == 0)
+        fatal("zero cluster window");
+    if (p.mode == RegFileMode::Wsrs && p.numClusters != 4)
+        fatal("WSRS requires 4 clusters");
+    if (p.writebackPerCluster == 0)
+        fatal("zero write-back bandwidth");
+    return p;
+}
+
+} // namespace
+
+Core::Core(const CoreParams &params, workload::MicroOpSource &gen,
+           bpred::BranchPredictor &bp, memory::MemoryHierarchy &mem)
+    : params_(validated(params)), gen_(gen), bp_(bp), mem_(mem),
+      prf_(params_.numPhysRegs,
+           params_.mode == RegFileMode::Conventional ? 1
+           : params_.mode == RegFileMode::WriteSpecPools
+               ? kNumFuPools
+               : params_.numClusters),
+      renamer_(prf_, params_.renameImpl, params_.fetchWidth,
+               params_.recycleDelay),
+      alloc_(params_), lsq_(params_.lsqSize), rng_(params_.seed),
+      rob_(std::size_t{params_.numClusters} * params_.clusterWindow),
+      regWaiters_(params_.numPhysRegs), wakeWheel_(kWakeRing),
+      prod_(params_.numPhysRegs), wbSlots_(params_.numClusters)
+{
+    renamer_.initMapping(&workload::initRegValue);
+}
+
+SubsetId
+Core::targetSubset(ClusterId cluster) const
+{
+    return params_.mode == RegFileMode::Conventional
+               ? SubsetId{0}
+               : static_cast<SubsetId>(cluster);
+}
+
+SubsetId
+Core::destSubset(const isa::MicroOp &op, ClusterId cluster) const
+{
+    // Figure 2b: pool-level specialization picks the subset by the
+    // executing functional-unit pool, not the cluster.
+    if (params_.mode == RegFileMode::WriteSpecPools)
+        return poolSubsetOf(op.op);
+    return targetSubset(cluster);
+}
+
+Cycle
+Core::ffPenalty(ClusterId producer, ClusterId consumer) const
+{
+    if (producer >= params_.numClusters)  // Architectural / retired value.
+        return 0;
+    switch (params_.ffScope) {
+      case FastForwardScope::Complete:
+        return 0;
+      case FastForwardScope::AdjacentPair:
+        return (producer >> 1) == (consumer >> 1) ? 0 : 1;
+      case FastForwardScope::IntraCluster:
+      default:
+        return producer == consumer ? 0 : 1;
+    }
+}
+
+bool
+Core::srcReady(const DynInst &d) const
+{
+    const auto ready = [&](PhysReg p) {
+        if (p == kNoPhysReg)
+            return true;
+        const Producer &info = prod_[p];
+        if (info.readyBase == kNeverCycle)
+            return false;
+        return now_ >= info.readyBase + ffPenalty(info.cluster, d.cluster);
+    };
+    // Memory ops are gated by the in-order address pipeline instead of
+    // register readiness (stores capture their data lazily).
+    if (isa::isMemOp(d.op.op))
+        return true;
+    if (!ready(d.psrc1))
+        return false;
+    return ready(d.psrc2);
+}
+
+void
+Core::insertReady(std::uint64_t rob_num)
+{
+    // Ready lists stay sorted by ROB number so the issue stage keeps the
+    // oldest-first selection order of the former full-queue scan.
+    auto &q = readyQ_[rob(rob_num).cluster];
+    const auto it = std::lower_bound(q.begin(), q.end(), rob_num);
+    if (it == q.end() || *it != rob_num)
+        q.insert(it, rob_num);
+}
+
+void
+Core::scheduleWake(std::uint64_t rob_num, Cycle at)
+{
+    WSRS_ASSERT(at > now_);
+    if (at - now_ >= kWakeRing) {
+        farWakes_.emplace_back(at, rob_num);
+        return;
+    }
+    WakeBucket &b = wakeWheel_[at % kWakeRing];
+    if (b.cycle != at) {
+        b.cycle = at;
+        b.robs.clear();
+    }
+    b.robs.push_back(rob_num);
+}
+
+void
+Core::subscribeOrSchedule(std::uint64_t rob_num)
+{
+    const DynInst &d = rob(rob_num);
+    // Memory micro-ops are gated by the in-order address pipeline: they
+    // enter the ready list when agenStage computes their address.
+    WSRS_ASSERT(!isa::isMemOp(d.op.op));
+    const auto pending = [&](PhysReg p) {
+        return p != kNoPhysReg && prod_[p].readyBase == kNeverCycle;
+    };
+    // Wait on one un-issued source at a time; wakeOne() re-evaluates and
+    // re-subscribes to the other source if it is still outstanding.
+    if (pending(d.psrc1)) {
+        regWaiters_[d.psrc1].push_back(rob_num);
+        return;
+    }
+    if (pending(d.psrc2)) {
+        regWaiters_[d.psrc2].push_back(rob_num);
+        return;
+    }
+    // Both producers issued: the operands become readable at a known cycle.
+    Cycle at = now_ + 1;
+    const auto account = [&](PhysReg p) {
+        if (p == kNoPhysReg)
+            return;
+        const Producer &info = prod_[p];
+        at = std::max(at, info.readyBase + ffPenalty(info.cluster, d.cluster));
+    };
+    account(d.psrc1);
+    account(d.psrc2);
+    scheduleWake(rob_num, at);
+}
+
+void
+Core::wakeDependants(PhysReg preg)
+{
+    auto &waiters = regWaiters_[preg];
+    if (waiters.empty())
+        return;
+    const Producer &info = prod_[preg];
+    for (const std::uint64_t n : waiters) {
+        const DynInst &d = rob(n);
+        scheduleWake(n, std::max(now_ + 1,
+                                 info.readyBase +
+                                     ffPenalty(info.cluster, d.cluster)));
+    }
+    waiters.clear();
+}
+
+void
+Core::wakeOne(std::uint64_t rob_num)
+{
+    if (rob_num < robHead_)
+        return;  // Entry already retired (defensive; tokens are unique).
+    DynInst &d = rob(rob_num);
+    if (d.state != InstState::Waiting)
+        return;
+    if (srcReady(d))
+        insertReady(rob_num);
+    else
+        subscribeOrSchedule(rob_num);
+}
+
+void
+Core::drainWakes()
+{
+    WakeBucket &b = wakeWheel_[now_ % kWakeRing];
+    if (b.cycle == now_) {
+        // wakeOne may scheduleWake again, but always at a cycle > now_,
+        // which (with the far-wake overflow) never lands in this bucket.
+        for (std::size_t i = 0; i < b.robs.size(); ++i)
+            wakeOne(b.robs[i]);
+        b.robs.clear();
+        b.cycle = kNeverCycle;
+    }
+    if (!farWakes_.empty()) {
+        std::size_t w = 0;
+        for (std::size_t i = 0; i < farWakes_.size(); ++i) {
+            if (farWakes_[i].first <= now_)
+                wakeOne(farWakes_[i].second);
+            else
+                farWakes_[w++] = farWakes_[i];
+        }
+        farWakes_.resize(w);
+    }
+}
+
+Cycle
+Core::reserveWriteback(ClusterId c, Cycle nominal)
+{
+    Cycle cycle = nominal;
+    for (;;) {
+        WbSlot &slot = wbSlots_[c][cycle % kWbRing];
+        if (slot.cycle != cycle) {
+            slot.cycle = cycle;
+            slot.count = 0;
+        }
+        if (slot.count < params_.writebackPerCluster) {
+            ++slot.count;
+            return cycle;
+        }
+        ++cycle;
+    }
+}
+
+std::uint64_t
+Core::committedMemValue(Addr a) const
+{
+    const auto it = committedMem_.find(a);
+    return it != committedMem_.end() ? it->second
+                                     : workload::memInitValue(a);
+}
+
+void
+Core::assertWsrsConstraints(const DynInst &d) const
+{
+    // Read specialization (Figure 3): the subset feeding a cluster's first
+    // operand port must share its top/bottom bit, the second port its
+    // left/right bit; write specialization: results land in subset c.
+    const ClusterId c = d.cluster;
+    PhysReg first = kNoPhysReg, second = kNoPhysReg;
+    if (d.op.isDyadic()) {
+        first = d.swapped ? d.psrc2 : d.psrc1;
+        second = d.swapped ? d.psrc1 : d.psrc2;
+    } else if (d.op.isMonadic()) {
+        (d.swapped ? second : first) = d.psrc1;
+    }
+    if (first != kNoPhysReg)
+        WSRS_ASSERT((prf_.subsetOf(first) & 2) == (c & 2));
+    if (second != kNoPhysReg)
+        WSRS_ASSERT((prf_.subsetOf(second) & 1) == (c & 1));
+    if (d.pdst != kNoPhysReg)
+        WSRS_ASSERT(prf_.subsetOf(d.pdst) == c);
+}
+
+bool
+Core::tryIssue(std::uint64_t rob_num)
+{
+    DynInst &d = rob(rob_num);
+    WSRS_ASSERT(d.state == InstState::Waiting);
+    const ClusterId c = d.cluster;
+    const isa::OpClass cls = d.op.op;
+
+    // Issue-bandwidth and functional-unit availability.
+    if (cycTotal_[c] >= params_.issuePerCluster)
+        return false;
+    if (isa::isMemOp(cls)) {
+        if (cycMems_[c] >= params_.lsusPerCluster)
+            return false;
+    } else if (isa::isFpOp(cls)) {
+        if (cycFps_[c] >= params_.fpusPerCluster)
+            return false;
+        if ((cls == isa::OpClass::FpDiv || cls == isa::OpClass::FpSqrt) &&
+            fpDivBusyUntil_[c] > now_)
+            return false;
+    } else {
+        if (cycInts_[c] >= params_.alusPerCluster)
+            return false;
+        if (isa::isComplexIntOp(cls)) {
+            const unsigned unit = params_.sharedComplexUnit ? c >> 1 : c;
+            if (complexBusyUntil_[unit] > now_)
+                return false;
+        }
+    }
+
+    if (!srcReady(d))
+        return false;
+
+    // Memory access waits for the in-order address pipeline (agenStage).
+    if (isa::isMemOp(cls) && !lsq_.addrComputed(d.memOrdinal))
+        return false;
+
+    const std::uint64_t s1 =
+        d.psrc1 != kNoPhysReg ? prf_.value(d.psrc1) : 0;
+
+    Cycle eff_lat = d.op.latency();
+    std::uint64_t result = 0;
+
+    if (d.op.isLoad()) {
+        const ForwardProbe probe =
+            lsq_.probeForward(d.memOrdinal, d.op.effAddr);
+        std::uint64_t mem_val;
+        if (probe.conflict) {
+            if (!probe.dataReady)
+                return false;  // Conflicting store data still in flight.
+            mem_val = probe.value;
+            eff_lat = mem_.params().l1Latency;
+            ++stats_.loadForwards;
+            mem_.access(d.op.effAddr, false, now_);  // Keep tags warm.
+        } else {
+            const memory::TimedAccess ta =
+                mem_.access(d.op.effAddr, false, now_);
+            eff_lat = ta.latency;
+            mem_val = committedMemValue(d.op.effAddr);
+        }
+        result = workload::execValue(d.op, s1, 0, mem_val);
+    } else if (d.op.isStore()) {
+        mem_.access(d.op.effAddr, true, now_);
+        if (d.psrc2 == kNoPhysReg ||
+            prod_[d.psrc2].readyBase != kNeverCycle) {
+            const std::uint64_t s2 =
+                d.psrc2 != kNoPhysReg ? prf_.value(d.psrc2) : 0;
+            lsq_.setStoreData(d.memOrdinal,
+                              workload::storeValue(d.op, s1, s2));
+        } else {
+            pendingStoreData_.push_back(rob_num);
+        }
+    } else if (d.injectedMove) {
+        result = s1;
+    } else if (d.op.hasDest()) {
+        const std::uint64_t s2 =
+            d.psrc2 != kNoPhysReg ? prf_.value(d.psrc2) : 0;
+        result = workload::execValue(d.op, s1, s2, 0);
+    }
+
+    // Non-pipelined long-latency units.
+    if (cls == isa::OpClass::FpDiv || cls == isa::OpClass::FpSqrt)
+        fpDivBusyUntil_[c] = now_ + eff_lat;
+    if (isa::isComplexIntOp(cls)) {
+        const unsigned unit = params_.sharedComplexUnit ? c >> 1 : c;
+        complexBusyUntil_[unit] = now_ + eff_lat;
+    }
+
+    if (d.op.hasDest()) {
+        // Write-back port arbitration may push the result later.
+        const Cycle nominal = now_ + params_.regReadStages + eff_lat;
+        const Cycle actual = reserveWriteback(c, nominal);
+        eff_lat += actual - nominal;
+        d.result = result;
+        prf_.setValue(d.pdst, result);
+        prod_[d.pdst].readyBase = now_ + eff_lat;
+        prod_[d.pdst].cluster = c;
+        // Result broadcast: move exact dependants onto the wake wheel at
+        // the cycle the value becomes readable from their cluster.
+        wakeDependants(d.pdst);
+    }
+
+    d.state = InstState::Issued;
+    d.issueCycle = now_;
+    d.completeCycle = now_ + params_.regReadStages + eff_lat;
+    if (params_.mode == RegFileMode::Wsrs)
+        assertWsrsConstraints(d);
+
+    if (d.op.isBranch() && d.mispredicted) {
+        // Redirect: fetch restarts the cycle after resolution.
+        fetchStalled_ = false;
+        fetchResumeAt_ = now_ + params_.regReadStages + eff_lat;
+    }
+
+    ++cycTotal_[c];
+    if (isa::isMemOp(cls))
+        ++cycMems_[c];
+    else if (isa::isFpOp(cls))
+        ++cycFps_[c];
+    else
+        ++cycInts_[c];
+    return true;
+}
+
+void
+Core::issueStage()
+{
+    cycTotal_.fill(0);
+    cycInts_.fill(0);
+    cycMems_.fill(0);
+    cycFps_.fill(0);
+
+    // Move micro-ops whose operands became ready this cycle onto the
+    // per-cluster ready lists, then select oldest-first among ready
+    // entries only. Entries stay listed while resource-blocked (issue
+    // ports, busy units, conflicting store data still in flight).
+    drainWakes();
+    for (ClusterId c = 0; c < params_.numClusters; ++c) {
+        auto &q = readyQ_[c];
+        std::size_t w = 0;
+        for (std::size_t i = 0; i < q.size(); ++i) {
+            if (rob(q[i]).state == InstState::Issued)
+                continue;
+            if (!tryIssue(q[i]))
+                q[w++] = q[i];
+        }
+        q.resize(w);
+    }
+
+    unsigned issued_now = 0;
+    for (ClusterId c = 0; c < params_.numClusters; ++c)
+        issued_now += cycTotal_[c];
+    ++stats_.issueWidthHist[std::min<std::size_t>(
+        issued_now, stats_.issueWidthHist.size() - 1)];
+    stats_.windowOccupancySum += robTail_ - robHead_;
+}
+
+void
+Core::agenStage()
+{
+    // Dedicated in-order address-computation path (paper section 5.2):
+    // addresses are computed in program order as soon as the address
+    // operand is available, independent of cluster issue slots.
+    unsigned done = 0;
+    std::uint64_t rn = 0;
+    while (done < params_.agenWidth && lsq_.nextAgen(rn)) {
+        DynInst &d = rob(rn);
+        if (d.psrc1 != kNoPhysReg) {
+            const Producer &info = prod_[d.psrc1];
+            if (info.readyBase == kNeverCycle || now_ < info.readyBase)
+                break;
+        }
+        lsq_.markAddrComputed(d.memOrdinal);
+        // Address known: the memory op becomes eligible for issue (this
+        // stage runs after issueStage, so the earliest attempt is next
+        // cycle, exactly as under the former every-cycle scan).
+        insertReady(rn);
+        ++done;
+    }
+}
+
+void
+Core::captureStoreData()
+{
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < pendingStoreData_.size(); ++i) {
+        const std::uint64_t n = pendingStoreData_[i];
+        if (n < robHead_)
+            continue;  // Already captured at commit.
+        DynInst &d = rob(n);
+        if (d.psrc2 != kNoPhysReg &&
+            prod_[d.psrc2].readyBase == kNeverCycle) {
+            pendingStoreData_[w++] = n;
+            continue;
+        }
+        const std::uint64_t s1 =
+            d.psrc1 != kNoPhysReg ? prf_.value(d.psrc1) : 0;
+        const std::uint64_t s2 =
+            d.psrc2 != kNoPhysReg ? prf_.value(d.psrc2) : 0;
+        lsq_.setStoreData(d.memOrdinal, workload::storeValue(d.op, s1, s2));
+    }
+    pendingStoreData_.resize(w);
+}
+
+void
+Core::recordAllocation(ClusterId cluster)
+{
+    ++stats_.perCluster[cluster];
+    ++groupCount_[cluster];
+    if (++groupFill_ == 128) {
+        bool unbalanced = false;
+        for (ClusterId c = 0; c < params_.numClusters; ++c)
+            if (groupCount_[c] < 24 || groupCount_[c] > 40)
+                unbalanced = true;
+        ++stats_.totalGroups;
+        if (unbalanced)
+            ++stats_.unbalancedGroups;
+        groupCount_.fill(0);
+        groupFill_ = 0;
+    }
+}
+
+bool
+Core::tryInjectMove(SubsetId blocked_subset)
+{
+    if (params_.mode == RegFileMode::Conventional)
+        return false;  // Single subset: moves cannot help.
+    if (robTail_ - robHead_ >= rob_.size())
+        return false;
+
+    // Victim: any logical register currently mapped into the full subset.
+    LogReg victim = kNoLogReg;
+    for (unsigned r = 0; r < isa::kNumLogRegs; ++r) {
+        if (renamer_.subsetOfLog(static_cast<LogReg>(r)) == blocked_subset) {
+            victim = static_cast<LogReg>(r);
+            break;
+        }
+    }
+    if (victim == kNoLogReg)
+        return false;
+
+    isa::MicroOp m;
+    m.op = isa::OpClass::IntAlu;
+    m.src1 = victim;
+    m.dst = victim;
+    m.pc = 0;
+    m.seq = 0;
+
+    // Legal clusters for the move whose target subset differs and has a
+    // free register and window room.
+    AllocDecision chosen{};
+    bool found = false;
+    if (params_.mode == RegFileMode::Wsrs) {
+        AllocContext ctx;
+        ctx.src1Subset = blocked_subset;
+        unsigned count = 0;
+        const auto opts = alloc_.wsrsOptions(m, ctx, count);
+        for (unsigned i = 0; i < count; ++i) {
+            const SubsetId t = targetSubset(opts[i].cluster);
+            if (t != blocked_subset && renamer_.canAllocate(t) &&
+                inflight_[opts[i].cluster] < params_.clusterWindow) {
+                chosen = opts[i];
+                found = true;
+                break;
+            }
+        }
+    } else if (params_.mode == RegFileMode::WriteSpecPools) {
+        // Moves execute on the simple-ALU pool; they can only free
+        // registers *into* that pool's subset.
+        const SubsetId t = poolSubsetOf(isa::OpClass::IntAlu);
+        if (t != blocked_subset && renamer_.canAllocate(t)) {
+            for (ClusterId c = 0; c < params_.numClusters; ++c) {
+                if (inflight_[c] < params_.clusterWindow) {
+                    chosen = {c, false};
+                    found = true;
+                    break;
+                }
+            }
+        }
+    } else {
+        for (ClusterId c = 0; c < params_.numClusters; ++c) {
+            const SubsetId t = targetSubset(c);
+            if (t != blocked_subset && renamer_.canAllocate(t) &&
+                inflight_[c] < params_.clusterWindow) {
+                chosen = {c, false};
+                found = true;
+                break;
+            }
+        }
+    }
+    if (!found)
+        return false;
+
+    const RenamedRegs rr = renamer_.rename(m, destSubset(m, chosen.cluster));
+    DynInst d;
+    d.op = m;
+    d.psrc1 = rr.psrc1;
+    d.pdst = rr.pdst;
+    d.oldPdst = rr.oldPdst;
+    d.cluster = chosen.cluster;
+    d.swapped = chosen.swapped;
+    d.injectedMove = true;
+    prod_[rr.pdst] = {kNeverCycle, chosen.cluster};
+
+    const std::uint64_t n = robTail_++;
+    rob(n) = d;
+    subscribeOrSchedule(n);
+    ++inflight_[chosen.cluster];
+    ++stats_.injectedMoves;
+    return true;
+}
+
+void
+Core::renameStage()
+{
+    renamer_.beginCycle(now_);
+    unsigned renamed = 0;
+    while (renamed < params_.fetchWidth) {
+        if (fetchQ_.empty() || fetchQ_.front().readyAt > now_)
+            break;
+        if (robTail_ - robHead_ >= rob_.size()) {
+            ++stats_.renameStallRob;
+            break;
+        }
+        const Fetched &f = fetchQ_.front();
+        const isa::MicroOp &op = f.op;
+        if (isa::isMemOp(op.op) && lsq_.full()) {
+            ++stats_.renameStallLsq;
+            break;
+        }
+
+        AllocContext ctx;
+        ctx.inflight = &inflight_;
+        PhysReg psrc1 = kNoPhysReg, psrc2 = kNoPhysReg;
+        if (op.src1 != kNoLogReg) {
+            psrc1 = renamer_.mapping(op.src1);
+            ctx.src1Subset = prf_.subsetOf(psrc1);
+            ctx.src1Producer = prod_[psrc1].cluster;
+        }
+        if (op.src2 != kNoLogReg) {
+            psrc2 = renamer_.mapping(op.src2);
+            ctx.src2Subset = prf_.subsetOf(psrc2);
+            ctx.src2Producer = prod_[psrc2].cluster;
+        }
+
+        AllocDecision dec = alloc_.allocate(op, ctx);
+        if (params_.deadlockPolicy == DeadlockPolicy::Avoidance &&
+            op.hasDest() && params_.mode != RegFileMode::Conventional &&
+            !renamer_.canAllocate(destSubset(op, dec.cluster))) {
+            // Workaround (a), section 2.3: steer the instruction to a
+            // cluster whose subset still has a free register, if its
+            // placement freedom allows one.
+            if (params_.mode == RegFileMode::Wsrs) {
+                unsigned count = 0;
+                const auto opts = alloc_.wsrsOptions(op, ctx, count);
+                for (unsigned i = 0; i < count; ++i) {
+                    if (renamer_.canAllocate(targetSubset(opts[i].cluster))
+                        && inflight_[opts[i].cluster] <
+                               params_.clusterWindow) {
+                        dec = opts[i];
+                        break;
+                    }
+                }
+            } else if (params_.mode == RegFileMode::WriteSpec) {
+                for (ClusterId c = 0; c < params_.numClusters; ++c) {
+                    if (renamer_.canAllocate(targetSubset(c)) &&
+                        inflight_[c] < params_.clusterWindow) {
+                        dec = {c, false};
+                        break;
+                    }
+                }
+            }
+            // Pool-level specialization has no freedom: the pool is fixed
+            // by the op class, so avoidance cannot help there.
+        }
+        if (inflight_[dec.cluster] >= params_.clusterWindow) {
+            ++stats_.renameStallWindow;
+            break;
+        }
+        const SubsetId tgt = destSubset(op, dec.cluster);
+        if (op.hasDest() && !renamer_.canAllocate(tgt)) {
+            ++stats_.renameStallFreeReg;
+            if (params_.deadlockPolicy == DeadlockPolicy::MoveInjection &&
+                renamer_.deadlocked(tgt))
+                tryInjectMove(tgt);
+            break;
+        }
+
+        const RenamedRegs rr = renamer_.rename(op, tgt);
+        DynInst d;
+        d.op = op;
+        d.expected = f.expected;
+        d.renameCycle = now_;
+        d.psrc1 = rr.psrc1;
+        d.psrc2 = rr.psrc2;
+        d.pdst = rr.pdst;
+        d.oldPdst = rr.oldPdst;
+        d.cluster = dec.cluster;
+        d.swapped = dec.swapped;
+        d.mispredicted = f.mispredicted;
+        if (isa::isMemOp(op.op))
+            d.memOrdinal = lsq_.allocate(op.isStore(), op.effAddr, robTail_);
+        if (op.hasDest())
+            prod_[rr.pdst] = {kNeverCycle, dec.cluster};
+
+        const std::uint64_t n = robTail_++;
+        rob(n) = d;
+        if (!isa::isMemOp(op.op))
+            subscribeOrSchedule(n);
+        ++inflight_[dec.cluster];
+        recordAllocation(dec.cluster);
+
+        fetchQ_.pop_front();
+        ++renamed;
+    }
+    renamer_.endCycle(now_);
+}
+
+void
+Core::fetchStage()
+{
+    if (fetchStalled_ || now_ < fetchResumeAt_)
+        return;
+    unsigned fetched = 0;
+    while (fetched < params_.fetchWidth &&
+           fetchQ_.size() < params_.fetchQueue) {
+        const isa::MicroOp op = gen_.next();
+        Fetched f;
+        f.op = op;
+        f.expected =
+            params_.verifyDataflow ? oracle_.execute(op) : 0;
+        f.readyAt = now_ + params_.frontEndDepth;
+        f.mispredicted = false;
+        if (op.isBranch()) {
+            const bool pred = bp_.lookup(op.pc);
+            bp_.update(op.pc, op.taken);
+            f.mispredicted = !bp_.isPerfect() && pred != op.taken;
+        }
+        fetchQ_.push_back(f);
+        ++fetched;
+        if (f.mispredicted) {
+            fetchStalled_ = true;
+            break;
+        }
+        if (params_.fetchBreakOnTaken && op.isBranch() && op.taken)
+            break;
+    }
+}
+
+void
+Core::commitStage()
+{
+    unsigned width = 0;
+    while (width < params_.commitWidth && robHead_ != robTail_) {
+        DynInst &d = rob(robHead_);
+        if (d.state != InstState::Issued || now_ < d.completeCycle)
+            break;
+
+        if (d.op.isStore()) {
+            if (!lsq_.storeDataReady(d.memOrdinal)) {
+                // Producer committed earlier, so the value is available.
+                const std::uint64_t s1 =
+                    d.psrc1 != kNoPhysReg ? prf_.value(d.psrc1) : 0;
+                const std::uint64_t s2 =
+                    d.psrc2 != kNoPhysReg ? prf_.value(d.psrc2) : 0;
+                lsq_.setStoreData(d.memOrdinal,
+                                  workload::storeValue(d.op, s1, s2));
+            }
+            committedMem_[d.op.effAddr] = lsq_.storeData(d.memOrdinal);
+            lsq_.popFront();
+        } else if (d.op.isLoad()) {
+            lsq_.popFront();
+        }
+
+        if (d.op.hasDest()) {
+            if (params_.verifyDataflow && !d.injectedMove &&
+                d.result != d.expected) {
+                ++stats_.valueMismatches;
+            }
+            renamer_.commitFree(d.oldPdst, now_);
+        }
+
+        if (d.op.isBranch()) {
+            ++stats_.branches;
+            if (d.mispredicted)
+                ++stats_.mispredicts;
+        }
+
+        if (timelineCapacity_ > 0) {
+            timeline_.push_back(TimelineEntry{
+                d.op.seq, d.op.pc, d.op.op, d.cluster, d.mispredicted,
+                d.renameCycle, d.issueCycle, d.completeCycle, now_});
+            if (timeline_.size() > timelineCapacity_)
+                timeline_.pop_front();
+        }
+
+        WSRS_ASSERT(inflight_[d.cluster] > 0);
+        --inflight_[d.cluster];
+        ++robHead_;
+        ++width;
+        if (!d.injectedMove)
+            ++stats_.committed;
+    }
+}
+
+void
+Core::tick()
+{
+    commitStage();
+    captureStoreData();
+    issueStage();
+    agenStage();
+    renameStage();
+    fetchStage();
+    ++now_;
+    ++stats_.cycles;
+}
+
+void
+Core::run(std::uint64_t num_uops)
+{
+    const std::uint64_t target = stats_.committed + num_uops;
+    std::uint64_t last_committed = stats_.committed;
+    Cycle last_progress = now_;
+    while (stats_.committed < target) {
+        tick();
+        if (stats_.committed != last_committed) {
+            last_committed = stats_.committed;
+            last_progress = now_;
+        } else if (now_ - last_progress > 500000) {
+            fatal("core '%s': no commit in 500000 cycles at cycle %llu "
+                  "(unresolvable deadlock?)",
+                  params_.name.c_str(),
+                  static_cast<unsigned long long>(now_));
+        }
+    }
+}
+
+Core::RegAccounting
+Core::regAccounting() const
+{
+    RegAccounting acc;
+    acc.total = prf_.numRegs();
+    for (unsigned s = 0; s < prf_.numSubsets(); ++s)
+        acc.free += prf_.numFree(static_cast<SubsetId>(s));
+    acc.recycling = prf_.inRecycler() + renamer_.staged();
+    acc.architectural = isa::kNumLogRegs;
+    // Each in-flight destination-producing micro-op holds exactly one
+    // outgoing mapping (its oldPdst) that frees at commit; the new
+    // mapping is counted as architectural (it is in the map table, or
+    // appears as a younger op's oldPdst).
+    for (std::uint64_t n = robHead_; n != robTail_; ++n)
+        if (rob(n).oldPdst != kNoPhysReg)
+            ++acc.inFlight;
+    return acc;
+}
+
+void
+Core::enableTimeline(std::size_t capacity)
+{
+    timelineCapacity_ = capacity;
+    timeline_.clear();
+}
+
+void
+Core::dumpTimeline(std::ostream &os, std::size_t max_rows) const
+{
+    if (timeline_.empty()) {
+        os << "(timeline empty; call enableTimeline first)\n";
+        return;
+    }
+    const std::size_t first =
+        timeline_.size() > max_rows ? timeline_.size() - max_rows : 0;
+    const Cycle base = timeline_[first].renameCycle;
+    os << "seq        cluster op       "
+          "R=rename I=issue C=complete X=commit (cycle - "
+       << base << ")\n";
+    for (std::size_t i = first; i < timeline_.size(); ++i) {
+        const TimelineEntry &e = timeline_[i];
+        char line[96];
+        std::snprintf(line, sizeof(line), "%-10llu C%u      %-8s ",
+                      (unsigned long long)e.seq, unsigned(e.cluster),
+                      std::string(isa::opClassName(e.op)).c_str());
+        os << line;
+        // Draw the four pipeline events on a relative-cycle ruler.
+        const Cycle rel_commit = e.commitCycle - base;
+        std::string ruler(std::min<Cycle>(rel_commit + 1, 60), '.');
+        const auto mark = [&](Cycle cycle, char m) {
+            const Cycle rel = cycle - base;
+            if (rel < ruler.size())
+                ruler[static_cast<std::size_t>(rel)] = m;
+        };
+        mark(e.renameCycle, 'R');
+        mark(e.issueCycle, 'I');
+        mark(e.completeCycle, 'C');
+        mark(e.commitCycle, 'X');
+        os << ruler << (e.mispredicted ? "  <mispredict" : "") << "\n";
+    }
+}
+
+void
+Core::resetStats()
+{
+    stats_ = CoreStats{};
+    groupCount_.fill(0);
+    groupFill_ = 0;
+}
+
+} // namespace wsrs::core

@@ -1,0 +1,329 @@
+/**
+ * @file
+ * The cycle-level out-of-order clustered execution core.
+ *
+ * Pipeline model (paper section 5): an idealized front end sustains
+ * fetchWidth micro-ops per cycle through a frontEndDepth-stage pipe into
+ * rename; rename allocates clusters (policy) and physical registers (write
+ * specialization); per-cluster 2-way schedulers issue oldest-first with
+ * bypass-aware operand readiness (free fast-forwarding inside a cluster,
+ * +1 cycle across clusters); loads/stores compute addresses in order with
+ * exact conflict detection and store-to-load forwarding; commit retires
+ * in order, frees previous mappings and (optionally) verifies every
+ * destination value against the in-order oracle.
+ *
+ * Branch mispredictions are modeled trace-driven: fetch stalls at the
+ * mispredicted branch and resumes when it resolves, giving the paper's
+ * configured minimum penalties (CoreParams::minMispredictPenalty).
+ */
+#pragma once
+
+#include <array>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/bpred/predictor.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/core/cluster_alloc.h"
+#include "src/core/lsq.h"
+#include "src/core/params.h"
+#include "src/core/phys_regfile.h"
+#include "src/core/rename.h"
+#include "src/isa/micro_op.h"
+#include "src/memory/hierarchy.h"
+#include "src/workload/oracle.h"
+#include "src/workload/source.h"
+
+namespace wsrs::core {
+
+/** Scheduling state of an in-flight micro-op. */
+enum class InstState : std::uint8_t { Waiting, Issued };
+
+/** One in-flight micro-op. */
+struct DynInst
+{
+    isa::MicroOp op;
+    std::uint64_t expected = 0;      ///< Oracle value (verify mode).
+    std::uint64_t result = 0;        ///< Dataflow value produced.
+    std::uint64_t memOrdinal = 0;    ///< LSQ ordinal (memory ops).
+    Cycle renameCycle = 0;           ///< Cycle the op entered the window.
+    Cycle issueCycle = kNeverCycle;
+    Cycle completeCycle = kNeverCycle;
+    PhysReg psrc1 = kNoPhysReg;
+    PhysReg psrc2 = kNoPhysReg;
+    PhysReg pdst = kNoPhysReg;
+    PhysReg oldPdst = kNoPhysReg;
+    ClusterId cluster = 0;
+    bool swapped = false;            ///< Operand ports exchanged.
+    bool injectedMove = false;       ///< Deadlock-workaround move.
+    bool mispredicted = false;       ///< Mispredicted branch.
+    InstState state = InstState::Waiting;
+};
+
+/** Aggregate results of a simulation phase. */
+struct CoreStats
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t committed = 0;        ///< Trace micro-ops committed.
+    std::uint64_t injectedMoves = 0;    ///< Deadlock-workaround moves.
+    std::uint64_t branches = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t loadForwards = 0;     ///< Loads served by the LSQ.
+    std::uint64_t renameStallFreeReg = 0;
+    std::uint64_t renameStallWindow = 0;
+    std::uint64_t renameStallRob = 0;
+    std::uint64_t renameStallLsq = 0;
+    std::uint64_t unbalancedGroups = 0; ///< Figure-5 metric numerator.
+    std::uint64_t totalGroups = 0;      ///< Figure-5 metric denominator.
+    std::uint64_t valueMismatches = 0;  ///< Dataflow verification failures.
+    std::array<std::uint64_t, kMaxClusters> perCluster{};
+    /** Cycles by number of micro-ops issued that cycle (0..16+). */
+    std::array<std::uint64_t, 17> issueWidthHist{};
+    std::uint64_t windowOccupancySum = 0;  ///< Summed over cycles.
+
+    double
+    meanIssueWidth() const
+    {
+        std::uint64_t issued = 0, cyc = 0;
+        for (std::size_t w = 0; w < issueWidthHist.size(); ++w) {
+            issued += w * issueWidthHist[w];
+            cyc += issueWidthHist[w];
+        }
+        return cyc ? double(issued) / cyc : 0.0;
+    }
+
+    double
+    meanWindowOccupancy() const
+    {
+        return cycles ? double(windowOccupancySum) / cycles : 0.0;
+    }
+
+    double ipc() const { return cycles ? double(committed) / cycles : 0.0; }
+    double
+    unbalancingDegree() const
+    {
+        return totalGroups ? 100.0 * double(unbalancedGroups) / totalGroups
+                           : 0.0;
+    }
+    double
+    mispredictRate() const
+    {
+        return branches ? double(mispredicts) / branches : 0.0;
+    }
+};
+
+/** One row of the committed-instruction timeline (pipeview). */
+struct TimelineEntry
+{
+    SeqNum seq = 0;
+    Addr pc = 0;
+    isa::OpClass op = isa::OpClass::IntAlu;
+    ClusterId cluster = 0;
+    bool mispredicted = false;
+    Cycle renameCycle = 0;
+    Cycle issueCycle = 0;
+    Cycle completeCycle = 0;
+    Cycle commitCycle = 0;
+};
+
+/** The simulated machine. */
+class Core
+{
+  public:
+    /**
+     * @param params machine description (validated here).
+     * @param gen micro-op source (generator or trace file); must outlive the core.
+     * @param bp direction predictor; must outlive the core.
+     * @param mem data-memory hierarchy; must outlive the core.
+     */
+    Core(const CoreParams &params, workload::MicroOpSource &gen,
+         bpred::BranchPredictor &bp, memory::MemoryHierarchy &mem);
+
+    /**
+     * Run until @p num_uops more trace micro-ops have committed.
+     * @throws wsrs::FatalError if forward progress stops (hard deadlock).
+     */
+    void run(std::uint64_t num_uops);
+
+    /** Zero the measurement counters, keeping all machine state. */
+    void resetStats();
+
+    /**
+     * Keep a ring of the last @p capacity committed micro-ops' pipeline
+     * timestamps (0 disables recording).
+     */
+    void enableTimeline(std::size_t capacity);
+
+    /** The recorded timeline, oldest first. */
+    const std::deque<TimelineEntry> &timeline() const { return timeline_; }
+
+    /** Render the recorded timeline as a gem5-pipeview-style text chart. */
+    void dumpTimeline(std::ostream &os, std::size_t max_rows = 64) const;
+
+    /** Physical-register accounting snapshot (conservation checking). */
+    struct RegAccounting
+    {
+        unsigned free = 0;        ///< On free lists.
+        unsigned recycling = 0;   ///< In the Impl-1 recycler.
+        unsigned architectural = 0;  ///< Mapped by the map table.
+        unsigned inFlight = 0;    ///< Previous mappings awaiting commit.
+        unsigned total = 0;       ///< Register file size.
+    };
+
+    /**
+     * Count where every physical register currently lives. The invariant
+     * free + recycling + architectural + inFlight == total holds at any
+     * cycle boundary (checked by tests).
+     */
+    RegAccounting regAccounting() const;
+
+    const CoreStats &stats() const { return stats_; }
+    const CoreParams &params() const { return params_; }
+    const PhysRegFile &regFile() const { return prf_; }
+    const Renamer &renamer() const { return renamer_; }
+    Cycle now() const { return now_; }
+
+  private:
+    // ---- pipeline stages (called in tick() order) ----
+    void tick();
+    void commitStage();
+    void captureStoreData();
+    void issueStage();
+    void agenStage();
+    void renameStage();
+    void fetchStage();
+
+    // ---- helpers ----
+    bool srcReady(const DynInst &d) const;
+    Cycle ffPenalty(ClusterId producer, ClusterId consumer) const;
+    bool tryIssue(std::uint64_t rob_num);
+    void assertWsrsConstraints(const DynInst &d) const;
+
+    // ---- event-driven wake-up ----
+    void subscribeOrSchedule(std::uint64_t rob_num);
+    void scheduleWake(std::uint64_t rob_num, Cycle at);
+    void wakeDependants(PhysReg preg);
+    void wakeOne(std::uint64_t rob_num);
+    void insertReady(std::uint64_t rob_num);
+    void drainWakes();
+
+    // Per-cycle issue budgets (reset by issueStage).
+    std::array<unsigned, kMaxClusters> cycTotal_{};
+    std::array<unsigned, kMaxClusters> cycInts_{};
+    std::array<unsigned, kMaxClusters> cycMems_{};
+    std::array<unsigned, kMaxClusters> cycFps_{};
+    std::uint64_t committedMemValue(Addr a) const;
+    bool tryInjectMove(SubsetId blocked_subset);
+    void recordAllocation(ClusterId cluster);
+    SubsetId targetSubset(ClusterId cluster) const;
+    SubsetId destSubset(const isa::MicroOp &op, ClusterId cluster) const;
+
+    DynInst &rob(std::uint64_t n) { return rob_[n % rob_.size()]; }
+    const DynInst &
+    rob(std::uint64_t n) const
+    {
+        return rob_[n % rob_.size()];
+    }
+
+    CoreParams params_;
+    workload::MicroOpSource &gen_;
+    bpred::BranchPredictor &bp_;
+    memory::MemoryHierarchy &mem_;
+
+    PhysRegFile prf_;
+    Renamer renamer_;
+    ClusterAllocator alloc_;
+    LoadStoreQueue lsq_;
+    XorShiftRng rng_;
+    workload::OracleExecutor oracle_;   ///< Used in verify mode.
+
+    // ROB as a ring: absolute numbers [robHead_, robTail_).
+    std::vector<DynInst> rob_;
+    std::uint64_t robHead_ = 0;
+    std::uint64_t robTail_ = 0;
+
+    // Per-cluster ready lists of absolute ROB numbers (kept in age order;
+    // issued entries are compacted away during the scan). Unlike the former
+    // full scheduler-queue scan, only micro-ops whose source operands are
+    // known ready (or that are resource-blocked) ever appear here; waiting
+    // micro-ops sit in regWaiters_ / the wake wheel until their producers
+    // broadcast.
+    std::array<std::vector<std::uint64_t>, kMaxClusters> readyQ_;
+    std::array<unsigned, kMaxClusters> inflight_{};
+
+    // Producer-subscription wake-up: per physical register, the waiting
+    // micro-ops (ROB numbers) to notify when its producer issues. Each
+    // waiting micro-op holds exactly one pending token: either one
+    // subscription on a not-yet-issued source, or one wake-wheel slot at
+    // the cycle its (bypass-adjusted) operands become ready.
+    std::vector<std::vector<std::uint64_t>> regWaiters_;
+
+    /** Timing wheel bucket: micro-ops to re-evaluate at a given cycle. */
+    struct WakeBucket
+    {
+        Cycle cycle = kNeverCycle;
+        std::vector<std::uint64_t> robs;
+    };
+    static constexpr std::size_t kWakeRing = 4096;
+    std::vector<WakeBucket> wakeWheel_;
+    /** Wakes beyond the wheel horizon (virtually never used). */
+    std::vector<std::pair<Cycle, std::uint64_t>> farWakes_;
+
+    /** Producer info per physical register for bypass-aware wake-up. */
+    struct Producer
+    {
+        Cycle readyBase = 0;              ///< Issue cycle + latency.
+        ClusterId cluster = kMaxClusters; ///< kMaxClusters = retired state.
+    };
+    std::vector<Producer> prod_;
+
+    // Functional-unit occupancy.
+    std::array<Cycle, kMaxClusters> complexBusyUntil_{};
+    std::array<Cycle, kMaxClusters> fpDivBusyUntil_{};
+
+    // Write-back port reservations: per cluster, ring of (cycle, count).
+    struct WbSlot
+    {
+        Cycle cycle = kNeverCycle;
+        std::uint8_t count = 0;
+    };
+    static constexpr std::size_t kWbRing = 1024;
+    std::vector<std::array<WbSlot, kWbRing>> wbSlots_;
+    Cycle reserveWriteback(ClusterId c, Cycle nominal);
+
+    // Front end.
+    struct Fetched
+    {
+        isa::MicroOp op;
+        std::uint64_t expected;
+        Cycle readyAt;        ///< Earliest rename cycle.
+        bool mispredicted;
+    };
+    std::deque<Fetched> fetchQ_;
+    bool fetchStalled_ = false;     ///< Waiting on a mispredicted branch.
+    Cycle fetchResumeAt_ = 0;
+
+    // Pending store-data captures: ROB numbers of issued stores whose data
+    // producer had not issued yet.
+    std::vector<std::uint64_t> pendingStoreData_;
+
+    // Committed memory image (dataflow values).
+    std::unordered_map<Addr, std::uint64_t> committedMem_;
+
+    // Figure-5 unbalancing metric state.
+    std::array<std::uint64_t, kMaxClusters> groupCount_{};
+    unsigned groupFill_ = 0;
+
+    // Committed-instruction timeline ring (enabled on demand).
+    std::deque<TimelineEntry> timeline_;
+    std::size_t timelineCapacity_ = 0;
+
+    Cycle now_ = 0;
+    CoreStats stats_;
+};
+
+} // namespace wsrs::core

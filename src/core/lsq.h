@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Load/store queue with in-order address computation.
+ *
+ * The paper's memory model (section 5.2): "Load/store addresses were
+ * computed in order, loads bypassing stores whenever no conflict were
+ * encountered". Accordingly:
+ *
+ *  - *address computation* proceeds strictly in program order on a
+ *    dedicated in-order path (Core::agenStage), one entry per cycle slot,
+ *    as soon as the entry's address operand is available;
+ *  - *memory access* (issue on a cluster's load/store unit) is out of
+ *    order: once a load's address is computed, every older store's address
+ *    is also known (in-order computation), so conflicts are detected
+ *    exactly — a conflicting load forwards the store's value (stalling
+ *    until the store's data has been captured), a conflict-free load
+ *    bypasses all older stores (stores update memory at commit).
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "src/common/log.h"
+#include "src/common/types.h"
+
+namespace wsrs::core {
+
+/** Result of a forwarding probe. */
+struct ForwardProbe
+{
+    bool conflict = false;    ///< An older in-flight store aliases.
+    bool dataReady = false;   ///< That store's data has been captured.
+    std::uint64_t value = 0;  ///< Forwardable value when dataReady.
+};
+
+/** Program-ordered queue of in-flight memory micro-ops. */
+class LoadStoreQueue
+{
+  public:
+    explicit LoadStoreQueue(unsigned capacity) : capacity_(capacity) {}
+
+    bool full() const { return entries_.size() >= capacity_; }
+    std::size_t size() const { return entries_.size(); }
+
+    /**
+     * Allocate an entry at rename time.
+     * @param rob_num the owning instruction's ROB number (used by the
+     *        in-order address-generation stage).
+     * @return the mem-op ordinal identifying the entry.
+     */
+    std::uint64_t
+    allocate(bool is_store, Addr addr, std::uint64_t rob_num)
+    {
+        WSRS_ASSERT(!full());
+        entries_.push_back(Entry{addr, 0, rob_num, is_store, false, false});
+        return frontOrdinal_ + entries_.size() - 1;
+    }
+
+    /**
+     * ROB number of the oldest entry whose address is not yet computed.
+     * @retval false when every entry's address is known (or queue empty).
+     */
+    bool
+    nextAgen(std::uint64_t &rob_num) const
+    {
+        if (agenCount_ >= entries_.size())
+            return false;
+        rob_num = entries_[static_cast<std::size_t>(agenCount_)].robNum;
+        return true;
+    }
+
+    /** Mark the oldest pending entry's address computed. */
+    void
+    markAddrComputed(std::uint64_t ordinal)
+    {
+        WSRS_ASSERT(ordinal == frontOrdinal_ + agenCount_);
+        ++agenCount_;
+    }
+
+    /** The entry's address has been computed (so have all older ones). */
+    bool
+    addrComputed(std::uint64_t ordinal) const
+    {
+        WSRS_ASSERT(ordinal >= frontOrdinal_);
+        return ordinal < frontOrdinal_ + agenCount_;
+    }
+
+    /** Capture a store's data value (at or after its issue). */
+    void
+    setStoreData(std::uint64_t ordinal, std::uint64_t value)
+    {
+        Entry &e = at(ordinal);
+        WSRS_ASSERT(e.isStore);
+        e.storeValue = value;
+        e.dataReady = true;
+    }
+
+    bool
+    storeDataReady(std::uint64_t ordinal) const
+    {
+        return at(ordinal).dataReady;
+    }
+
+    std::uint64_t
+    storeData(std::uint64_t ordinal) const
+    {
+        const Entry &e = at(ordinal);
+        WSRS_ASSERT(e.dataReady);
+        return e.storeValue;
+    }
+
+    /**
+     * Probe the youngest older in-flight store aliasing @p addr.
+     * @pre addrComputed(load_ordinal) — hence all older addresses known.
+     */
+    ForwardProbe
+    probeForward(std::uint64_t load_ordinal, Addr addr) const
+    {
+        WSRS_ASSERT(addrComputed(load_ordinal));
+        const std::size_t pos =
+            static_cast<std::size_t>(load_ordinal - frontOrdinal_);
+        for (std::size_t i = pos; i-- > 0;) {
+            const Entry &e = entries_[i];
+            if (e.isStore && e.addr == addr)
+                return {true, e.dataReady, e.storeValue};
+        }
+        return {};
+    }
+
+    /** Pop the oldest entry at commit. @pre its address was computed. */
+    void
+    popFront()
+    {
+        WSRS_ASSERT(!entries_.empty());
+        WSRS_ASSERT(agenCount_ > 0);
+        entries_.pop_front();
+        ++frontOrdinal_;
+        --agenCount_;
+    }
+
+  private:
+    struct Entry
+    {
+        Addr addr;
+        std::uint64_t storeValue;
+        std::uint64_t robNum;
+        bool isStore;
+        bool dataReady;
+        bool addrComputedFlag;  // Implicit via agenCount_; kept for dumps.
+    };
+
+    Entry &
+    at(std::uint64_t ordinal)
+    {
+        WSRS_ASSERT(ordinal >= frontOrdinal_ &&
+                    ordinal - frontOrdinal_ < entries_.size());
+        return entries_[static_cast<std::size_t>(ordinal - frontOrdinal_)];
+    }
+
+    const Entry &
+    at(std::uint64_t ordinal) const
+    {
+        return const_cast<LoadStoreQueue *>(this)->at(ordinal);
+    }
+
+    unsigned capacity_;
+    std::deque<Entry> entries_;
+    std::uint64_t frontOrdinal_ = 0;  ///< Ordinal of entries_.front().
+    std::uint64_t agenCount_ = 0;     ///< Computed addresses at the front.
+};
+
+} // namespace wsrs::core

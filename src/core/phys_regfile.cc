@@ -1,0 +1,57 @@
+#include "phys_regfile.h"
+
+namespace wsrs::core {
+
+PhysRegFile::PhysRegFile(unsigned num_regs, unsigned num_subsets)
+    : numSubsets_(num_subsets)
+{
+    if (num_subsets == 0 || num_regs % num_subsets != 0)
+        fatal("physical register count %u not divisible into %u subsets",
+              num_regs, num_subsets);
+    subsetSize_ = num_regs / num_subsets;
+    values_.assign(num_regs, 0);
+    freeLists_.resize(num_subsets);
+    for (unsigned s = 0; s < num_subsets; ++s) {
+        // Populate in descending order so allocation starts from the
+        // subset's low registers (deterministic and cache-friendly).
+        auto &list = freeLists_[s];
+        list.reserve(subsetSize_);
+        for (unsigned i = subsetSize_; i-- > 0;)
+            list.push_back(static_cast<PhysReg>(s * subsetSize_ + i));
+    }
+}
+
+PhysReg
+PhysRegFile::allocate(SubsetId s)
+{
+    auto &list = freeLists_[s];
+    WSRS_ASSERT(!list.empty());
+    const PhysReg p = list.back();
+    list.pop_back();
+    return p;
+}
+
+void
+PhysRegFile::release(PhysReg p)
+{
+    freeLists_[subsetOf(p)].push_back(p);
+}
+
+void
+PhysRegFile::releaseDeferred(PhysReg p, Cycle available_at)
+{
+    WSRS_ASSERT(recycler_.empty() ||
+                recycler_.back().availableAt <= available_at);
+    recycler_.push_back({available_at, p});
+}
+
+void
+PhysRegFile::drainRecycler(Cycle now)
+{
+    while (!recycler_.empty() && recycler_.front().availableAt <= now) {
+        release(recycler_.front().reg);
+        recycler_.pop_front();
+    }
+}
+
+} // namespace wsrs::core

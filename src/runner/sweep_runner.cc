@@ -1,0 +1,120 @@
+#include "sweep_runner.h"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "src/common/log.h"
+#include "src/runner/trace_cache.h"
+#include "src/sim/presets.h"
+
+namespace wsrs::runner {
+
+SweepRunner::SweepRunner() : SweepRunner(Options{}) {}
+
+SweepRunner::SweepRunner(Options options) : options_(std::move(options)) {}
+
+unsigned
+SweepRunner::effectiveThreads(std::size_t num_jobs) const
+{
+    unsigned n = options_.threads;
+    if (n == 0) {
+        n = std::thread::hardware_concurrency();
+        if (n == 0)
+            n = 1;
+    }
+    if (num_jobs < n)
+        n = static_cast<unsigned>(num_jobs);
+    return n > 0 ? n : 1;
+}
+
+std::vector<SweepJob>
+SweepRunner::crossProduct(
+    const std::vector<workload::BenchmarkProfile> &profiles,
+    const std::vector<std::string> &machine_labels,
+    const sim::SimConfig &base)
+{
+    std::vector<SweepJob> jobs;
+    jobs.reserve(profiles.size() * machine_labels.size());
+    for (const auto &profile : profiles) {
+        for (const auto &label : machine_labels) {
+            SweepJob job;
+            job.profile = profile;
+            job.config = base;
+            job.config.core = sim::findPreset(label);
+            jobs.push_back(std::move(job));
+        }
+    }
+    return jobs;
+}
+
+std::vector<SweepOutcome>
+SweepRunner::run(const std::vector<SweepJob> &jobs)
+{
+    std::vector<SweepOutcome> outcomes(jobs.size());
+    if (jobs.empty())
+        return outcomes;
+
+    TraceCache cache;
+    std::atomic<std::size_t> nextJob{0};
+    std::size_t completed = 0;  ///< Guarded by eventMutex.
+    std::mutex eventMutex;
+
+    const auto worker = [&]() {
+        for (;;) {
+            const std::size_t i =
+                nextJob.fetch_add(1, std::memory_order_relaxed);
+            if (i >= jobs.size())
+                return;
+            const SweepJob &job = jobs[i];
+            SweepOutcome &out = outcomes[i];
+            try {
+                if (options_.shareTraces) {
+                    // Hold the shared trace only for the duration of the
+                    // run: it stays recorded while any sibling job needs
+                    // it and is released when the profile's jobs drain.
+                    const std::shared_ptr<CachedTrace> trace =
+                        cache.acquire(job.profile, job.config.seed);
+                    const auto cursor = trace->openCursor();
+                    out.results =
+                        sim::runSimulation(job.profile, job.config, *cursor);
+                } else {
+                    out.results = sim::runSimulation(job.profile, job.config);
+                }
+                out.ok = true;
+            } catch (const std::exception &e) {
+                out.ok = false;
+                out.error = e.what();
+            }
+            if (options_.onEvent) {
+                // The count is advanced under the same lock that serializes
+                // delivery, so callbacks observe completed = 1, 2, ... N
+                // even when workers finish back to back.
+                std::lock_guard<std::mutex> lock(eventMutex);
+                SweepEvent ev;
+                ev.index = i;
+                ev.completed = ++completed;
+                ev.total = jobs.size();
+                ev.outcome = &out;
+                options_.onEvent(ev);
+            }
+        }
+    };
+
+    const unsigned threads = effectiveThreads(jobs.size());
+    if (threads <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (unsigned t = 0; t < threads; ++t)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
+    }
+    return outcomes;
+}
+
+} // namespace wsrs::runner

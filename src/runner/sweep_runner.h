@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Parallel configuration-sweep engine.
+ *
+ * A sweep is an ordered list of {benchmark profile, machine config} jobs —
+ * typically the full benchmarks x presets matrix behind Figure 4/Figure 5.
+ * SweepRunner executes the jobs on a thread pool and returns outcomes in
+ * submission order, with three determinism guarantees:
+ *
+ *  - every job runs in a fully independent simulation (own core, memory
+ *    hierarchy, predictor and trace source), seeded only by its SimConfig,
+ *    so results are bit-identical regardless of thread count or schedule;
+ *  - outcomes land at the job's submission index, never in completion
+ *    order;
+ *  - with trace sharing enabled, each profile's micro-op stream is
+ *    recorded once (TraceCache) and replayed for every machine, which is
+ *    stream-identical to per-run generation by TraceGenerator's
+ *    determinism contract.
+ *
+ * Errors (wsrs::FatalError and other exceptions) are captured per job
+ * instead of tearing the sweep down. Progress is reported through a
+ * serialized callback as jobs complete.
+ */
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/workload/profile.h"
+
+namespace wsrs::runner {
+
+/** One unit of sweep work. */
+struct SweepJob
+{
+    workload::BenchmarkProfile profile;
+    sim::SimConfig config;
+};
+
+/** Result slot of one job, at its submission index. */
+struct SweepOutcome
+{
+    sim::SimResults results;  ///< Valid when ok.
+    bool ok = false;
+    std::string error;        ///< Failure message when !ok.
+};
+
+/** Progress callback payload; delivery is serialized across workers. */
+struct SweepEvent
+{
+    std::size_t index = 0;      ///< Submission index of the finished job.
+    std::size_t completed = 0;  ///< Jobs finished so far (including this).
+    std::size_t total = 0;
+    const SweepOutcome *outcome = nullptr;
+};
+
+/** Thread-pool sweep executor. */
+class SweepRunner
+{
+  public:
+    struct Options
+    {
+        /** Worker threads; 0 picks the hardware concurrency, 1 runs the
+         *  sweep inline on the calling thread. */
+        unsigned threads = 0;
+        /** Record each profile's trace once and replay it per machine. */
+        bool shareTraces = true;
+        /** Per-completion progress hook (serialized; may be empty). */
+        std::function<void(const SweepEvent &)> onEvent;
+    };
+
+    SweepRunner();
+    explicit SweepRunner(Options options);
+
+    /**
+     * Execute all jobs; blocks until the sweep finishes. Outcomes are in
+     * submission order and independent of the thread count.
+     */
+    std::vector<SweepOutcome> run(const std::vector<SweepJob> &jobs);
+
+    /** Worker threads a sweep of @p num_jobs jobs would use. */
+    unsigned effectiveThreads(std::size_t num_jobs) const;
+
+    /**
+     * Build the profiles x machine-labels matrix in row-major submission
+     * order, applying each label preset on top of @p base.
+     */
+    static std::vector<SweepJob>
+    crossProduct(const std::vector<workload::BenchmarkProfile> &profiles,
+                 const std::vector<std::string> &machine_labels,
+                 const sim::SimConfig &base);
+
+  private:
+    Options options_;
+};
+
+} // namespace wsrs::runner

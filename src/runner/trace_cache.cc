@@ -1,0 +1,86 @@
+#include "trace_cache.h"
+
+#include "src/common/log.h"
+
+namespace wsrs::runner {
+
+/** Replay source over a CachedTrace; one per simulation. */
+class CachedTrace::Cursor : public workload::MicroOpSource
+{
+  public:
+    explicit Cursor(CachedTrace &trace) : trace_(trace) {}
+
+    isa::MicroOp
+    next() override
+    {
+        const std::uint64_t index = pos_++;
+        if (index >= trace_.available_.load(std::memory_order_acquire))
+            trace_.ensure(index + 1);
+        return trace_.at(index);
+    }
+
+  private:
+    CachedTrace &trace_;
+    std::uint64_t pos_ = 0;
+};
+
+CachedTrace::CachedTrace(const workload::BenchmarkProfile &profile,
+                         std::uint64_t seed)
+    : chunks_(kMaxChunks), gen_(profile, seed)
+{
+}
+
+std::unique_ptr<workload::MicroOpSource>
+CachedTrace::openCursor()
+{
+    return std::make_unique<Cursor>(*this);
+}
+
+void
+CachedTrace::ensure(std::uint64_t count)
+{
+    std::lock_guard<std::mutex> lock(growMutex_);
+    std::uint64_t avail = available_.load(std::memory_order_relaxed);
+    while (avail < count) {
+        const std::size_t ci = static_cast<std::size_t>(avail / kChunkOps);
+        if (ci >= kMaxChunks)
+            fatal("trace cache overflow: more than %llu micro-ops recorded",
+                  static_cast<unsigned long long>(std::uint64_t{kMaxChunks} *
+                                                  kChunkOps));
+        if (!chunks_[ci])
+            chunks_[ci] = std::make_unique<Chunk>();
+        Chunk &chunk = *chunks_[ci];
+        // Fill to the chunk boundary so concurrent readers amortize the
+        // lock; the release store publishes the chunk contents.
+        const std::uint64_t end = std::uint64_t{ci + 1} * kChunkOps;
+        for (; avail < end; ++avail)
+            chunk[static_cast<std::size_t>(avail % kChunkOps)] = gen_.next();
+        available_.store(avail, std::memory_order_release);
+    }
+}
+
+std::shared_ptr<CachedTrace>
+TraceCache::acquire(const workload::BenchmarkProfile &profile,
+                    std::uint64_t seed)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const Key key{profile.name, seed};
+    if (auto live = entries_[key].lock())
+        return live;
+    auto trace = std::make_shared<CachedTrace>(profile, seed);
+    entries_[key] = trace;
+    return trace;
+}
+
+std::size_t
+TraceCache::liveTraces() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t live = 0;
+    for (const auto &[key, weak] : entries_)
+        if (!weak.expired())
+            ++live;
+    return live;
+}
+
+} // namespace wsrs::runner

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Shared, thread-safe per-profile micro-op trace cache.
+ *
+ * A configuration sweep runs every machine preset over the same benchmark
+ * trace. Regenerating the synthetic trace per run wastes a large share of
+ * each run's time on TraceGenerator::next(); recording the stream once and
+ * replaying it from memory pays that cost a single time per profile.
+ *
+ * CachedTrace is an append-only, chunked micro-op buffer fed lazily by one
+ * TraceGenerator. Any number of Cursor sources (one per simulation) read it
+ * concurrently; a reader that runs past the recorded prefix extends the
+ * buffer under a mutex. Chunk storage is pre-addressed (a fixed table of
+ * chunk pointers), so published micro-ops are never moved and readers of
+ * the already-available prefix synchronize with a single atomic load.
+ *
+ * TraceCache keys CachedTrace instances by (profile, seed) and holds weak
+ * references: a trace lives exactly as long as some run is using it, so a
+ * sweep's memory footprint is bounded by the number of concurrently
+ * running profiles rather than the whole benchmark suite.
+ */
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/workload/profile.h"
+#include "src/workload/source.h"
+#include "src/workload/trace_generator.h"
+
+namespace wsrs::runner {
+
+/** One benchmark's recorded micro-op stream, shared between simulations. */
+class CachedTrace
+{
+  public:
+    /** Same stream contract as TraceGenerator(profile, seed). */
+    CachedTrace(const workload::BenchmarkProfile &profile,
+                std::uint64_t seed);
+
+    /**
+     * Open an independent replay source starting at the first micro-op.
+     * Cursors may be consumed concurrently from different threads; the
+     * returned source borrows this trace, which must outlive it.
+     */
+    std::unique_ptr<workload::MicroOpSource> openCursor();
+
+    /** Micro-ops recorded so far (grows on demand). */
+    std::uint64_t recorded() const
+    {
+        return available_.load(std::memory_order_acquire);
+    }
+
+  private:
+    class Cursor;
+
+    static constexpr std::size_t kChunkOps = 16384;
+    static constexpr std::size_t kMaxChunks = 1u << 15;  ///< ~536M ops.
+
+    /** Record micro-ops until at least @p count are available. */
+    void ensure(std::uint64_t count);
+
+    const isa::MicroOp &
+    at(std::uint64_t index) const
+    {
+        return (*chunks_[static_cast<std::size_t>(index / kChunkOps)])
+            [static_cast<std::size_t>(index % kChunkOps)];
+    }
+
+    using Chunk = std::array<isa::MicroOp, kChunkOps>;
+    std::vector<std::unique_ptr<Chunk>> chunks_;  ///< Fixed-size table.
+    std::atomic<std::uint64_t> available_{0};
+    std::mutex growMutex_;
+    workload::TraceGenerator gen_;  ///< Guarded by growMutex_.
+};
+
+/** Process-wide registry of live CachedTrace instances. */
+class TraceCache
+{
+  public:
+    /**
+     * The trace for (profile, seed), recording it on first use. Returns a
+     * shared handle; the trace is dropped when the last handle dies.
+     */
+    std::shared_ptr<CachedTrace>
+    acquire(const workload::BenchmarkProfile &profile, std::uint64_t seed);
+
+    /** Number of traces currently alive (for tests/telemetry). */
+    std::size_t liveTraces() const;
+
+  private:
+    using Key = std::pair<std::string, std::uint64_t>;
+    mutable std::mutex mutex_;
+    std::map<Key, std::weak_ptr<CachedTrace>> entries_;
+};
+
+} // namespace wsrs::runner

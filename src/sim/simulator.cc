@@ -1,5 +1,6 @@
 #include "simulator.h"
 
+#include <cerrno>
 #include <cstdlib>
 #include <sstream>
 #include <memory>
@@ -32,15 +33,31 @@ makePredictor(PredictorKind kind)
     WSRS_PANIC("unhandled predictor kind");
 }
 
+/** Parse a strictly-decimal environment value; fatal on malformed input. */
+std::uint64_t
+parseEnvUint(const char *name, const char *value)
+{
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(value, &end, 10);
+    // strtoull silently accepts whitespace, signs and trailing garbage
+    // (and returns 0 for pure garbage); require a plain digit string.
+    if (value[0] < '0' || value[0] > '9' || end == value ||
+        *end != '\0' || errno == ERANGE)
+        fatal("malformed %s='%s' (expected a non-negative integer)",
+              name, value);
+    return v;
+}
+
 } // namespace
 
 SimConfig
 applyEnvOverrides(SimConfig config)
 {
     if (const char *s = std::getenv("WSRS_MEASURE_UOPS"))
-        config.measureUops = std::strtoull(s, nullptr, 10);
+        config.measureUops = parseEnvUint("WSRS_MEASURE_UOPS", s);
     if (const char *s = std::getenv("WSRS_WARMUP_UOPS"))
-        config.warmupUops = std::strtoull(s, nullptr, 10);
+        config.warmupUops = parseEnvUint("WSRS_WARMUP_UOPS", s);
     return config;
 }
 
@@ -49,13 +66,20 @@ runSimulation(const workload::BenchmarkProfile &profile,
               const SimConfig &config)
 {
     workload::TraceGenerator gen(profile, config.seed);
+    return runSimulation(profile, config, gen);
+}
+
+SimResults
+runSimulation(const workload::BenchmarkProfile &profile,
+              const SimConfig &config, workload::MicroOpSource &source)
+{
     auto predictor = makePredictor(config.predictor);
     StatGroup stats(profile.name);
     memory::MemoryHierarchy mem(config.mem, stats);
 
     core::CoreParams cp = config.core;
     cp.verifyDataflow = config.verifyDataflow;
-    core::Core machine(cp, gen, *predictor, mem);
+    core::Core machine(cp, source, *predictor, mem);
 
     if (config.warmupUops > 0)
         machine.run(config.warmupUops);

@@ -57,6 +57,16 @@ SimResults runSimulation(const workload::BenchmarkProfile &profile,
                          const SimConfig &config);
 
 /**
+ * Run one benchmark on one machine, drawing micro-ops from @p source
+ * instead of constructing a fresh TraceGenerator. The source must produce
+ * the same stream a TraceGenerator(profile, config.seed) would for the
+ * results to be comparable across machines (see runner::TraceCache).
+ */
+SimResults runSimulation(const workload::BenchmarkProfile &profile,
+                         const SimConfig &config,
+                         workload::MicroOpSource &source);
+
+/**
  * Override measured/warm-up slice lengths from the environment
  * (WSRS_MEASURE_UOPS / WSRS_WARMUP_UOPS), for quick bench runs.
  */

@@ -1,0 +1,445 @@
+/** @file End-to-end tests of the execution core on live traces. */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/bpred/two_bc_gskew.h"
+#include "src/workload/trace_generator.h"
+#include "src/core/core.h"
+#include "src/sim/presets.h"
+#include "src/workload/profiles.h"
+
+namespace wsrs::core {
+namespace {
+
+/** Everything a Core needs, bundled for tests. */
+struct Rig
+{
+    explicit Rig(const CoreParams &params,
+                 const std::string &bench = "gzip")
+        : gen(workload::findProfile(bench), 7), stats("test"),
+          mem(memory::HierarchyParams{}, stats),
+          core(params, gen, bp, mem)
+    {
+    }
+
+    workload::TraceGenerator gen;
+    bpred::TwoBcGskew bp;
+    StatGroup stats;
+    memory::MemoryHierarchy mem;
+    Core core;
+};
+
+CoreParams
+verified(CoreParams p)
+{
+    p.verifyDataflow = true;
+    return p;
+}
+
+TEST(Core, ConventionalRunsAndVerifiesDataflow)
+{
+    Rig rig(verified(sim::presetConventional(256)));
+    rig.core.run(30000);
+    EXPECT_EQ(rig.core.stats().valueMismatches, 0u);
+    EXPECT_GE(rig.core.stats().committed, 30000u);
+    EXPECT_GT(rig.core.stats().ipc(), 0.3);
+    EXPECT_LT(rig.core.stats().ipc(), 8.0);
+}
+
+TEST(Core, WriteSpecializationVerifies)
+{
+    Rig rig(verified(sim::presetWriteSpec(384)));
+    rig.core.run(30000);
+    EXPECT_EQ(rig.core.stats().valueMismatches, 0u);
+}
+
+TEST(Core, WsrsRcVerifies)
+{
+    Rig rig(verified(sim::presetWsrsRc(512)));
+    rig.core.run(30000);
+    EXPECT_EQ(rig.core.stats().valueMismatches, 0u);
+}
+
+TEST(Core, WsrsRmVerifies)
+{
+    Rig rig(verified(sim::presetWsrsRm(512)));
+    rig.core.run(30000);
+    EXPECT_EQ(rig.core.stats().valueMismatches, 0u);
+}
+
+TEST(Core, WsrsDependenceAwareVerifies)
+{
+    Rig rig(verified(sim::presetWsrsDepAware(512)));
+    rig.core.run(30000);
+    EXPECT_EQ(rig.core.stats().valueMismatches, 0u);
+}
+
+TEST(Core, BothRenamingImplementationsVerify)
+{
+    for (const RenameImpl impl :
+         {RenameImpl::OverPickRecycle, RenameImpl::ExactCount}) {
+        CoreParams p = verified(sim::presetWsrsRc(384, impl));
+        Rig rig(p);
+        rig.core.run(20000);
+        EXPECT_EQ(rig.core.stats().valueMismatches, 0u);
+    }
+}
+
+TEST(Core, AllFastForwardScopesVerify)
+{
+    for (const FastForwardScope scope :
+         {FastForwardScope::IntraCluster, FastForwardScope::AdjacentPair,
+          FastForwardScope::Complete}) {
+        CoreParams p = verified(sim::presetWsrsRc(512));
+        p.ffScope = scope;
+        Rig rig(p);
+        rig.core.run(20000);
+        EXPECT_EQ(rig.core.stats().valueMismatches, 0u);
+    }
+}
+
+TEST(Core, WiderFastForwardNeverHurts)
+{
+    double ipc_intra, ipc_complete;
+    {
+        CoreParams p = sim::presetConventional(256);
+        p.ffScope = FastForwardScope::IntraCluster;
+        Rig rig(p, "crafty");
+        rig.core.run(40000);
+        ipc_intra = rig.core.stats().ipc();
+    }
+    {
+        CoreParams p = sim::presetConventional(256);
+        p.ffScope = FastForwardScope::Complete;
+        Rig rig(p, "crafty");
+        rig.core.run(40000);
+        ipc_complete = rig.core.stats().ipc();
+    }
+    EXPECT_GE(ipc_complete, ipc_intra * 0.999);
+}
+
+TEST(Core, SharedComplexUnitVerifiesAndMayCost)
+{
+    CoreParams p = verified(sim::presetWsrsRc(512));
+    p.sharedComplexUnit = true;
+    Rig rig(p);
+    rig.core.run(20000);
+    EXPECT_EQ(rig.core.stats().valueMismatches, 0u);
+}
+
+TEST(Core, TinySubsetsDeadlockWorkaroundMakesProgress)
+{
+    // 256 regs over 4 subsets = 64 < 80 logical registers per subset:
+    // subsets can fill with architectural state (paper 2.3); the
+    // move-injection workaround must keep the machine live.
+    CoreParams p = verified(sim::presetWsrsRc(256));
+    Rig rig(p, "crafty");
+    rig.core.run(60000);
+    EXPECT_EQ(rig.core.stats().valueMismatches, 0u);
+    EXPECT_GE(rig.core.stats().committed, 60000u);
+}
+
+TEST(Core, WriteSpecTinySubsetsAlsoProgress)
+{
+    CoreParams p = verified(sim::presetWriteSpec(256));
+    Rig rig(p, "gcc");
+    rig.core.run(60000);
+    EXPECT_EQ(rig.core.stats().valueMismatches, 0u);
+}
+
+TEST(Core, WritebackCapThrottlesThroughput)
+{
+    double ipc_wide, ipc_narrow;
+    {
+        CoreParams p = sim::presetConventional(256);
+        p.writebackPerCluster = 3;
+        Rig rig(p, "mgrid");
+        rig.core.run(40000);
+        ipc_wide = rig.core.stats().ipc();
+    }
+    {
+        CoreParams p = sim::presetConventional(256);
+        p.writebackPerCluster = 1;
+        Rig rig(p, "mgrid");
+        rig.core.run(40000);
+        ipc_narrow = rig.core.stats().ipc();
+    }
+    EXPECT_LT(ipc_narrow, ipc_wide);
+}
+
+TEST(Core, ResetStatsKeepsMachineState)
+{
+    Rig rig(verified(sim::presetConventional(256)));
+    rig.core.run(10000);
+    rig.core.resetStats();
+    EXPECT_EQ(rig.core.stats().committed, 0u);
+    EXPECT_EQ(rig.core.stats().cycles, 0u);
+    rig.core.run(10000);
+    EXPECT_GE(rig.core.stats().committed, 10000u);
+    EXPECT_EQ(rig.core.stats().valueMismatches, 0u);
+}
+
+TEST(Core, UnbalancingMetricBounds)
+{
+    Rig rig(sim::presetWsrsRm(512), "facerec");
+    rig.core.run(50000);
+    const CoreStats &s = rig.core.stats();
+    EXPECT_GT(s.totalGroups, 300u);
+    EXPECT_GE(s.unbalancingDegree(), 0.0);
+    EXPECT_LE(s.unbalancingDegree(), 100.0);
+}
+
+TEST(Core, RoundRobinIsPerfectlyBalanced)
+{
+    Rig rig(sim::presetConventional(256));
+    rig.core.run(50000);
+    EXPECT_EQ(rig.core.stats().unbalancedGroups, 0u);
+}
+
+TEST(Core, BranchStatsAreConsistent)
+{
+    Rig rig(sim::presetConventional(256), "vpr");
+    rig.core.run(40000);
+    const CoreStats &s = rig.core.stats();
+    EXPECT_GT(s.branches, 2000u);
+    EXPECT_GT(s.mispredicts, 0u);
+    EXPECT_LT(s.mispredictRate(), 0.5);
+}
+
+TEST(Core, MispredictPenaltyMattersForBranchyCode)
+{
+    double fast, slow;
+    {
+        CoreParams p = sim::presetConventional(256);
+        Rig rig(p, "gcc");
+        rig.core.run(40000);
+        fast = rig.core.stats().ipc();
+    }
+    {
+        CoreParams p = sim::presetConventional(256);
+        p.frontEndDepth = 25;  // much deeper front end
+        Rig rig(p, "gcc");
+        rig.core.run(40000);
+        slow = rig.core.stats().ipc();
+    }
+    EXPECT_LT(slow, fast);
+}
+
+TEST(Core, PerClusterInflightNeverExceedsWindow)
+{
+    // Indirectly validated by construction; run a stressy config and rely
+    // on internal assertions (window accounting underflow would panic).
+    CoreParams p = verified(sim::presetWsrsRc(384));
+    p.clusterWindow = 8;
+    Rig rig(p, "swim");
+    rig.core.run(20000);
+    EXPECT_EQ(rig.core.stats().valueMismatches, 0u);
+}
+
+
+TEST(Core, PoolWriteSpecializationVerifies)
+{
+    // Figure 2b: destinations land in the executing FU pool's subset.
+    Rig rig(verified(sim::presetWriteSpecPools(512)), "applu");
+    rig.core.run(30000);
+    EXPECT_EQ(rig.core.stats().valueMismatches, 0u);
+}
+
+TEST(Core, PoolWriteSpecializationNeedsMoreRegisters)
+{
+    // The instruction mix skews destinations toward a few pools, so at
+    // equal register count pool-level WS stalls on free registers more
+    // than cluster-level WS with round-robin.
+    std::uint64_t pool_stalls, cluster_stalls;
+    {
+        Rig rig(sim::presetWriteSpecPools(384), "swim");
+        rig.core.run(40000);
+        pool_stalls = rig.core.stats().renameStallFreeReg;
+    }
+    {
+        Rig rig(sim::presetWriteSpec(384), "swim");
+        rig.core.run(40000);
+        cluster_stalls = rig.core.stats().renameStallFreeReg;
+    }
+    EXPECT_GT(pool_stalls, cluster_stalls);
+}
+
+
+TEST(Core, TimelineRecordsOrderedPipelineEvents)
+{
+    Rig rig(sim::presetConventional(256));
+    rig.core.enableTimeline(256);
+    rig.core.run(20000);
+    const auto &tl = rig.core.timeline();
+    ASSERT_EQ(tl.size(), 256u);
+    SeqNum prev_seq = 0;
+    Cycle prev_commit = 0;
+    bool first = true;
+    for (const TimelineEntry &e : tl) {
+        // Per-op event ordering.
+        EXPECT_LT(e.renameCycle, e.issueCycle);
+        EXPECT_LT(e.issueCycle, e.completeCycle);
+        EXPECT_LE(e.completeCycle, e.commitCycle);
+        // Commit order is program order and cycle-monotonic.
+        if (!first) {
+            EXPECT_GT(e.seq, prev_seq);
+            EXPECT_GE(e.commitCycle, prev_commit);
+        }
+        prev_seq = e.seq;
+        prev_commit = e.commitCycle;
+        first = false;
+    }
+}
+
+TEST(Core, TimelineDumpRendersRows)
+{
+    Rig rig(sim::presetWsrsRc(512));
+    rig.core.enableTimeline(32);
+    rig.core.run(5000);
+    std::ostringstream os;
+    rig.core.dumpTimeline(os, 16);
+    const std::string text = os.str();
+    EXPECT_NE(text.find('R'), std::string::npos);
+    EXPECT_NE(text.find('X'), std::string::npos);
+    EXPECT_NE(text.find("C0"), std::string::npos);
+}
+
+TEST(Core, IssueWidthHistogramAccountsEveryCycle)
+{
+    Rig rig(sim::presetConventional(256), "mgrid");
+    rig.core.run(30000);
+    const CoreStats &s = rig.core.stats();
+    std::uint64_t cycles = 0;
+    for (const std::uint64_t c : s.issueWidthHist)
+        cycles += c;
+    EXPECT_EQ(cycles, s.cycles);
+    EXPECT_GT(s.meanIssueWidth(), 0.5);
+    EXPECT_LE(s.meanIssueWidth(), 8.0);
+    EXPECT_GT(s.meanWindowOccupancy(), 1.0);
+    EXPECT_LE(s.meanWindowOccupancy(), 224.0);
+}
+
+
+TEST(Core, AvoidancePolicyPreventsDeadlockWithoutMoves)
+{
+    // Workaround (a) of section 2.3: with full allocation freedom (WS +
+    // round-robin has any-cluster freedom), steering away from exhausted
+    // subsets keeps the machine live with zero injected moves even when
+    // subsets are smaller than the logical register count.
+    CoreParams p = verified(sim::presetWriteSpec(256));  // 64/subset < 80
+    p.deadlockPolicy = DeadlockPolicy::Avoidance;
+    Rig rig(p, "gcc");
+    rig.core.run(60000);
+    EXPECT_EQ(rig.core.stats().valueMismatches, 0u);
+    EXPECT_EQ(rig.core.stats().injectedMoves, 0u);
+}
+
+TEST(Core, AvoidanceReducesFreeRegStallsOnWsrs)
+{
+    // On WSRS the freedom is partial (monadic/commutative ops), but
+    // steering still avoids many stalls at tight register counts.
+    std::uint64_t stalls_avoid, stalls_inject;
+    {
+        CoreParams p = verified(sim::presetWsrsRc(320));
+        p.deadlockPolicy = DeadlockPolicy::Avoidance;
+        Rig rig(p, "swim");
+        rig.core.run(40000);
+        stalls_avoid = rig.core.stats().renameStallFreeReg;
+        EXPECT_EQ(rig.core.stats().valueMismatches, 0u);
+    }
+    {
+        CoreParams p = verified(sim::presetWsrsRc(320));
+        Rig rig(p, "swim");
+        rig.core.run(40000);
+        stalls_inject = rig.core.stats().renameStallFreeReg;
+    }
+    EXPECT_LE(stalls_avoid, stalls_inject + 1000);
+}
+
+TEST(Core, FetchBreakOnTakenCostsThroughput)
+{
+    double ideal, realistic;
+    {
+        CoreParams p = sim::presetConventional(256);
+        Rig rig(p, "gcc");  // branchy, ~60% taken
+        rig.core.run(40000);
+        ideal = rig.core.stats().ipc();
+    }
+    {
+        CoreParams p = sim::presetConventional(256);
+        p.fetchBreakOnTaken = true;
+        Rig rig(p, "gcc");
+        rig.core.run(40000);
+        realistic = rig.core.stats().ipc();
+    }
+    EXPECT_LT(realistic, ideal);
+}
+
+
+TEST(Core, PhysicalRegisterConservation)
+{
+    // free + recycling/staged + architectural + in-flight-oldPdst must
+    // equal the register file size at every cycle boundary, for both
+    // renaming implementations.
+    for (const RenameImpl impl :
+         {RenameImpl::OverPickRecycle, RenameImpl::ExactCount}) {
+        CoreParams p = sim::presetWsrsRc(384, impl);
+        Rig rig(p, "vpr");
+        for (int step = 0; step < 40; ++step) {
+            rig.core.run(500);
+            const Core::RegAccounting acc = rig.core.regAccounting();
+            EXPECT_EQ(acc.free + acc.recycling + acc.architectural +
+                          acc.inFlight,
+                      acc.total)
+                << "impl=" << int(impl) << " step=" << step
+                << " free=" << acc.free << " rec=" << acc.recycling
+                << " arch=" << acc.architectural
+                << " inflight=" << acc.inFlight;
+        }
+    }
+}
+
+TEST(Core, MinimumMispredictPenaltyIsRealized)
+{
+    // Via the timeline: after a mispredicted branch issued at cycle t,
+    // the first correct-path micro-op renames no earlier than
+    // t + regReadStages + 1 (resolve) + frontEndDepth, and some branch
+    // should achieve exactly that minimum.
+    CoreParams p = sim::presetConventional(256);
+    Rig rig(p, "gcc");
+    rig.core.enableTimeline(20000);
+    rig.core.run(20000);
+
+    const Cycle floor_gap = p.regReadStages + 1 + p.frontEndDepth;
+    const auto &tl = rig.core.timeline();
+    Cycle min_gap = kNeverCycle;
+    for (std::size_t i = 0; i + 1 < tl.size(); ++i) {
+        if (!tl[i].mispredicted)
+            continue;
+        const Cycle gap = tl[i + 1].renameCycle - tl[i].issueCycle;
+        EXPECT_GE(gap, floor_gap);
+        min_gap = std::min(min_gap, gap);
+    }
+    ASSERT_NE(min_gap, kNeverCycle) << "no mispredicted branch observed";
+    EXPECT_EQ(min_gap, floor_gap);
+}
+
+TEST(Core, RejectsInvalidParams)
+{
+    workload::TraceGenerator gen(workload::findProfile("gzip"));
+    bpred::TwoBcGskew bp;
+    StatGroup stats("t");
+    memory::MemoryHierarchy mem(memory::HierarchyParams{}, stats);
+
+    CoreParams p = sim::presetWsrsRc(512);
+    p.numClusters = 3;
+    EXPECT_THROW(Core c(p, gen, bp, mem), FatalError);
+
+    CoreParams q = sim::presetConventional(256);
+    q.fetchWidth = 0;
+    EXPECT_THROW(Core c(q, gen, bp, mem), FatalError);
+}
+
+} // namespace
+} // namespace wsrs::core

@@ -1,0 +1,132 @@
+/** @file Tests for the load/store queue and address ordering. */
+#include <gtest/gtest.h>
+
+#include "src/core/lsq.h"
+
+namespace wsrs::core {
+namespace {
+
+TEST(Lsq, AllocatesConsecutiveOrdinals)
+{
+    LoadStoreQueue lsq(8);
+    EXPECT_EQ(lsq.allocate(false, 0x100, 1), 0u);
+    EXPECT_EQ(lsq.allocate(true, 0x200, 2), 1u);
+    EXPECT_EQ(lsq.allocate(false, 0x300, 3), 2u);
+    EXPECT_EQ(lsq.size(), 3u);
+}
+
+TEST(Lsq, FullWhenAtCapacity)
+{
+    LoadStoreQueue lsq(2);
+    lsq.allocate(false, 0x100, 1);
+    EXPECT_FALSE(lsq.full());
+    lsq.allocate(false, 0x200, 2);
+    EXPECT_TRUE(lsq.full());
+}
+
+TEST(Lsq, AgenProceedsStrictlyInOrder)
+{
+    LoadStoreQueue lsq(8);
+    lsq.allocate(false, 0x100, 10);
+    lsq.allocate(true, 0x200, 11);
+    lsq.allocate(false, 0x300, 12);
+
+    std::uint64_t rn = 0;
+    ASSERT_TRUE(lsq.nextAgen(rn));
+    EXPECT_EQ(rn, 10u);
+    EXPECT_FALSE(lsq.addrComputed(0));
+    lsq.markAddrComputed(0);
+    EXPECT_TRUE(lsq.addrComputed(0));
+    EXPECT_FALSE(lsq.addrComputed(1));
+
+    ASSERT_TRUE(lsq.nextAgen(rn));
+    EXPECT_EQ(rn, 11u);
+    lsq.markAddrComputed(1);
+    lsq.markAddrComputed(2);
+    EXPECT_FALSE(lsq.nextAgen(rn));
+}
+
+TEST(Lsq, ForwardingFindsYoungestOlderStore)
+{
+    LoadStoreQueue lsq(8);
+    const auto st1 = lsq.allocate(true, 0x100, 1);
+    const auto st2 = lsq.allocate(true, 0x100, 2);
+    const auto ld = lsq.allocate(false, 0x100, 3);
+    lsq.markAddrComputed(st1);
+    lsq.markAddrComputed(st2);
+    lsq.markAddrComputed(ld);
+    lsq.setStoreData(st1, 0xaaaa);
+    lsq.setStoreData(st2, 0xbbbb);
+
+    const ForwardProbe p = lsq.probeForward(ld, 0x100);
+    EXPECT_TRUE(p.conflict);
+    EXPECT_TRUE(p.dataReady);
+    EXPECT_EQ(p.value, 0xbbbbull);
+}
+
+TEST(Lsq, ForwardingReportsPendingStoreData)
+{
+    LoadStoreQueue lsq(8);
+    const auto st = lsq.allocate(true, 0x500, 1);
+    const auto ld = lsq.allocate(false, 0x500, 2);
+    lsq.markAddrComputed(st);
+    lsq.markAddrComputed(ld);
+
+    ForwardProbe p = lsq.probeForward(ld, 0x500);
+    EXPECT_TRUE(p.conflict);
+    EXPECT_FALSE(p.dataReady);
+
+    lsq.setStoreData(st, 0x1234);
+    p = lsq.probeForward(ld, 0x500);
+    EXPECT_TRUE(p.dataReady);
+    EXPECT_EQ(p.value, 0x1234ull);
+}
+
+TEST(Lsq, NoConflictWhenAddressesDiffer)
+{
+    LoadStoreQueue lsq(8);
+    const auto st = lsq.allocate(true, 0x100, 1);
+    const auto ld = lsq.allocate(false, 0x180, 2);
+    lsq.markAddrComputed(st);
+    lsq.markAddrComputed(ld);
+    EXPECT_FALSE(lsq.probeForward(ld, 0x180).conflict);
+}
+
+TEST(Lsq, YoungerStoresDoNotForwardBackward)
+{
+    LoadStoreQueue lsq(8);
+    const auto ld = lsq.allocate(false, 0x700, 1);
+    const auto st = lsq.allocate(true, 0x700, 2);
+    lsq.markAddrComputed(ld);
+    lsq.markAddrComputed(st);
+    EXPECT_FALSE(lsq.probeForward(ld, 0x700).conflict);
+}
+
+TEST(Lsq, PopFrontAdvancesOrdinalsAndAgen)
+{
+    LoadStoreQueue lsq(4);
+    lsq.allocate(true, 0x100, 1);
+    lsq.allocate(false, 0x100, 2);
+    lsq.markAddrComputed(0);
+    lsq.markAddrComputed(1);
+    lsq.setStoreData(0, 7);
+    lsq.popFront();
+    EXPECT_EQ(lsq.size(), 1u);
+    // The remaining load no longer sees the popped store.
+    EXPECT_FALSE(lsq.probeForward(1, 0x100).conflict);
+    // New allocations continue the ordinal sequence.
+    EXPECT_EQ(lsq.allocate(false, 0x300, 3), 2u);
+}
+
+TEST(Lsq, StoreDataRoundTrip)
+{
+    LoadStoreQueue lsq(4);
+    const auto st = lsq.allocate(true, 0x40, 1);
+    EXPECT_FALSE(lsq.storeDataReady(st));
+    lsq.setStoreData(st, 0xfeed);
+    EXPECT_TRUE(lsq.storeDataReady(st));
+    EXPECT_EQ(lsq.storeData(st), 0xfeedull);
+}
+
+} // namespace
+} // namespace wsrs::core

@@ -1,0 +1,97 @@
+/** @file Tests for the physical register file and its free lists. */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/core/phys_regfile.h"
+
+namespace wsrs::core {
+namespace {
+
+TEST(PhysRegFile, PartitionsIntoEqualSubsets)
+{
+    PhysRegFile prf(512, 4);
+    EXPECT_EQ(prf.numRegs(), 512u);
+    EXPECT_EQ(prf.numSubsets(), 4u);
+    EXPECT_EQ(prf.subsetSize(), 128u);
+    EXPECT_EQ(prf.subsetOf(0), 0);
+    EXPECT_EQ(prf.subsetOf(127), 0);
+    EXPECT_EQ(prf.subsetOf(128), 1);
+    EXPECT_EQ(prf.subsetOf(511), 3);
+}
+
+TEST(PhysRegFile, AllocateReturnsRegInRequestedSubset)
+{
+    PhysRegFile prf(256, 4);
+    for (SubsetId s = 0; s < 4; ++s) {
+        for (int i = 0; i < 64; ++i) {
+            const PhysReg p = prf.allocate(s);
+            EXPECT_EQ(prf.subsetOf(p), s);
+        }
+        EXPECT_EQ(prf.numFree(s), 0u);
+    }
+}
+
+TEST(PhysRegFile, AllocationsAreUniqueUntilReleased)
+{
+    PhysRegFile prf(128, 2);
+    std::set<PhysReg> seen;
+    for (SubsetId s = 0; s < 2; ++s)
+        for (int i = 0; i < 64; ++i)
+            EXPECT_TRUE(seen.insert(prf.allocate(s)).second);
+    EXPECT_EQ(seen.size(), 128u);
+}
+
+TEST(PhysRegFile, ReleaseReturnsToOwningSubset)
+{
+    PhysRegFile prf(128, 4);
+    const PhysReg p = prf.allocate(2);
+    EXPECT_EQ(prf.numFree(2), 31u);
+    prf.release(p);
+    EXPECT_EQ(prf.numFree(2), 32u);
+}
+
+TEST(PhysRegFile, RecyclerDelaysAvailability)
+{
+    PhysRegFile prf(64, 1);
+    const PhysReg p = prf.allocate(0);
+    EXPECT_EQ(prf.numFree(0), 63u);
+
+    prf.releaseDeferred(p, 10);
+    EXPECT_EQ(prf.inRecycler(), 1u);
+    prf.drainRecycler(9);
+    EXPECT_EQ(prf.numFree(0), 63u);   // not yet mature
+    prf.drainRecycler(10);
+    EXPECT_EQ(prf.numFree(0), 64u);
+    EXPECT_EQ(prf.inRecycler(), 0u);
+}
+
+TEST(PhysRegFile, RecyclerPreservesFifoOrder)
+{
+    PhysRegFile prf(64, 1);
+    const PhysReg a = prf.allocate(0);
+    const PhysReg b = prf.allocate(0);
+    prf.releaseDeferred(a, 5);
+    prf.releaseDeferred(b, 7);
+    prf.drainRecycler(6);
+    EXPECT_EQ(prf.numFree(0), 63u);
+    EXPECT_EQ(prf.inRecycler(), 1u);
+    prf.drainRecycler(7);
+    EXPECT_EQ(prf.numFree(0), 64u);
+}
+
+TEST(PhysRegFile, ValuesRoundTrip)
+{
+    PhysRegFile prf(32, 1);
+    prf.setValue(7, 0xdeadbeef);
+    EXPECT_EQ(prf.value(7), 0xdeadbeefull);
+}
+
+TEST(PhysRegFile, RejectsIndivisiblePartition)
+{
+    EXPECT_THROW(PhysRegFile prf(100, 3), FatalError);
+    EXPECT_THROW(PhysRegFile prf(100, 0), FatalError);
+}
+
+} // namespace
+} // namespace wsrs::core

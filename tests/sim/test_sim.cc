@@ -179,5 +179,23 @@ TEST(Simulator, EnvOverridesApply)
     ::unsetenv("WSRS_WARMUP_UOPS");
 }
 
+TEST(Simulator, MalformedEnvOverridesAreFatal)
+{
+    // Historically these fell back to strtoull's garbage-tolerant parse:
+    // "12k" silently became 12 and "junk" became 0. They must fail loudly.
+    for (const char *bad : {"junk", "12k", "-5", " 7", "", "9999999999"
+                                                         "9999999999"}) {
+        ::setenv("WSRS_MEASURE_UOPS", bad, 1);
+        EXPECT_THROW(applyEnvOverrides(SimConfig{}), FatalError)
+            << "value '" << bad << "'";
+        ::unsetenv("WSRS_MEASURE_UOPS");
+
+        ::setenv("WSRS_WARMUP_UOPS", bad, 1);
+        EXPECT_THROW(applyEnvOverrides(SimConfig{}), FatalError)
+            << "value '" << bad << "'";
+        ::unsetenv("WSRS_WARMUP_UOPS");
+    }
+}
+
 } // namespace
 } // namespace wsrs::sim

@@ -13,6 +13,7 @@
 
 #include "src/common/args.h"
 #include "src/common/log.h"
+#include "src/runner/sweep_runner.h"
 #include "src/sim/presets.h"
 #include "src/sim/simulator.h"
 #include "src/workload/profiles.h"
@@ -165,6 +166,11 @@ main(int argc, char **argv)
     args.addOption("verify", "enable commit-time oracle checking", true);
     args.addOption("timeline", "print the last N committed micro-ops");
     args.addOption("all", "run all benchmarks x Figure-4 machines", true);
+    args.addOption("jobs",
+                   "worker threads for --all (0 = all cores, 1 = serial)");
+    args.addOption("no-trace-cache",
+                   "regenerate each run's trace instead of replaying the "
+                   "per-benchmark recording", true);
     args.addOption("csv", "emit one CSV row per run", true);
     args.addOption("json", "emit JSON (single run only)", true);
     args.addOption("help", "show this help", true);
@@ -204,22 +210,48 @@ main(int argc, char **argv)
         };
 
         if (args.has("all")) {
+            // The full matrix runs on the sweep runner: one job per
+            // {benchmark, machine}, per-profile trace recorded once and
+            // replayed for all machines, results streamed in submission
+            // order as the completed prefix grows.
+            std::vector<runner::SweepJob> jobs;
+            for (const auto &p : workload::allProfiles())
+                for (const std::string &m : sim::figure4Presets())
+                    jobs.push_back({p, configure(m)});
+
             if (args.has("csv"))
                 printCsvHeader();
-            for (const auto &p : workload::allProfiles()) {
-                for (const std::string &m : sim::figure4Presets()) {
-                    const sim::SimResults r =
-                        sim::runSimulation(p, configure(m));
-                    if (args.has("csv")) {
-                        printCsv(r);
+            std::vector<const runner::SweepOutcome *> slots(jobs.size());
+            std::size_t nextToPrint = 0;
+            runner::SweepRunner::Options opt;
+            opt.threads = unsigned(args.getUint("jobs", 0));
+            opt.shareTraces = !args.has("no-trace-cache");
+            opt.onEvent = [&](const runner::SweepEvent &ev) {
+                slots[ev.index] = ev.outcome;
+                while (nextToPrint < slots.size() && slots[nextToPrint]) {
+                    const runner::SweepOutcome &o = *slots[nextToPrint];
+                    if (!o.ok) {
+                        std::fprintf(stderr, "wsrs_sim: %s on %s: %s\n",
+                                     jobs[nextToPrint].profile.name.c_str(),
+                                     jobs[nextToPrint].config.core.name
+                                         .c_str(),
+                                     o.error.c_str());
+                    } else if (args.has("csv")) {
+                        printCsv(o.results);
                     } else {
                         std::printf("%-10s %-12s IPC %.3f\n",
-                                    r.benchmark.c_str(),
-                                    r.machine.c_str(), r.ipc);
+                                    o.results.benchmark.c_str(),
+                                    o.results.machine.c_str(),
+                                    o.results.ipc);
                     }
-                    std::fflush(stdout);
+                    ++nextToPrint;
                 }
-            }
+                std::fflush(stdout);
+            };
+            const auto outcomes = runner::SweepRunner(opt).run(jobs);
+            for (const auto &o : outcomes)
+                if (!o.ok)
+                    return 1;
             return 0;
         }
 
