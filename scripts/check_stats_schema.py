@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Validate wsrs machine-readable stats documents.
+
+Accepts any number of files, each either a single-run wsrs-stats-v1
+document (wsrs-sim --stats-json) or a wsrs-sweep-report-v1 aggregate
+(wsrs-sim --all --stats-json). Every file is parsed with Python's strict
+JSON parser — so unescaped names or nan/inf leak out as hard failures —
+and then structurally checked:
+
+  - required keys and schema tags are present;
+  - stall-cause attribution is complete: for every cluster,
+    sum(issue_stall buckets) + overflow == cycles, and likewise for the
+    rename and commit stall histograms (exactly one cause per stage per
+    cycle);
+  - stall-cause legends match the histogram bucket counts;
+  - histogram sample counts equal their bucket sums;
+  - interval samples are monotone in cycle and respect the period.
+
+Exit status is non-zero on the first file that fails; used by the `obs`
+labelled ctest.
+"""
+
+import json
+import sys
+
+
+class Fail(Exception):
+    pass
+
+
+def expect(cond, msg):
+    if not cond:
+        raise Fail(msg)
+
+
+def check_hist(h, where, expected_buckets=None):
+    expect(isinstance(h, dict), f"{where}: histogram must be an object")
+    for key in ("buckets", "overflow", "samples", "mean"):
+        expect(key in h, f"{where}: missing '{key}'")
+    buckets = h["buckets"]
+    expect(isinstance(buckets, list), f"{where}: buckets must be a list")
+    if expected_buckets is not None:
+        expect(len(buckets) == expected_buckets,
+               f"{where}: {len(buckets)} buckets, "
+               f"expected {expected_buckets}")
+    total = sum(buckets) + h["overflow"]
+    expect(total == h["samples"],
+           f"{where}: buckets+overflow = {total} != samples "
+           f"{h['samples']}")
+    return total
+
+
+def check_stats_doc(doc, where):
+    expect(doc.get("schema") == "wsrs-stats-v1",
+           f"{where}: schema is {doc.get('schema')!r}, "
+           "expected 'wsrs-stats-v1'")
+    for key in ("benchmark", "machine", "metrics", "core", "memory"):
+        expect(key in doc, f"{where}: missing '{key}'")
+    core = doc["core"]
+    for key in ("num_clusters", "cycles", "committed", "counters",
+                "pipeline"):
+        expect(key in core, f"{where}.core: missing '{key}'")
+    cycles = core["cycles"]
+    clusters = core["num_clusters"]
+    pipe = core["pipeline"]
+    legends = pipe["stall_causes"]
+
+    issue = pipe["issue_stall"]
+    expect(len(issue) == clusters,
+           f"{where}: {len(issue)} issue_stall histograms for "
+           f"{clusters} clusters")
+    for c, h in enumerate(issue):
+        total = check_hist(h, f"{where}.issue_stall[{c}]",
+                           len(legends["issue"]))
+        expect(total == cycles,
+               f"{where}.issue_stall[{c}]: stall-cause cycles {total} != "
+               f"core cycles {cycles}")
+    for stage in ("rename", "commit"):
+        h = pipe[f"{stage}_stall"]
+        total = check_hist(h, f"{where}.{stage}_stall",
+                           len(legends[stage]))
+        expect(total == cycles,
+               f"{where}.{stage}_stall: stall-cause cycles {total} != "
+               f"core cycles {cycles}")
+    check_hist(pipe["wakeup_latency"], f"{where}.wakeup_latency")
+
+    intervals = pipe["intervals"]
+    period = intervals["period"]
+    prev = None
+    for i, s in enumerate(intervals["samples"]):
+        cyc = s[0]
+        if prev is not None:
+            expect(cyc - prev == period,
+                   f"{where}.intervals[{i}]: cycle step {cyc - prev} != "
+                   f"period {period}")
+        expect(len(s[2]) == clusters,
+               f"{where}.intervals[{i}]: occupancy arity {len(s[2])}")
+        prev = cyc
+
+
+def check_sweep_report(doc, where):
+    expect(doc.get("schema") == "wsrs-sweep-report-v1",
+           f"{where}: schema is {doc.get('schema')!r}")
+    jobs = doc["jobs"]
+    summary = doc["summary"]
+    expect(summary["total"] == len(jobs),
+           f"{where}: summary.total {summary['total']} != "
+           f"{len(jobs)} jobs")
+    failed = 0
+    for i, job in enumerate(jobs):
+        if job["ok"]:
+            check_stats_doc(job["stats"], f"{where}.jobs[{i}]")
+        else:
+            expect(job.get("stats") is None,
+                   f"{where}.jobs[{i}]: failed job carries stats")
+            expect("error" in job, f"{where}.jobs[{i}]: missing error")
+            failed += 1
+    expect(summary["failed"] == failed,
+           f"{where}: summary.failed {summary['failed']} != {failed}")
+    return len(jobs)
+
+
+def check_file(path):
+    with open(path) as f:
+        doc = json.load(f)  # strict: rejects NaN-producing output
+    schema = doc.get("schema")
+    if schema == "wsrs-sweep-report-v1":
+        n = check_sweep_report(doc, path)
+        print(f"{path}: ok (sweep report, {n} jobs)")
+    else:
+        check_stats_doc(doc, path)
+        print(f"{path}: ok (single-run stats, "
+              f"{doc['core']['cycles']} cycles)")
+
+
+def main():
+    if len(sys.argv) < 2:
+        sys.exit(__doc__)
+    for path in sys.argv[1:]:
+        try:
+            check_file(path)
+        except Fail as e:
+            sys.exit(f"FAIL {e}")
+        except (json.JSONDecodeError, KeyError, TypeError) as e:
+            sys.exit(f"FAIL {path}: {e!r}")
+    print("all stats documents valid")
+
+
+if __name__ == "__main__":
+    main()

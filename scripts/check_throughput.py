@@ -40,6 +40,11 @@ def main():
     ap.add_argument("--tolerance", type=float, default=0.10,
                     help="allowed fractional drop below baseline "
                          "(default 0.10)")
+    ap.add_argument("--trace-tolerance", type=float, default=None,
+                    help="when set, require the tracing-disabled "
+                         "trace_overhead.off throughput to stay within "
+                         "this fraction of the interleaved reference "
+                         "measurement (e.g. 0.02)")
     ap.add_argument("--write-baseline",
                     help="instead of checking, write a new baseline here")
     ap.add_argument("--headroom", type=float, default=0.5,
@@ -87,6 +92,30 @@ def main():
             failures.append(
                 f"{preset}: {measured:.0f} uops/s is more than "
                 f"{args.tolerance:.0%} below baseline {floor:.0f}")
+
+    trace = data.get("trace_overhead", {})
+    if trace:
+        print(f"trace_overhead[{trace.get('preset')}]: "
+              f"off {trace.get('off_uops_per_second'):.0f} uops/s, "
+              f"text x{trace.get('text_slowdown'):.2f}, "
+              f"binary x{trace.get('binary_slowdown'):.2f}")
+    if args.trace_tolerance is not None:
+        if not trace:
+            failures.append("trace_overhead section missing "
+                            f"from {args.json}")
+        else:
+            ref = trace["ref_uops_per_second"]
+            off = trace["off_uops_per_second"]
+            limit = ref * (1.0 - args.trace_tolerance)
+            if off < limit:
+                failures.append(
+                    f"tracing-disabled path: {off:.0f} uops/s is more "
+                    f"than {args.trace_tolerance:.0%} below the "
+                    f"interleaved reference ({ref:.0f})")
+            else:
+                print(f"tracing-disabled overhead ok "
+                      f"({off:.0f} vs ref {ref:.0f} uops/s, "
+                      f"limit {limit:.0f})")
 
     sweep = data.get("sweep", {})
     if sweep:

@@ -6,14 +6,43 @@ Usage:
     ./build/bench/figure5_unbalancing  > fig5.txt
     python3 scripts/plot_figures.py fig4.txt fig5.txt
 
+Also accepts a machine-readable sweep report (wsrs-sim --all
+--stats-json=sweep.json): the IPC matrix is rebuilt from the
+wsrs-sweep-report-v1 JSON instead of a printed table.
+
 Produces grouped bar charts (matplotlib, if installed) mirroring the
 paper's presentation: one panel for the integer benchmarks, one for the
 floating-point benchmarks, one bar per machine configuration. Falls back
 to an ASCII rendering when matplotlib is unavailable.
 """
 
+import json
 import re
 import sys
+
+
+def parse_sweep_report(path):
+    """Build the same (machines, {bench: values}) groups from a
+    wsrs-sweep-report-v1 JSON; returns None if the file is not one."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    if not isinstance(doc, dict) or \
+            doc.get("schema") != "wsrs-sweep-report-v1":
+        return None
+    machines, rows = [], {}
+    for job in doc["jobs"]:
+        if not job["ok"]:
+            continue
+        if job["machine"] not in machines:
+            machines.append(job["machine"])
+        rows.setdefault(job["benchmark"], {})[job["machine"]] = \
+            job["stats"]["metrics"]["ipc"]
+    table = {bench: [by.get(m, 0.0) for m in machines]
+             for bench, by in rows.items()}
+    return [(machines, table)] if table else []
 
 
 def parse_table(path):
@@ -58,7 +87,9 @@ def main():
         print(__doc__)
         return 1
     for path in sys.argv[1:]:
-        groups = parse_table(path)
+        groups = parse_sweep_report(path)
+        if groups is None:
+            groups = parse_table(path)
         if not groups:
             print(f"{path}: no tables found")
             continue

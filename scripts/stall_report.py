@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Render a stall-cause breakdown from a wsrs sweep report.
+
+Usage:
+    wsrs-sim --all --stats-json=sweep.json [--interval-stats N]
+    python3 scripts/stall_report.py sweep.json [--machine NAME]
+    python3 scripts/stall_report.py stats.json        # single run too
+
+For every machine (aggregated over its benchmarks, cycle-weighted), prints
+the percentage of cycles each pipeline stage spent in each stall cause:
+rename, commit, and the per-cluster issue stage (clusters averaged, since
+cause mix is what matters; the per-cluster split is in the JSON). The
+issue table is where the paper's phenomena show up: intercluster-forward
+waits and empty clusters (icount imbalance) grow with the cluster count,
+while subset-full rename stalls are the register-write-specialization
+cost.
+"""
+
+import argparse
+import json
+import signal
+import sys
+
+# Die quietly when piped into `head` etc.
+signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+
+
+def collect_docs(doc, path):
+    """Yield (machine, stats-doc) pairs from either schema."""
+    schema = doc.get("schema")
+    if schema == "wsrs-sweep-report-v1":
+        for job in doc["jobs"]:
+            if job["ok"]:
+                yield job["machine"], job["stats"]
+    elif schema == "wsrs-stats-v1":
+        yield doc["machine"], doc
+    else:
+        sys.exit(f"{path}: unrecognized schema {schema!r}")
+
+
+def add_hist(acc, hist):
+    buckets = hist["buckets"] + [hist["overflow"]]
+    if not acc:
+        acc.extend(buckets)
+    else:
+        for i, v in enumerate(buckets):
+            acc[i] += v
+    return acc
+
+
+def render(title, legend, acc):
+    total = sum(acc)
+    if total == 0:
+        return
+    print(f"  {title}")
+    rows = sorted(zip(legend + ["(overflow)"], acc),
+                  key=lambda kv: -kv[1])
+    for cause, count in rows:
+        if count == 0:
+            continue
+        pct = 100.0 * count / total
+        bar = "#" * int(pct / 2)
+        print(f"    {cause:28s} {pct:6.2f}%  |{bar}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("report", help="sweep report or single-run stats JSON")
+    ap.add_argument("--machine", help="restrict to one machine preset")
+    args = ap.parse_args()
+
+    with open(args.report) as f:
+        doc = json.load(f)
+
+    per_machine = {}
+    for machine, stats in collect_docs(doc, args.report):
+        if args.machine and machine != args.machine:
+            continue
+        agg = per_machine.setdefault(
+            machine,
+            {"cycles": 0, "committed": 0, "benchmarks": 0,
+             "issue": [], "rename": [], "commit": [], "wakeup": [],
+             "legend": stats["core"]["pipeline"]["stall_causes"]})
+        core = stats["core"]
+        pipe = core["pipeline"]
+        agg["cycles"] += core["cycles"]
+        agg["committed"] += core["committed"]
+        agg["benchmarks"] += 1
+        for h in pipe["issue_stall"]:
+            add_hist(agg["issue"], h)
+        add_hist(agg["rename"], pipe["rename_stall"])
+        add_hist(agg["commit"], pipe["commit_stall"])
+        add_hist(agg["wakeup"], pipe["wakeup_latency"])
+
+    if not per_machine:
+        sys.exit("no matching runs in the report")
+
+    for machine, agg in per_machine.items():
+        ipc = agg["committed"] / agg["cycles"] if agg["cycles"] else 0.0
+        print(f"\n{machine}: {agg['benchmarks']} benchmark(s), "
+              f"{agg['cycles']} cycles, aggregate IPC {ipc:.3f}")
+        legend = agg["legend"]
+        render("issue stage (all clusters)", legend["issue"], agg["issue"])
+        render("rename stage", legend["rename"], agg["rename"])
+        render("commit stage", legend["commit"], agg["commit"])
+        wk = agg["wakeup"]
+        total = sum(wk)
+        if total:
+            mean = sum(i * v for i, v in enumerate(wk)) / total
+            print(f"  wake-up to issue latency: mean {mean:.2f} cycles "
+                  f"({100.0 * wk[0] / total:.1f}% same-cycle)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

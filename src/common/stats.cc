@@ -1,8 +1,49 @@
 #include "stats.h"
 
+#include <cmath>
+#include <cstdio>
 #include <iomanip>
 
 namespace wsrs {
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+dumpJsonDouble(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << "null";
+        return;
+    }
+    os << v;
+}
 
 StatBase::StatBase(StatGroup &group, std::string name, std::string desc)
     : name_(group.name() + "." + std::move(name)), desc_(std::move(desc))
@@ -32,17 +73,6 @@ Histogram::Histogram(StatGroup &group, std::string name, std::string desc,
 }
 
 void
-Histogram::sample(std::uint64_t v, std::uint64_t count)
-{
-    const std::size_t idx =
-        v < buckets_.size() ? static_cast<std::size_t>(v)
-                            : buckets_.size() - 1;
-    buckets_[idx] += count;
-    samples_ += count;
-    sum_ += static_cast<double>(v) * static_cast<double>(count);
-}
-
-void
 Histogram::dump(std::ostream &os) const
 {
     os << std::left << std::setw(44) << name() << std::right << std::setw(16)
@@ -55,6 +85,10 @@ Histogram::dump(std::ostream &os) const
            << (name() + "[" + std::to_string(i) + "]") << std::right
            << std::setw(16) << buckets_[i] << "\n";
     }
+    if (overflow_ != 0) {
+        os << "  " << std::left << std::setw(42) << (name() + "[overflow]")
+           << std::right << std::setw(16) << overflow_ << "\n";
+    }
 }
 
 void
@@ -62,6 +96,7 @@ Histogram::reset()
 {
     for (auto &b : buckets_)
         b = 0;
+    overflow_ = 0;
     samples_ = 0;
     sum_ = 0.0;
 }
@@ -69,22 +104,26 @@ Histogram::reset()
 void
 Counter::dumpJson(std::ostream &os) const
 {
-    os << "\"" << name() << "\": " << value_;
+    os << "\"" << jsonEscape(name()) << "\": " << value_;
 }
 
 void
 Average::dumpJson(std::ostream &os) const
 {
-    os << "\"" << name() << "\": " << mean();
+    os << "\"" << jsonEscape(name()) << "\": ";
+    dumpJsonDouble(os, mean());
 }
 
 void
 Histogram::dumpJson(std::ostream &os) const
 {
-    os << "\"" << name() << "\": [";
+    os << "\"" << jsonEscape(name()) << "\": {\"buckets\": [";
     for (std::size_t i = 0; i < buckets_.size(); ++i)
         os << (i ? ", " : "") << buckets_[i];
-    os << "]";
+    os << "], \"overflow\": " << overflow_ << ", \"samples\": " << samples_
+       << ", \"mean\": ";
+    dumpJsonDouble(os, mean());
+    os << "}";
 }
 
 void
@@ -98,7 +137,8 @@ Formula::dump(std::ostream &os) const
 void
 Formula::dumpJson(std::ostream &os) const
 {
-    os << "\"" << name() << "\": " << value();
+    os << "\"" << jsonEscape(name()) << "\": ";
+    dumpJsonDouble(os, value());
 }
 
 void

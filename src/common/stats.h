@@ -12,11 +12,29 @@
 #include <map>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace wsrs {
 
 class StatGroup;
+
+/**
+ * Version tag of the machine-readable statistics documents produced by
+ * StatGroup::dumpJson / Core::dumpStatsJson. Consumers
+ * (scripts/check_stats_schema.py, scripts/stall_report.py) key their
+ * validation on this string; bump it when the shape of the JSON changes.
+ */
+inline constexpr const char *kStatsJsonSchema = "wsrs-stats-v1";
+
+/** Escape a string for inclusion inside a JSON string literal. */
+std::string jsonEscape(std::string_view s);
+
+/**
+ * Write a double as a legal JSON value: nan/inf have no JSON spelling and
+ * are clamped to null.
+ */
+void dumpJsonDouble(std::ostream &os, double v);
 
 /** Base class for every named statistic. */
 class StatBase
@@ -89,17 +107,32 @@ class Average : public StatBase
     std::uint64_t count_ = 0;
 };
 
-/** Fixed-bucket histogram over [0, buckets); larger samples clamp. */
+/**
+ * Fixed-bucket histogram over [0, buckets); samples at or beyond the top
+ * land in an explicit overflow bucket (counted in samples() and mean(),
+ * reported separately by dump/dumpJson so saturation is detectable).
+ */
 class Histogram : public StatBase
 {
   public:
     Histogram(StatGroup &group, std::string name, std::string desc,
               std::size_t buckets);
 
-    void sample(std::uint64_t v, std::uint64_t count = 1);
+    void
+    sample(std::uint64_t v, std::uint64_t count = 1)
+    {
+        if (v < buckets_.size())
+            buckets_[static_cast<std::size_t>(v)] += count;
+        else
+            overflow_ += count;
+        samples_ += count;
+        sum_ += static_cast<double>(v) * static_cast<double>(count);
+    }
 
     std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
     std::size_t numBuckets() const { return buckets_.size(); }
+    /** Samples that fell at or beyond numBuckets(). */
+    std::uint64_t overflow() const { return overflow_; }
     std::uint64_t samples() const { return samples_; }
     double mean() const { return samples_ ? sum_ / samples_ : 0.0; }
 
@@ -109,6 +142,7 @@ class Histogram : public StatBase
 
   private:
     std::vector<std::uint64_t> buckets_;
+    std::uint64_t overflow_ = 0;
     std::uint64_t samples_ = 0;
     double sum_ = 0.0;
 };

@@ -2,10 +2,15 @@
 #include <cstdlib>
 
 #include <algorithm>
+#include <ostream>
 
 #include "src/workload/dataflow.h"
 
 namespace wsrs::core {
+
+// obs sizes its per-cluster arrays without depending on core headers.
+static_assert(kMaxClusters <= obs::kClusterCap,
+              "obs::kClusterCap must cover core::kMaxClusters");
 
 namespace {
 
@@ -41,7 +46,8 @@ Core::Core(const CoreParams &params, workload::MicroOpSource &gen,
       alloc_(params_), lsq_(params_.lsqSize), rng_(params_.seed),
       rob_(std::size_t{params_.numClusters} * params_.clusterWindow),
       regWaiters_(params_.numPhysRegs), wakeWheel_(kWakeRing),
-      prod_(params_.numPhysRegs), wbSlots_(params_.numClusters)
+      prod_(params_.numPhysRegs), wbSlots_(params_.numClusters),
+      obs_(statGroup_, params_.numClusters)
 {
     renamer_.initMapping(&workload::initRegValue);
 }
@@ -105,10 +111,35 @@ Core::insertReady(std::uint64_t rob_num)
 {
     // Ready lists stay sorted by ROB number so the issue stage keeps the
     // oldest-first selection order of the former full-queue scan.
-    auto &q = readyQ_[rob(rob_num).cluster];
+    DynInst &d = rob(rob_num);
+    auto &q = readyQ_[d.cluster];
     const auto it = std::lower_bound(q.begin(), q.end(), rob_num);
-    if (it == q.end() || *it != rob_num)
+    if (it == q.end() || *it != rob_num) {
         q.insert(it, rob_num);
+        if (d.readyCycle == kNeverCycle)
+            d.readyCycle = now_;
+    }
+}
+
+void
+Core::setWaitClass(DynInst &d, std::uint8_t cls)
+{
+    if (d.waitClass == cls)
+        return;
+    clearWaitClass(d);
+    d.waitClass = cls;
+    ++(cls == 2 ? waitRemote_ : waitLocal_)[d.cluster];
+}
+
+void
+Core::clearWaitClass(DynInst &d)
+{
+    if (d.waitClass == 0)
+        return;
+    auto &count = (d.waitClass == 2 ? waitRemote_ : waitLocal_)[d.cluster];
+    WSRS_ASSERT(count > 0);
+    --count;
+    d.waitClass = 0;
 }
 
 void
@@ -130,7 +161,7 @@ Core::scheduleWake(std::uint64_t rob_num, Cycle at)
 void
 Core::subscribeOrSchedule(std::uint64_t rob_num)
 {
-    const DynInst &d = rob(rob_num);
+    DynInst &d = rob(rob_num);
     // Memory micro-ops are gated by the in-order address pipeline: they
     // enter the ready list when agenStage computes their address.
     WSRS_ASSERT(!isa::isMemOp(d.op.op));
@@ -139,24 +170,37 @@ Core::subscribeOrSchedule(std::uint64_t rob_num)
     };
     // Wait on one un-issued source at a time; wakeOne() re-evaluates and
     // re-subscribes to the other source if it is still outstanding.
+    // The single pending token is classified local/remote for stall
+    // attribution; classification never feeds back into timing.
     if (pending(d.psrc1)) {
         regWaiters_[d.psrc1].push_back(rob_num);
+        setWaitClass(d, prod_[d.psrc1].cluster != d.cluster ? 2 : 1);
         return;
     }
     if (pending(d.psrc2)) {
         regWaiters_[d.psrc2].push_back(rob_num);
+        setWaitClass(d, prod_[d.psrc2].cluster != d.cluster ? 2 : 1);
         return;
     }
     // Both producers issued: the operands become readable at a known cycle.
     Cycle at = now_ + 1;
+    bool remote = false;
     const auto account = [&](PhysReg p) {
         if (p == kNoPhysReg)
             return;
         const Producer &info = prod_[p];
-        at = std::max(at, info.readyBase + ffPenalty(info.cluster, d.cluster));
+        const Cycle pen = ffPenalty(info.cluster, d.cluster);
+        const Cycle t = info.readyBase + pen;
+        if (t > at) {
+            at = t;
+            remote = pen > 0;
+        } else if (t == at && pen > 0) {
+            remote = true;
+        }
     };
     account(d.psrc1);
     account(d.psrc2);
+    setWaitClass(d, remote ? 2 : 1);
     scheduleWake(rob_num, at);
 }
 
@@ -168,10 +212,12 @@ Core::wakeDependants(PhysReg preg)
         return;
     const Producer &info = prod_[preg];
     for (const std::uint64_t n : waiters) {
-        const DynInst &d = rob(n);
-        scheduleWake(n, std::max(now_ + 1,
-                                 info.readyBase +
-                                     ffPenalty(info.cluster, d.cluster)));
+        DynInst &d = rob(n);
+        const Cycle pen = ffPenalty(info.cluster, d.cluster);
+        scheduleWake(n, std::max(now_ + 1, info.readyBase + pen));
+        // The token moves from subscription to the wheel: re-classify by
+        // whether an intercluster hop delays this consumer.
+        setWaitClass(d, pen > 0 ? 2 : 1);
     }
     waiters.clear();
 }
@@ -184,6 +230,7 @@ Core::wakeOne(std::uint64_t rob_num)
     DynInst &d = rob(rob_num);
     if (d.state != InstState::Waiting)
         return;
+    clearWaitClass(d);  // Token fired; re-wait re-classifies below.
     if (srcReady(d))
         insertReady(rob_num);
     else
@@ -367,6 +414,8 @@ Core::tryIssue(std::uint64_t rob_num)
     d.state = InstState::Issued;
     d.issueCycle = now_;
     d.completeCycle = now_ + params_.regReadStages + eff_lat;
+    if (d.readyCycle != kNeverCycle)
+        obs_.recordWakeupLatency(now_ - d.readyCycle);
     if (params_.mode == RegFileMode::Wsrs)
         assertWsrsConstraints(d);
 
@@ -410,6 +459,7 @@ Core::issueStage()
         }
         q.resize(w);
     }
+    recordIssueStalls();
 
     unsigned issued_now = 0;
     for (ClusterId c = 0; c < params_.numClusters; ++c)
@@ -417,6 +467,30 @@ Core::issueStage()
     ++stats_.issueWidthHist[std::min<std::size_t>(
         issued_now, stats_.issueWidthHist.size() - 1)];
     stats_.windowOccupancySum += robTail_ - robHead_;
+}
+
+void
+Core::recordIssueStalls()
+{
+    // Exactly one dominant outcome per cluster per cycle, checked from
+    // cheapest to most specific. The wait-token counters make the
+    // local/remote operand-wait split O(1).
+    for (ClusterId c = 0; c < params_.numClusters; ++c) {
+        obs::IssueStall cause;
+        if (cycTotal_[c] > 0)
+            cause = obs::IssueStall::Issued;
+        else if (inflight_[c] == 0)
+            cause = obs::IssueStall::EmptyCluster;
+        else if (!readyQ_[c].empty())
+            cause = obs::IssueStall::ResourceBusy;
+        else if (waitRemote_[c] > 0)
+            cause = obs::IssueStall::ForwardWait;
+        else if (waitLocal_[c] > 0)
+            cause = obs::IssueStall::OperandWait;
+        else
+            cause = obs::IssueStall::NoReadyUop;
+        obs_.recordIssue(c, cause, inflight_[c]);
+    }
 }
 
 void
@@ -558,6 +632,8 @@ Core::tryInjectMove(SubsetId blocked_subset)
     const RenamedRegs rr = renamer_.rename(m, destSubset(m, chosen.cluster));
     DynInst d;
     d.op = m;
+    d.fetchCycle = now_;
+    d.renameCycle = now_;
     d.psrc1 = rr.psrc1;
     d.pdst = rr.pdst;
     d.oldPdst = rr.oldPdst;
@@ -579,17 +655,25 @@ Core::renameStage()
 {
     renamer_.beginCycle(now_);
     unsigned renamed = 0;
+    obs::RenameStall cause = obs::RenameStall::FullWidth;
     while (renamed < params_.fetchWidth) {
-        if (fetchQ_.empty() || fetchQ_.front().readyAt > now_)
+        if (fetchQ_.empty() || fetchQ_.front().readyAt > now_) {
+            cause = fetchQ_.empty() &&
+                            (fetchStalled_ || now_ < fetchResumeAt_)
+                        ? obs::RenameStall::BranchRedirect
+                        : obs::RenameStall::FrontendEmpty;
             break;
+        }
         if (robTail_ - robHead_ >= rob_.size()) {
             ++stats_.renameStallRob;
+            cause = obs::RenameStall::RobFull;
             break;
         }
         const Fetched &f = fetchQ_.front();
         const isa::MicroOp &op = f.op;
         if (isa::isMemOp(op.op) && lsq_.full()) {
             ++stats_.renameStallLsq;
+            cause = obs::RenameStall::LsqFull;
             break;
         }
 
@@ -639,11 +723,19 @@ Core::renameStage()
         }
         if (inflight_[dec.cluster] >= params_.clusterWindow) {
             ++stats_.renameStallWindow;
+            cause = obs::RenameStall::ClusterWindowFull;
             break;
         }
         const SubsetId tgt = destSubset(op, dec.cluster);
         if (op.hasDest() && !renamer_.canAllocate(tgt)) {
             ++stats_.renameStallFreeReg;
+            // Distinguish one empty subset (specialization pressure) from
+            // a globally exhausted register file.
+            bool any_free = false;
+            for (unsigned s = 0; s < prf_.numSubsets() && !any_free; ++s)
+                any_free = renamer_.canAllocate(static_cast<SubsetId>(s));
+            cause = any_free ? obs::RenameStall::SubsetFull
+                             : obs::RenameStall::PhysRegExhausted;
             if (params_.deadlockPolicy == DeadlockPolicy::MoveInjection &&
                 renamer_.deadlocked(tgt))
                 tryInjectMove(tgt);
@@ -654,6 +746,7 @@ Core::renameStage()
         DynInst d;
         d.op = op;
         d.expected = f.expected;
+        d.fetchCycle = f.fetchCycle;
         d.renameCycle = now_;
         d.psrc1 = rr.psrc1;
         d.psrc2 = rr.psrc2;
@@ -677,6 +770,9 @@ Core::renameStage()
         fetchQ_.pop_front();
         ++renamed;
     }
+    obs_.recordRename(renamed == params_.fetchWidth
+                          ? obs::RenameStall::FullWidth
+                          : cause);
     renamer_.endCycle(now_);
 }
 
@@ -694,6 +790,7 @@ Core::fetchStage()
         f.expected =
             params_.verifyDataflow ? oracle_.execute(op) : 0;
         f.readyAt = now_ + params_.frontEndDepth;
+        f.fetchCycle = now_;
         f.mispredicted = false;
         if (op.isBranch()) {
             const bool pred = bp_.lookup(op.pc);
@@ -757,6 +854,8 @@ Core::commitStage()
             if (timeline_.size() > timelineCapacity_)
                 timeline_.pop_front();
         }
+        if (traceSink_)
+            emitTrace(d);
 
         WSRS_ASSERT(inflight_[d.cluster] > 0);
         --inflight_[d.cluster];
@@ -765,10 +864,43 @@ Core::commitStage()
         if (!d.injectedMove)
             ++stats_.committed;
     }
+
+    obs::CommitStall cause;
+    if (width > 0)
+        cause = obs::CommitStall::Committed;
+    else if (robHead_ == robTail_)
+        cause = obs::CommitStall::RobEmpty;
+    else if (rob(robHead_).state != InstState::Issued)
+        cause = obs::CommitStall::HeadNotIssued;
+    else
+        cause = obs::CommitStall::HeadExecuting;
+    obs_.recordCommit(cause);
 }
 
 void
-Core::tick()
+Core::emitTrace(const DynInst &d)
+{
+    obs::UopTrace t;
+    t.seq = d.op.seq;
+    t.pc = d.op.pc;
+    t.op = d.op.op;
+    t.cluster = d.cluster;
+    t.dstSubset = d.pdst != kNoPhysReg ? prf_.subsetOf(d.pdst)
+                                       : SubsetId{0xff};
+    t.flags = (d.mispredicted ? obs::kUopMispredicted : 0) |
+              (d.injectedMove ? obs::kUopInjectedMove : 0);
+    t.fetchCycle = d.fetchCycle;
+    t.renameCycle = d.renameCycle;
+    t.readyCycle =
+        d.readyCycle != kNeverCycle ? d.readyCycle : d.issueCycle;
+    t.issueCycle = d.issueCycle;
+    t.completeCycle = d.completeCycle;
+    t.commitCycle = now_;
+    traceSink_->record(t);
+}
+
+void
+Core::runStages()
 {
     commitStage();
     captureStoreData();
@@ -776,6 +908,23 @@ Core::tick()
     agenStage();
     renameStage();
     fetchStage();
+}
+
+void
+Core::tick()
+{
+    if (profiler_) {
+        obs::StageProfiler &p = *profiler_;
+        p.time(obs::StageProfiler::Commit, [&] { commitStage(); });
+        p.time(obs::StageProfiler::StoreData, [&] { captureStoreData(); });
+        p.time(obs::StageProfiler::Issue, [&] { issueStage(); });
+        p.time(obs::StageProfiler::Agen, [&] { agenStage(); });
+        p.time(obs::StageProfiler::Rename, [&] { renameStage(); });
+        p.time(obs::StageProfiler::Fetch, [&] { fetchStage(); });
+    } else {
+        runStages();
+    }
+    obs_.endCycle(now_, stats_.committed, inflight_.data());
     ++now_;
     ++stats_.cycles;
 }
@@ -868,6 +1017,39 @@ Core::resetStats()
     stats_ = CoreStats{};
     groupCount_.fill(0);
     groupFill_ = 0;
+    // Wait-token counters are machine state, not measurement: keep them.
+    obs_.reset();
+}
+
+void
+Core::dumpStatsJson(std::ostream &os) const
+{
+    os << "{\"machine\": \"" << jsonEscape(params_.name)
+       << "\", \"num_clusters\": " << unsigned(params_.numClusters)
+       << ", \"cycles\": " << stats_.cycles
+       << ", \"committed\": " << stats_.committed << ", \"ipc\": ";
+    dumpJsonDouble(os, stats_.ipc());
+    os << ", \"counters\": {\"injected_moves\": " << stats_.injectedMoves
+       << ", \"branches\": " << stats_.branches
+       << ", \"mispredicts\": " << stats_.mispredicts
+       << ", \"load_forwards\": " << stats_.loadForwards
+       << ", \"rename_stall_free_reg\": " << stats_.renameStallFreeReg
+       << ", \"rename_stall_window\": " << stats_.renameStallWindow
+       << ", \"rename_stall_rob\": " << stats_.renameStallRob
+       << ", \"rename_stall_lsq\": " << stats_.renameStallLsq
+       << ", \"unbalanced_groups\": " << stats_.unbalancedGroups
+       << ", \"total_groups\": " << stats_.totalGroups
+       << ", \"value_mismatches\": " << stats_.valueMismatches
+       << ", \"window_occupancy_sum\": " << stats_.windowOccupancySum
+       << "}, \"issue_width_hist\": [";
+    for (std::size_t w = 0; w < stats_.issueWidthHist.size(); ++w)
+        os << (w ? ", " : "") << stats_.issueWidthHist[w];
+    os << "], \"per_cluster_alloc\": [";
+    for (ClusterId c = 0; c < params_.numClusters; ++c)
+        os << (c ? ", " : "") << stats_.perCluster[c];
+    os << "], \"pipeline\": ";
+    obs_.dumpJson(os);
+    os << "}";
 }
 
 } // namespace wsrs::core

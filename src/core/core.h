@@ -28,6 +28,9 @@
 #include "src/bpred/predictor.h"
 #include "src/common/rng.h"
 #include "src/common/stats.h"
+#include "src/obs/pipeline_stats.h"
+#include "src/obs/stage_profiler.h"
+#include "src/obs/trace_sink.h"
 #include "src/core/cluster_alloc.h"
 #include "src/core/lsq.h"
 #include "src/core/params.h"
@@ -50,7 +53,9 @@ struct DynInst
     std::uint64_t expected = 0;      ///< Oracle value (verify mode).
     std::uint64_t result = 0;        ///< Dataflow value produced.
     std::uint64_t memOrdinal = 0;    ///< LSQ ordinal (memory ops).
+    Cycle fetchCycle = 0;            ///< Cycle the op left the generator.
     Cycle renameCycle = 0;           ///< Cycle the op entered the window.
+    Cycle readyCycle = kNeverCycle;  ///< First cycle on a ready list.
     Cycle issueCycle = kNeverCycle;
     Cycle completeCycle = kNeverCycle;
     PhysReg psrc1 = kNoPhysReg;
@@ -62,6 +67,10 @@ struct DynInst
     bool injectedMove = false;       ///< Deadlock-workaround move.
     bool mispredicted = false;       ///< Mispredicted branch.
     InstState state = InstState::Waiting;
+    /** Wait-token classification for stall attribution: 0 = no pending
+     *  wake-up token, 1 = waiting on a same-cluster producer, 2 = waiting
+     *  on a cross-cluster forward. */
+    std::uint8_t waitClass = 0;
 };
 
 /** Aggregate results of a simulation phase. */
@@ -187,6 +196,26 @@ class Core
     const Renamer &renamer() const { return renamer_; }
     Cycle now() const { return now_; }
 
+    // ---- observability (src/obs) ----
+
+    /**
+     * Stream every committed micro-op's lifecycle record into @p sink
+     * (nullptr detaches). Purely observational: never alters timing.
+     */
+    void attachTraceSink(obs::TraceSink *sink) { traceSink_ = sink; }
+
+    /** Wrap each pipeline-stage call in wall-clock timing (nullptr off). */
+    void attachStageProfiler(obs::StageProfiler *p) { profiler_ = p; }
+
+    /** Record an occupancy/commit sample every @p period cycles. */
+    void enableIntervalStats(Cycle period) { obs_.enableIntervals(period); }
+
+    /** Per-stage stall-cause attribution and wake-up latency stats. */
+    const obs::PipelineStats &pipeStats() const { return obs_; }
+
+    /** Machine-readable core stats document (schema wsrs-stats-v1 body). */
+    void dumpStatsJson(std::ostream &os) const;
+
   private:
     // ---- pipeline stages (called in tick() order) ----
     void tick();
@@ -210,6 +239,13 @@ class Core
     void wakeOne(std::uint64_t rob_num);
     void insertReady(std::uint64_t rob_num);
     void drainWakes();
+
+    // ---- observability helpers ----
+    void setWaitClass(DynInst &d, std::uint8_t cls);
+    void clearWaitClass(DynInst &d);
+    void recordIssueStalls();
+    void emitTrace(const DynInst &d);
+    void runStages();
 
     // Per-cycle issue budgets (reset by issueStage).
     std::array<unsigned, kMaxClusters> cycTotal_{};
@@ -301,6 +337,7 @@ class Core
         isa::MicroOp op;
         std::uint64_t expected;
         Cycle readyAt;        ///< Earliest rename cycle.
+        Cycle fetchCycle;     ///< Cycle the op left the generator.
         bool mispredicted;
     };
     std::deque<Fetched> fetchQ_;
@@ -324,6 +361,18 @@ class Core
 
     Cycle now_ = 0;
     CoreStats stats_;
+
+    // ---- observability state ----
+    // statGroup_ must precede obs_ (obs_ registers histograms in it).
+    StatGroup statGroup_{"core"};
+    obs::PipelineStats obs_;
+    obs::TraceSink *traceSink_ = nullptr;
+    obs::StageProfiler *profiler_ = nullptr;
+    // Waiting micro-ops per cluster holding a local (same-cluster producer)
+    // vs remote (cross-cluster forward) wake-up token; O(1) per-cycle
+    // issue-stall classification.
+    std::array<unsigned, kMaxClusters> waitLocal_{};
+    std::array<unsigned, kMaxClusters> waitRemote_{};
 };
 
 } // namespace wsrs::core

@@ -1,0 +1,161 @@
+#include "pipeline_stats.h"
+
+#include <ostream>
+
+#include "src/common/log.h"
+
+namespace wsrs::obs {
+
+const char *
+issueStallName(IssueStall c)
+{
+    switch (c) {
+      case IssueStall::Issued:       return "issued";
+      case IssueStall::EmptyCluster: return "empty-cluster";
+      case IssueStall::OperandWait:  return "operand-wait";
+      case IssueStall::ForwardWait:  return "intercluster-forward-wait";
+      case IssueStall::ResourceBusy: return "resource-busy";
+      case IssueStall::NoReadyUop:   return "no-ready-uop";
+      default:                       return "invalid";
+    }
+}
+
+const char *
+renameStallName(RenameStall c)
+{
+    switch (c) {
+      case RenameStall::FullWidth:        return "full-width";
+      case RenameStall::FrontendEmpty:    return "frontend-empty";
+      case RenameStall::BranchRedirect:   return "branch-redirect";
+      case RenameStall::RobFull:          return "rob-full";
+      case RenameStall::ClusterWindowFull: return "cluster-window-full";
+      case RenameStall::LsqFull:          return "lsq-full";
+      case RenameStall::SubsetFull:       return "subset-full";
+      case RenameStall::PhysRegExhausted: return "phys-reg-exhausted";
+      default:                            return "invalid";
+    }
+}
+
+const char *
+commitStallName(CommitStall c)
+{
+    switch (c) {
+      case CommitStall::Committed:     return "committed";
+      case CommitStall::RobEmpty:      return "rob-empty";
+      case CommitStall::HeadNotIssued: return "head-not-issued";
+      case CommitStall::HeadExecuting: return "head-executing";
+      default:                         return "invalid";
+    }
+}
+
+PipelineStats::PipelineStats(StatGroup &group, unsigned num_clusters)
+    : numClusters_(num_clusters)
+{
+    WSRS_ASSERT(num_clusters > 0 && num_clusters <= kClusterCap);
+    issueStall_.reserve(numClusters_);
+    for (unsigned c = 0; c < numClusters_; ++c) {
+        issueStall_.push_back(std::make_unique<Histogram>(
+            group, "issue_stall_c" + std::to_string(c),
+            "cluster " + std::to_string(c) +
+                " dominant issue outcome per cycle",
+            static_cast<std::size_t>(IssueStall::kCount)));
+    }
+    renameStall_ = std::make_unique<Histogram>(
+        group, "rename_stall", "dominant rename outcome per cycle",
+        static_cast<std::size_t>(RenameStall::kCount));
+    commitStall_ = std::make_unique<Histogram>(
+        group, "commit_stall", "dominant commit outcome per cycle",
+        static_cast<std::size_t>(CommitStall::kCount));
+    wakeupLatency_ = std::make_unique<Histogram>(
+        group, "wakeup_latency",
+        "cycles from operand-ready to issue per micro-op", kWakeupBuckets);
+}
+
+void
+PipelineStats::enableIntervals(Cycle period)
+{
+    intervalPeriod_ = period;
+    intervalCountdown_ = period;
+    intervals_.clear();
+}
+
+void
+PipelineStats::reset()
+{
+    for (auto &h : issueStall_)
+        h->reset();
+    renameStall_->reset();
+    commitStall_->reset();
+    wakeupLatency_->reset();
+    occupancySum_.fill(0);
+    intervalCountdown_ = intervalPeriod_;
+    intervals_.clear();
+}
+
+namespace {
+
+template <typename Enum, typename NameFn>
+void
+dumpLegend(std::ostream &os, NameFn name)
+{
+    os << "[";
+    for (std::size_t i = 0; i < static_cast<std::size_t>(Enum::kCount); ++i)
+        os << (i ? ", " : "") << "\""
+           << jsonEscape(name(static_cast<Enum>(i))) << "\"";
+    os << "]";
+}
+
+/** Histogram body without the group-qualified stat name, so consumers
+ *  index by position (per-cluster arrays) or by the local key. */
+void
+dumpHistBody(std::ostream &os, const Histogram &h)
+{
+    os << "{\"buckets\": [";
+    for (std::size_t i = 0; i < h.numBuckets(); ++i)
+        os << (i ? ", " : "") << h.bucket(i);
+    os << "], \"overflow\": " << h.overflow()
+       << ", \"samples\": " << h.samples() << ", \"mean\": ";
+    dumpJsonDouble(os, h.mean());
+    os << "}";
+}
+
+} // namespace
+
+void
+PipelineStats::dumpJson(std::ostream &os) const
+{
+    os << "{\"stall_causes\": {\"issue\": ";
+    dumpLegend<IssueStall>(os, issueStallName);
+    os << ", \"rename\": ";
+    dumpLegend<RenameStall>(os, renameStallName);
+    os << ", \"commit\": ";
+    dumpLegend<CommitStall>(os, commitStallName);
+    os << "}, \"issue_stall\": [";
+    for (unsigned c = 0; c < numClusters_; ++c) {
+        os << (c ? ", " : "");
+        dumpHistBody(os, *issueStall_[c]);
+    }
+    os << "], \"rename_stall\": ";
+    dumpHistBody(os, *renameStall_);
+    os << ", \"commit_stall\": ";
+    dumpHistBody(os, *commitStall_);
+    os << ", \"wakeup_latency\": ";
+    dumpHistBody(os, *wakeupLatency_);
+    os << ", \"occupancy_sum\": [";
+    for (unsigned c = 0; c < numClusters_; ++c)
+        os << (c ? ", " : "") << occupancySum_[c];
+    os << "], \"intervals\": {\"period\": " << intervalPeriod_
+       << ", \"fields\": [\"cycle\", \"committed\", \"occupancy\"], "
+          "\"samples\": [";
+    for (std::size_t i = 0; i < intervals_.size(); ++i) {
+        const IntervalSample &s = intervals_[i];
+        os << (i ? ", " : "") << "[" << s.cycle << ", " << s.committed
+           << ", [";
+        for (unsigned c = 0; c < numClusters_; ++c)
+            os << (c ? ", " : "") << s.occupancy[c];
+        os << "]]";
+    }
+    os << "]}}";
+}
+
+} // namespace wsrs::obs

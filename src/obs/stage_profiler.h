@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Host-side self-profiling of the simulator: wall-clock seconds spent in
+ * each pipeline-stage function of Core::tick. Off by default (the core
+ * checks one pointer per tick); when attached, each stage call is wrapped
+ * in a steady_clock pair, so enable it only for profiling runs — the
+ * numbers feed the "stage_profile" section of BENCH_sim_throughput.json.
+ */
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+
+namespace wsrs::obs {
+
+/** Accumulated wall-time per pipeline stage. */
+class StageProfiler
+{
+  public:
+    enum Stage : std::uint8_t {
+        Commit = 0,
+        StoreData,
+        Issue,
+        Agen,
+        Rename,
+        Fetch,
+        kNumStages
+    };
+
+    static const char *stageName(Stage s);
+
+    /** Time one stage call and charge it to @p s. */
+    template <typename Fn>
+    void
+    time(Stage s, Fn &&fn)
+    {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        seconds_[s] +=
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+        ++calls_[s];
+    }
+
+    double seconds(Stage s) const { return seconds_[s]; }
+    std::uint64_t calls(Stage s) const { return calls_[s]; }
+    double totalSeconds() const;
+
+    void reset();
+
+    /** JSON object {stage: {seconds, calls, share}, ...}. */
+    void dumpJson(std::ostream &os) const;
+
+  private:
+    std::array<double, kNumStages> seconds_{};
+    std::array<std::uint64_t, kNumStages> calls_{};
+};
+
+} // namespace wsrs::obs

@@ -1,0 +1,162 @@
+#include "trace_sink.h"
+
+#include <algorithm>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "src/common/log.h"
+
+namespace wsrs::obs {
+
+void
+O3PipeViewSink::record(const UopTrace &t)
+{
+    // gem5 emits per-instruction blocks at retire, so timestamps inside a
+    // block may precede the previous block's retire line; Konata's
+    // O3PipeView loader handles that. The decode line stands in for the
+    // whole front-end pipe between fetch and rename.
+    char buf[256];
+    const int n = std::snprintf(
+        buf, sizeof(buf),
+        "O3PipeView:fetch:%llu:0x%08llx:0:%llu:%s/c%u\n"
+        "O3PipeView:decode:%llu\n"
+        "O3PipeView:rename:%llu\n"
+        "O3PipeView:dispatch:%llu\n"
+        "O3PipeView:issue:%llu\n"
+        "O3PipeView:complete:%llu\n"
+        "O3PipeView:retire:%llu:store:%llu\n",
+        (unsigned long long)t.fetchCycle, (unsigned long long)t.pc,
+        (unsigned long long)t.seq,
+        std::string(isa::opClassName(t.op)).c_str(), unsigned(t.cluster),
+        (unsigned long long)(t.fetchCycle + 1),
+        (unsigned long long)t.renameCycle,
+        (unsigned long long)t.renameCycle,
+        (unsigned long long)t.issueCycle,
+        (unsigned long long)t.completeCycle,
+        (unsigned long long)t.commitCycle,
+        (unsigned long long)(t.op == isa::OpClass::Store ? t.commitCycle
+                                                         : 0));
+    os_.write(buf, n);
+}
+
+void
+O3PipeViewSink::finish()
+{
+    os_.flush();
+}
+
+namespace {
+
+void
+put64(unsigned char *p, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+std::uint64_t
+get64(const unsigned char *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= std::uint64_t{p[i]} << (8 * i);
+    return v;
+}
+
+void
+put32(unsigned char *p, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        p[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+std::uint32_t
+get32(const unsigned char *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= std::uint32_t{p[i]} << (8 * i);
+    return v;
+}
+
+} // namespace
+
+BinaryTraceSink::BinaryTraceSink(std::ostream &os) : os_(os)
+{
+    unsigned char header[16];
+    std::memcpy(header, kMagic, 8);
+    put32(header + 8, kVersion);
+    put32(header + 12, kRecordBytes);
+    os_.write(reinterpret_cast<const char *>(header), sizeof(header));
+}
+
+void
+BinaryTraceSink::record(const UopTrace &t)
+{
+    unsigned char rec[kRecordBytes];
+    put64(rec + 0, t.seq);
+    put64(rec + 8, t.pc);
+    put64(rec + 16, t.fetchCycle);
+    put64(rec + 24, t.renameCycle);
+    put64(rec + 32, t.readyCycle);
+    put64(rec + 40, t.issueCycle);
+    put64(rec + 48, t.completeCycle);
+    put64(rec + 56, t.commitCycle);
+    rec[64] = static_cast<unsigned char>(t.op);
+    rec[65] = t.cluster;
+    rec[66] = t.dstSubset;
+    rec[67] = t.flags;
+    put32(rec + 68, static_cast<std::uint32_t>(
+                        std::min<Cycle>(t.wakeupLatency(), 0xffffffffu)));
+    os_.write(reinterpret_cast<const char *>(rec), sizeof(rec));
+}
+
+void
+BinaryTraceSink::finish()
+{
+    os_.flush();
+}
+
+std::vector<UopTrace>
+readBinaryTrace(std::istream &is)
+{
+    unsigned char header[16];
+    is.read(reinterpret_cast<char *>(header), sizeof(header));
+    if (is.gcount() != sizeof(header) ||
+        std::memcmp(header, BinaryTraceSink::kMagic, 8) != 0)
+        fatal("not a wsrs binary pipeline trace (bad magic)");
+    const std::uint32_t version = get32(header + 8);
+    const std::uint32_t recBytes = get32(header + 12);
+    if (version != BinaryTraceSink::kVersion)
+        fatal("unsupported pipeline-trace version %u", version);
+    if (recBytes != BinaryTraceSink::kRecordBytes)
+        fatal("unexpected pipeline-trace record size %u", recBytes);
+
+    std::vector<UopTrace> out;
+    unsigned char rec[BinaryTraceSink::kRecordBytes];
+    for (;;) {
+        is.read(reinterpret_cast<char *>(rec), sizeof(rec));
+        if (is.gcount() == 0)
+            break;
+        if (is.gcount() != static_cast<std::streamsize>(sizeof(rec)))
+            fatal("truncated pipeline-trace record");
+        UopTrace t;
+        t.seq = get64(rec + 0);
+        t.pc = get64(rec + 8);
+        t.fetchCycle = get64(rec + 16);
+        t.renameCycle = get64(rec + 24);
+        t.readyCycle = get64(rec + 32);
+        t.issueCycle = get64(rec + 40);
+        t.completeCycle = get64(rec + 48);
+        t.commitCycle = get64(rec + 56);
+        t.op = static_cast<isa::OpClass>(rec[64]);
+        t.cluster = rec[65];
+        t.dstSubset = rec[66];
+        t.flags = rec[67];
+        out.push_back(t);
+    }
+    return out;
+}
+
+} // namespace wsrs::obs

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Aggregated machine-readable sweep report: every job's wsrs-stats-v1
+ * document collected into one JSON file (schema wsrs-sweep-report-v1),
+ * consumed by scripts/plot_figures.py and scripts/stall_report.py.
+ */
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "src/runner/sweep_runner.h"
+
+namespace wsrs::runner {
+
+/** Version tag of the aggregated sweep report document. */
+inline constexpr const char *kSweepReportSchema = "wsrs-sweep-report-v1";
+
+/**
+ * Write the aggregated report for a finished sweep. @p jobs and
+ * @p outcomes must be the submission-order pair returned by
+ * SweepRunner::run; failed jobs are reported with ok=false and their
+ * error text instead of a stats document.
+ */
+void writeSweepReport(std::ostream &os, const std::vector<SweepJob> &jobs,
+                      const std::vector<SweepOutcome> &outcomes);
+
+} // namespace wsrs::runner

@@ -2,6 +2,7 @@
 
 #include <cerrno>
 #include <cstdlib>
+#include <fstream>
 #include <sstream>
 #include <memory>
 
@@ -9,6 +10,7 @@
 #include "src/bpred/tournament.h"
 #include "src/bpred/two_bc_gskew.h"
 #include "src/common/log.h"
+#include "src/obs/trace_sink.h"
 #include "src/workload/trace_generator.h"
 
 namespace wsrs::sim {
@@ -87,11 +89,72 @@ runSimulation(const workload::BenchmarkProfile &profile,
     machine.resetStats();
     if (config.timelineRows > 0)
         machine.enableTimeline(config.timelineRows);
+
+    // Observability attaches after warm-up so traces and interval series
+    // cover exactly the measured slice.
+    std::ofstream trace_text, trace_bin;
+    std::unique_ptr<obs::TraceSink> text_sink, bin_sink;
+    std::unique_ptr<obs::TraceSink> tee;
+    if (!config.tracePipePath.empty()) {
+        trace_text.open(config.tracePipePath);
+        if (!trace_text)
+            fatal("cannot open trace file '%s'",
+                  config.tracePipePath.c_str());
+        text_sink = std::make_unique<obs::O3PipeViewSink>(trace_text);
+    }
+    if (!config.tracePipeBinPath.empty()) {
+        trace_bin.open(config.tracePipeBinPath, std::ios::binary);
+        if (!trace_bin)
+            fatal("cannot open binary trace file '%s'",
+                  config.tracePipeBinPath.c_str());
+        bin_sink = std::make_unique<obs::BinaryTraceSink>(trace_bin);
+    }
+    if (text_sink && bin_sink) {
+        struct Tee : obs::TraceSink
+        {
+            obs::TraceSink *a, *b;
+            void
+            record(const obs::UopTrace &t) override
+            {
+                a->record(t);
+                b->record(t);
+            }
+            void
+            finish() override
+            {
+                a->finish();
+                b->finish();
+            }
+        };
+        auto t = std::make_unique<Tee>();
+        t->a = text_sink.get();
+        t->b = bin_sink.get();
+        tee = std::move(t);
+        machine.attachTraceSink(tee.get());
+    } else if (text_sink) {
+        machine.attachTraceSink(text_sink.get());
+    } else if (bin_sink) {
+        machine.attachTraceSink(bin_sink.get());
+    }
+    if (config.intervalStatsCycles > 0)
+        machine.enableIntervalStats(config.intervalStatsCycles);
+    if (config.profiler)
+        machine.attachStageProfiler(config.profiler);
+
     const std::uint64_t acc0 = mem.accesses();
     const std::uint64_t l1m0 = mem.l1Misses();
     const std::uint64_t l2m0 = mem.l2Misses();
 
     machine.run(config.measureUops);
+
+    if (tee)
+        tee->finish();
+    else if (text_sink)
+        text_sink->finish();
+    else if (bin_sink)
+        bin_sink->finish();
+    machine.attachTraceSink(nullptr);
+    machine.attachStageProfiler(nullptr);
 
     const core::CoreStats &cs = machine.stats();
     if (config.verifyDataflow && cs.valueMismatches > 0)
@@ -114,6 +177,31 @@ runSimulation(const workload::BenchmarkProfile &profile,
         std::ostringstream os;
         machine.dumpTimeline(os, config.timelineRows);
         r.timelineText = os.str();
+    }
+
+    {
+        std::ostringstream os;
+        os << "{\"schema\": \"" << kStatsJsonSchema << "\", \"benchmark\": \""
+           << jsonEscape(r.benchmark) << "\", \"machine\": \""
+           << jsonEscape(r.machine)
+           << "\", \"measure_uops\": " << config.measureUops
+           << ", \"warmup_uops\": " << config.warmupUops
+           << ", \"seed\": " << config.seed << ", \"metrics\": {\"ipc\": ";
+        dumpJsonDouble(os, r.ipc);
+        os << ", \"unbalancing_degree\": ";
+        dumpJsonDouble(os, r.unbalancingDegree);
+        os << ", \"branch_mispredict_rate\": ";
+        dumpJsonDouble(os, r.branchMispredictRate);
+        os << ", \"l1_miss_rate\": ";
+        dumpJsonDouble(os, r.l1MissRate);
+        os << ", \"l2_miss_rate\": ";
+        dumpJsonDouble(os, r.l2MissRate);
+        os << "}, \"core\": ";
+        machine.dumpStatsJson(os);
+        os << ", \"memory\": ";
+        stats.dumpJson(os);
+        os << "}";
+        r.statsJson = os.str();
     }
     return r;
 }

@@ -12,6 +12,7 @@
 #include "src/core/core.h"
 #include "src/core/params.h"
 #include "src/memory/hierarchy.h"
+#include "src/obs/stage_profiler.h"
 #include "src/workload/profile.h"
 
 namespace wsrs::sim {
@@ -36,6 +37,12 @@ struct SimConfig
     std::uint64_t seed = 0;              ///< Extra trace seed.
     bool verifyDataflow = false;         ///< Oracle value checking.
     std::size_t timelineRows = 0;        ///< Record last-N pipeline rows.
+
+    // ---- observability (measured slice only; warm-up is never traced) ----
+    std::string tracePipePath;     ///< O3PipeView text trace (Konata).
+    std::string tracePipeBinPath;  ///< Compact binary trace.
+    Cycle intervalStatsCycles = 0; ///< Interval sampler period (0 off).
+    obs::StageProfiler *profiler = nullptr;  ///< Host-side stage timing.
 };
 
 /** Results of a measured slice. */
@@ -50,6 +57,10 @@ struct SimResults
     double l1MissRate = 0;          ///< Per measured access.
     double l2MissRate = 0;          ///< Per L1 miss.
     std::string timelineText;       ///< Rendered pipeline rows (if asked).
+    /** Machine-readable stats document (schema wsrs-stats-v1): headline
+     *  metrics plus the full core (stall attribution, wake-up latency,
+     *  intervals) and memory statistics. Always populated. */
+    std::string statsJson;
 };
 
 /** Run one benchmark on one machine. */

@@ -1,9 +1,11 @@
 /** @file Unit tests for the statistics package. */
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 #include "src/common/stats.h"
+#include "tests/support/json_lint.h"
 
 namespace wsrs {
 namespace {
@@ -32,18 +34,22 @@ TEST(Stats, AverageMean)
     EXPECT_EQ(a.count(), 3u);
 }
 
-TEST(Stats, HistogramBucketsAndClamp)
+TEST(Stats, HistogramBucketsAndOverflow)
 {
     StatGroup g("g");
     Histogram h(g, "h", "a histogram", 4);
     h.sample(0);
     h.sample(1, 2);
-    h.sample(9);  // clamps into last bucket
+    h.sample(9);  // beyond the top bucket: explicit overflow, no clamping
     EXPECT_EQ(h.bucket(0), 1u);
     EXPECT_EQ(h.bucket(1), 2u);
-    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.bucket(3), 0u);
+    EXPECT_EQ(h.overflow(), 1u);
     EXPECT_EQ(h.samples(), 4u);
     EXPECT_DOUBLE_EQ(h.mean(), (0 + 1 + 1 + 9) / 4.0);
+    h.reset();
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_EQ(h.samples(), 0u);
 }
 
 TEST(Stats, GroupDumpContainsNamesAndValues)
@@ -89,11 +95,99 @@ TEST(Stats, JsonDumpIsWellFormed)
     std::ostringstream os;
     g.dumpJson(os);
     const std::string j = os.str();
-    EXPECT_EQ(j.front(), '{');
-    EXPECT_EQ(j.back(), '}');
+    EXPECT_EQ(test::jsonLint(j), "");
     EXPECT_NE(j.find("\"core.commits\": 5"), std::string::npos);
-    EXPECT_NE(j.find("\"core.width\": [0, 0, 1]"), std::string::npos);
+    EXPECT_NE(j.find("\"core.width\": {\"buckets\": [0, 0, 1], "
+                     "\"overflow\": 0, \"samples\": 1, \"mean\": 2}"),
+              std::string::npos);
     EXPECT_NE(j.find("\"core.two\": 2"), std::string::npos);
+}
+
+TEST(Stats, JsonEscapeSpecialCharacters)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("back\\slash"), "back\\\\slash");
+    EXPECT_EQ(jsonEscape("nl\ntab\tcr\r"), "nl\\ntab\\tcr\\r");
+    EXPECT_EQ(jsonEscape(std::string("ctl\x01") + "\x1f"),
+              "ctl\\u0001\\u001f");
+}
+
+TEST(Stats, NonFiniteDoublesDumpAsNull)
+{
+    std::ostringstream os;
+    dumpJsonDouble(os, std::nan(""));
+    os << " ";
+    dumpJsonDouble(os, 1.0 / 0.0);
+    os << " ";
+    dumpJsonDouble(os, -1.0 / 0.0);
+    EXPECT_EQ(os.str(), "null null null");
+
+    StatGroup g("g");
+    Formula f(g, "bad", "", [] { return std::nan(""); });
+    Average a(g, "inf", "");
+    a.sample(1.0 / 0.0);
+    std::ostringstream js;
+    g.dumpJson(js);
+    EXPECT_EQ(test::jsonLint(js.str()), "");
+    EXPECT_NE(js.str().find("\"g.bad\": null"), std::string::npos);
+    EXPECT_NE(js.str().find("\"g.inf\": null"), std::string::npos);
+}
+
+TEST(Stats, HostileNamesAreEscapedInJson)
+{
+    StatGroup g("we\"ird");
+    Counter c(g, "c\\ount\nr", "");
+    c += 1;
+    std::ostringstream os;
+    g.dumpJson(os);
+    const std::string j = os.str();
+    EXPECT_EQ(test::jsonLint(j), "");
+    EXPECT_NE(j.find("\"we\\\"ird.c\\\\ount\\nr\": 1"), std::string::npos);
+}
+
+TEST(Stats, EveryStatTypeRoundTripsThroughParser)
+{
+    StatGroup g("core");
+    Counter c(g, "commits", "");
+    Average a(g, "occ", "");
+    Histogram h(g, "width", "", 3);
+    Formula f(g, "ipc", "", [&] { return double(c.value()) / 2.0; });
+    c += 7;
+    a.sample(2.5);
+    h.sample(1);
+    h.sample(42);  // overflow
+
+    std::ostringstream before;
+    g.dumpJson(before);
+    EXPECT_EQ(test::jsonLint(before.str()), "");
+    EXPECT_NE(before.str().find("\"overflow\": 1"), std::string::npos);
+
+    // A reset group must still dump a parseable document with zeroed
+    // measurements (Formula values recompute from the reset inputs).
+    g.resetAll();
+    std::ostringstream after;
+    g.dumpJson(after);
+    EXPECT_EQ(test::jsonLint(after.str()), "");
+    EXPECT_NE(after.str().find("\"core.commits\": 0"), std::string::npos);
+    EXPECT_NE(after.str().find("\"core.width\": {\"buckets\": [0, 0, 0], "
+                               "\"overflow\": 0, \"samples\": 0, "
+                               "\"mean\": 0}"),
+              std::string::npos);
+}
+
+TEST(Stats, JsonLintRejectsMalformedDocuments)
+{
+    // Sanity-check the test helper itself: documents Python's json.load
+    // would reject must not lint clean.
+    EXPECT_NE(test::jsonLint("{\"a\": nan}"), "");
+    EXPECT_NE(test::jsonLint("{\"a\": inf}"), "");
+    EXPECT_NE(test::jsonLint("{\"a\": 1,}"), "");
+    EXPECT_NE(test::jsonLint("{\"a\": 1} extra"), "");
+    EXPECT_NE(test::jsonLint("{\"a\": \"unterminated}"), "");
+    EXPECT_NE(test::jsonLint("{\"a\": \"bad\x01ctl\"}"), "");
+    EXPECT_NE(test::jsonLint("[1, 2"), "");
+    EXPECT_EQ(test::jsonLint("{\"a\": [1, 2.5e-3, \"s\\n\", null]}"), "");
 }
 
 TEST(Stats, GroupResetAll)

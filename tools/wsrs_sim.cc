@@ -8,11 +8,14 @@
  *   wsrs_sim --bench=swim --machine=RR-256 --set-window=128 --json
  */
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "src/common/args.h"
 #include "src/common/log.h"
+#include "src/runner/sweep_report.h"
 #include "src/runner/sweep_runner.h"
 #include "src/sim/presets.h"
 #include "src/sim/simulator.h"
@@ -173,6 +176,19 @@ main(int argc, char **argv)
                    "per-benchmark recording", true);
     args.addOption("csv", "emit one CSV row per run", true);
     args.addOption("json", "emit JSON (single run only)", true);
+    args.addOption("trace-pipe",
+                   "write a Konata/O3PipeView pipeline trace of the "
+                   "measured slice to FILE (single run only)");
+    args.addOption("trace-pipe-bin",
+                   "write the compact binary pipeline trace to FILE "
+                   "(single run only)");
+    args.addOption("stats-json",
+                   "write machine-readable stats to FILE: a wsrs-stats-v1 "
+                   "document for a single run, a wsrs-sweep-report-v1 "
+                   "aggregate with --all ('-' = stdout)");
+    args.addOption("interval-stats",
+                   "sample {cycle, committed, occupancy} every N cycles "
+                   "into the stats JSON");
     args.addOption("help", "show this help", true);
 
     try {
@@ -206,10 +222,26 @@ main(int argc, char **argv)
             if (args.has("set-issue"))
                 cfg.core.issuePerCluster =
                     unsigned(args.getUint("set-issue", 0));
+            cfg.intervalStatsCycles = args.getUint("interval-stats", 0);
             return cfg;
         };
 
+        const auto writeStatsFile = [](const std::string &path,
+                                       const std::string &doc) {
+            if (path == "-") {
+                std::printf("%s\n", doc.c_str());
+                return;
+            }
+            std::ofstream os(path);
+            if (!os)
+                fatal("cannot open stats file '%s'", path.c_str());
+            os << doc << "\n";
+        };
+
         if (args.has("all")) {
+            if (args.has("trace-pipe") || args.has("trace-pipe-bin"))
+                fatal("--trace-pipe traces a single run; combine it with "
+                      "--bench/--machine, not --all");
             // The full matrix runs on the sweep runner: one job per
             // {benchmark, machine}, per-profile trace recorded once and
             // replayed for all machines, results streamed in submission
@@ -249,6 +281,20 @@ main(int argc, char **argv)
                 std::fflush(stdout);
             };
             const auto outcomes = runner::SweepRunner(opt).run(jobs);
+            if (args.has("stats-json")) {
+                const std::string path = args.get("stats-json");
+                if (path == "-") {
+                    std::ostringstream os;
+                    runner::writeSweepReport(os, jobs, outcomes);
+                    std::printf("%s\n", os.str().c_str());
+                } else {
+                    std::ofstream os(path);
+                    if (!os)
+                        fatal("cannot open stats file '%s'", path.c_str());
+                    runner::writeSweepReport(os, jobs, outcomes);
+                    os << "\n";
+                }
+            }
             for (const auto &o : outcomes)
                 if (!o.ok)
                     return 1;
@@ -257,8 +303,13 @@ main(int argc, char **argv)
 
         const std::string bench = args.get("bench", "gzip");
         const std::string machine = args.get("machine", "RR-256");
-        const sim::SimResults r = sim::runSimulation(
-            workload::findProfile(bench), configure(machine));
+        sim::SimConfig cfg = configure(machine);
+        cfg.tracePipePath = args.get("trace-pipe", "");
+        cfg.tracePipeBinPath = args.get("trace-pipe-bin", "");
+        const sim::SimResults r =
+            sim::runSimulation(workload::findProfile(bench), cfg);
+        if (args.has("stats-json"))
+            writeStatsFile(args.get("stats-json"), r.statsJson);
         if (args.has("csv")) {
             printCsvHeader();
             printCsv(r);
