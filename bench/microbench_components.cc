@@ -242,11 +242,54 @@ emitThroughputJson(const std::string &path)
     std::fprintf(out,
                  "  \"sweep\": {\"jobs\": %zu, \"uops_per_job\": %llu,\n"
                  "    \"serial_seconds\": %.4f, \"parallel_seconds\": %.4f,"
-                 " \"speedup\": %.3f}\n}\n",
+                 " \"speedup\": %.3f},\n",
                  jobs.size(),
                  static_cast<unsigned long long>(kSweepWarmup +
                                                  kSweepMeasure),
                  serialSecs, parSecs, serialSecs / parSecs);
+
+    // (d) Warm-up checkpoint reuse. A warm-up-heavy matrix (the paper
+    // protocol leans the same way: 400k warm-up vs 1M measured) run twice
+    // with the parallel runner: once warming every job through the timed
+    // core, once building one functional warm-up snapshot per benchmark
+    // and restoring it into all six machine configs. check_throughput.py
+    // --ckpt-speedup asserts the reuse path stays meaningfully faster.
+    {
+        const std::uint64_t kCkptWarmup = 40000, kCkptMeasure = 10000;
+        sim::SimConfig heavy;
+        heavy.warmupUops = kCkptWarmup;
+        heavy.measureUops = kCkptMeasure;
+        const auto ckptJobs = runner::SweepRunner::crossProduct(
+            workload::allProfiles(), presets, heavy);
+
+        runner::SweepRunner::Options noReuse;
+        const auto t_cold = std::chrono::steady_clock::now();
+        runner::SweepRunner(noReuse).run(ckptJobs);
+        const double coldSecs = secondsSince(t_cold);
+
+        runner::SweepRunner::Options reuse;
+        reuse.reuseWarmup = true;
+        runner::SweepRunner warm(reuse);
+        const auto t_warm = std::chrono::steady_clock::now();
+        warm.run(ckptJobs);
+        const double warmSecs = secondsSince(t_warm);
+
+        std::fprintf(out,
+                     "  \"ckpt\": {\"jobs\": %zu, \"warmup_uops\": %llu, "
+                     "\"measure_uops\": %llu,\n"
+                     "    \"no_reuse_seconds\": %.4f, "
+                     "\"reuse_seconds\": %.4f, \"warmup_speedup\": %.3f,\n"
+                     "    \"warmup_hits\": %llu, \"warmup_misses\": %llu}\n"
+                     "}\n",
+                     ckptJobs.size(),
+                     static_cast<unsigned long long>(kCkptWarmup),
+                     static_cast<unsigned long long>(kCkptMeasure),
+                     coldSecs, warmSecs, coldSecs / warmSecs,
+                     static_cast<unsigned long long>(
+                         warm.telemetry().warmupHits),
+                     static_cast<unsigned long long>(
+                         warm.telemetry().warmupMisses));
+    }
     std::fclose(out);
     std::printf("wrote %s\n", path.c_str());
     return 0;

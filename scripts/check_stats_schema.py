@@ -14,7 +14,10 @@ and then structurally checked:
     cycle);
   - stall-cause legends match the histogram bucket counts;
   - histogram sample counts equal their bucket sums;
-  - interval samples are monotone in cycle and respect the period.
+  - interval samples are monotone in cycle and respect the period;
+  - sweep reports carry well-formed resume metadata (resumed flag,
+    skipped_runs bounded by the job count) and warm-up checkpoint cache
+    counters (wsrs-ckpt warm-up reuse).
 
 Exit status is non-zero on the first file that fails; used by the `obs`
 labelled ctest.
@@ -98,11 +101,39 @@ def check_stats_doc(doc, where):
         prev = cyc
 
 
+def check_resume_metadata(doc, where):
+    """Validate the resume/ckpt objects a sweep report always carries."""
+    resume = doc["resume"]
+    expect(isinstance(resume.get("resumed"), bool),
+           f"{where}.resume: 'resumed' must be a bool")
+    skipped = resume.get("skipped_runs")
+    expect(isinstance(skipped, int) and skipped >= 0,
+           f"{where}.resume: 'skipped_runs' must be a non-negative int")
+    expect(skipped <= doc["summary"]["total"],
+           f"{where}.resume: skipped_runs {skipped} exceeds "
+           f"summary.total {doc['summary']['total']}")
+    expect(resume["resumed"] or skipped == 0,
+           f"{where}.resume: {skipped} skipped runs without resumed=true")
+
+    ckpt = doc["ckpt"]
+    expect(isinstance(ckpt.get("warmup_reuse"), bool),
+           f"{where}.ckpt: 'warmup_reuse' must be a bool")
+    cache = ckpt["warmup_cache"]
+    for key in ("hits", "misses"):
+        expect(isinstance(cache.get(key), int) and cache[key] >= 0,
+               f"{where}.ckpt.warmup_cache: '{key}' must be a "
+               "non-negative int")
+    if not ckpt["warmup_reuse"]:
+        expect(cache["hits"] == 0 and cache["misses"] == 0,
+               f"{where}.ckpt: warmup cache traffic without warmup_reuse")
+
+
 def check_sweep_report(doc, where):
     expect(doc.get("schema") == "wsrs-sweep-report-v1",
            f"{where}: schema is {doc.get('schema')!r}")
     jobs = doc["jobs"]
     summary = doc["summary"]
+    check_resume_metadata(doc, where)
     expect(summary["total"] == len(jobs),
            f"{where}: summary.total {summary['total']} != "
            f"{len(jobs)} jobs")

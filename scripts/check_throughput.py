@@ -45,6 +45,10 @@ def main():
                          "trace_overhead.off throughput to stay within "
                          "this fraction of the interleaved reference "
                          "measurement (e.g. 0.02)")
+    ap.add_argument("--ckpt-speedup", type=float, default=None,
+                    help="when set, require the warm-up checkpoint reuse "
+                         "sweep (ckpt.warmup_speedup) to be at least this "
+                         "factor faster than warming every job (e.g. 1.3)")
     ap.add_argument("--write-baseline",
                     help="instead of checking, write a new baseline here")
     ap.add_argument("--headroom", type=float, default=0.5,
@@ -123,6 +127,26 @@ def main():
               f"serial {sweep.get('serial_seconds'):.2f}s, "
               f"parallel {sweep.get('parallel_seconds'):.2f}s, "
               f"speedup {sweep.get('speedup'):.2f}x")
+
+    ckpt = data.get("ckpt", {})
+    if ckpt:
+        print(f"ckpt: {ckpt.get('jobs')} jobs "
+              f"({ckpt.get('warmup_uops')} warm-up uops each), "
+              f"no-reuse {ckpt.get('no_reuse_seconds'):.2f}s, "
+              f"reuse {ckpt.get('reuse_seconds'):.2f}s, "
+              f"speedup {ckpt.get('warmup_speedup'):.2f}x, "
+              f"cache {ckpt.get('warmup_hits')}h/"
+              f"{ckpt.get('warmup_misses')}m")
+    if args.ckpt_speedup is not None:
+        if not ckpt:
+            failures.append(f"ckpt section missing from {args.json}")
+        elif ckpt["warmup_speedup"] < args.ckpt_speedup:
+            failures.append(
+                f"warm-up reuse speedup {ckpt['warmup_speedup']:.2f}x is "
+                f"below the required {args.ckpt_speedup:.2f}x")
+        elif ckpt["warmup_misses"] == 0:
+            failures.append("ckpt sweep reports zero warm-up cache misses "
+                            "(snapshots were never built?)")
 
     if failures:
         print("\nthroughput regression detected:", file=sys.stderr)

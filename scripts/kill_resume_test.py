@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Kill a journalled sweep mid-flight and prove --resume completes it.
+
+Usage: kill_resume_test.py /path/to/wsrs-sim
+
+Three sweeps over the same job matrix:
+
+  1. clean:    no journal, the reference report;
+  2. crashed:  journalled, SIGKILLed once the journal shows progress
+               (so some jobs are committed and some are not);
+  3. resumed:  same journal with --resume, runs the remainder.
+
+The resumed report must carry resumed=true, and every per-job stats
+document must equal the clean run's byte for byte — a crash plus resume
+is indistinguishable from never crashing. The check tolerates the lucky
+race where the sweep finishes before the kill lands (skipped_runs then
+covers every job); what it never tolerates is a report mismatch.
+
+Exit status 0 on success. Used by the `ckpt` labelled ctest.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+# Small slices: enough jobs (12 profiles x 6 machines) for a mid-sweep
+# kill window, small enough to finish in seconds.
+SWEEP_ARGS = ["--all", "--uops=20000", "--warmup=5000", "--jobs=2"]
+
+
+def run_sweep(binary, out_json, extra):
+    cmd = [binary, *SWEEP_ARGS, f"--stats-json={out_json}", *extra]
+    subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+    with open(out_json) as f:
+        return json.load(f)
+
+
+def crash_sweep(binary, out_json, journal):
+    """Start a journalled sweep and SIGKILL it once records appear."""
+    cmd = [binary, *SWEEP_ARGS, f"--stats-json={out_json}",
+           f"--resume-journal={journal}"]
+    proc = subprocess.Popen(cmd, stdout=subprocess.DEVNULL,
+                            stderr=subprocess.DEVNULL)
+    # Wait for the journal to grow past its 28-byte header (at least one
+    # committed record) before pulling the trigger.
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            return proc.returncode  # finished before we could kill it
+        try:
+            if os.path.getsize(journal) > 28:
+                break
+        except OSError:
+            pass
+        time.sleep(0.005)
+    proc.kill()
+    proc.wait()
+    return None
+
+
+def job_stats(report):
+    return [(j["benchmark"], j["machine"], j["ok"],
+             json.dumps(j.get("stats"), sort_keys=True))
+            for j in report["jobs"]]
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(__doc__)
+    binary = sys.argv[1]
+
+    with tempfile.TemporaryDirectory(prefix="wsrs_resume_") as tmp:
+        clean_json = os.path.join(tmp, "clean.json")
+        resumed_json = os.path.join(tmp, "resumed.json")
+        journal = os.path.join(tmp, "sweep.journal")
+
+        clean = run_sweep(binary, clean_json, [])
+
+        rc = crash_sweep(binary, os.path.join(tmp, "crashed.json"), journal)
+        if rc is not None:
+            print(f"note: sweep finished (rc={rc}) before the kill; "
+                  "resume will skip every job")
+
+        resumed = run_sweep(binary, resumed_json,
+                            [f"--resume-journal={journal}", "--resume"])
+
+        if not resumed["resume"]["resumed"]:
+            sys.exit("FAIL: resumed report lacks resumed=true")
+        skipped = resumed["resume"]["skipped_runs"]
+        total = resumed["summary"]["total"]
+        if not 0 < skipped <= total:
+            sys.exit(f"FAIL: implausible skipped_runs={skipped} "
+                     f"(total={total})")
+        if job_stats(resumed) != job_stats(clean):
+            sys.exit("FAIL: resumed sweep report differs from the clean run")
+        print(f"ok: resumed sweep skipped {skipped}/{total} journalled "
+              "jobs and matches the clean report exactly")
+
+
+if __name__ == "__main__":
+    main()

@@ -14,16 +14,24 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "src/ckpt/snapshotter.h"
 #include "src/common/types.h"
 
 namespace wsrs::bpred {
 
-/** Direction predictor with internal global-history management. */
-class BranchPredictor
+/**
+ * Direction predictor with internal global-history management.
+ *
+ * Predictors are checkpointable (ckpt::Snapshotter): snapshot/restore must
+ * round-trip all tables and history so a restored predictor produces the
+ * same lookup/update stream as the original.
+ */
+class BranchPredictor : public ckpt::Snapshotter
 {
   public:
-    virtual ~BranchPredictor() = default;
+    ~BranchPredictor() override = default;
 
     /** Predict the direction of the conditional branch at @p pc. */
     virtual bool lookup(Addr pc) = 0;
@@ -61,10 +69,33 @@ class SatCounter
     /** Most-significant-bit "predict taken" reading. */
     bool taken() const { return value_ > max_ / 2; }
     std::uint8_t value() const { return value_; }
+    /** Checkpoint restore: overwrite the count (clamped to the range). */
+    void set(std::uint8_t v) { value_ = v > max_ ? max_ : v; }
 
   private:
     std::uint8_t max_;
     std::uint8_t value_;
 };
+
+/** Serialize a saturating-counter table (checkpoint helper). */
+inline void
+snapshotTable(ckpt::Writer &w, const std::vector<SatCounter> &t)
+{
+    w.u64(t.size());
+    for (const SatCounter &c : t)
+        w.u8(c.value());
+}
+
+/** Restore a saturating-counter table; the size must match. */
+inline void
+restoreTable(ckpt::Reader &r, std::vector<SatCounter> &t, const char *what)
+{
+    const std::uint64_t n = r.u64();
+    if (n != t.size())
+        r.fail(std::string(what) + ": table size " + std::to_string(n) +
+               " != configured " + std::to_string(t.size()));
+    for (SatCounter &c : t)
+        c.set(r.u8());
+}
 
 } // namespace wsrs::bpred

@@ -20,6 +20,10 @@ class PerfectPredictor : public BranchPredictor
     std::uint64_t storageBits() const override { return 0; }
     std::string name() const override { return "perfect"; }
     bool isPerfect() const override { return true; }
+
+    // Stateless: nothing to checkpoint.
+    void snapshot(ckpt::Writer &) const override {}
+    void restore(ckpt::Reader &) override {}
 };
 
 /** Classic per-PC 2-bit bimodal table. */
@@ -43,6 +47,18 @@ class BimodalPredictor : public BranchPredictor
 
     std::uint64_t storageBits() const override { return table_.size() * 2; }
     std::string name() const override { return "bimodal"; }
+
+    void
+    snapshot(ckpt::Writer &w) const override
+    {
+        snapshotTable(w, table_);
+    }
+
+    void
+    restore(ckpt::Reader &r) override
+    {
+        restoreTable(r, table_, "bimodal");
+    }
 
   private:
     std::size_t index(Addr pc) const { return (pc >> 2) & mask_; }
@@ -78,6 +94,20 @@ class GsharePredictor : public BranchPredictor
 
     std::uint64_t storageBits() const override { return table_.size() * 2; }
     std::string name() const override { return "gshare"; }
+
+    void
+    snapshot(ckpt::Writer &w) const override
+    {
+        w.u64(history_);
+        snapshotTable(w, table_);
+    }
+
+    void
+    restore(ckpt::Reader &r) override
+    {
+        history_ = r.u64();
+        restoreTable(r, table_, "gshare");
+    }
 
   private:
     std::size_t

@@ -36,6 +36,27 @@ class TournamentPredictor : public BranchPredictor
     std::uint64_t storageBits() const override;
     std::string name() const override { return "tournament"; }
 
+    void
+    snapshot(ckpt::Writer &w) const override
+    {
+        w.u64(history_);
+        ckpt::writeVec(w, localHist_);
+        snapshotTable(w, localPht_);
+        snapshotTable(w, global_);
+        snapshotTable(w, chooser_);
+    }
+
+    void
+    restore(ckpt::Reader &r) override
+    {
+        history_ = r.u64();
+        ckpt::readVecExact(r, localHist_, localHist_.size(),
+                           "tournament local history");
+        restoreTable(r, localPht_, "tournament local pht");
+        restoreTable(r, global_, "tournament global");
+        restoreTable(r, chooser_, "tournament chooser");
+    }
+
   private:
     std::size_t localHistIndex(Addr pc) const;
     std::size_t globalIndex() const;

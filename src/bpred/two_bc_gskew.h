@@ -59,6 +59,26 @@ class TwoBcGskew : public BranchPredictor
     /** Current global history register value (testing hook). */
     std::uint64_t history() const { return history_; }
 
+    void
+    snapshot(ckpt::Writer &w) const override
+    {
+        w.u64(history_);
+        snapshotTable(w, bim_);
+        snapshotTable(w, g0_);
+        snapshotTable(w, g1_);
+        snapshotTable(w, meta_);
+    }
+
+    void
+    restore(ckpt::Reader &r) override
+    {
+        history_ = r.u64();
+        restoreTable(r, bim_, "2bc-gskew bim");
+        restoreTable(r, g0_, "2bc-gskew g0");
+        restoreTable(r, g1_, "2bc-gskew g1");
+        restoreTable(r, meta_, "2bc-gskew meta");
+    }
+
   private:
     std::size_t indexBim(Addr pc) const;
     std::size_t indexG0(Addr pc) const;

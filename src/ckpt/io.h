@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Versioned, CRC-checked binary checkpoint container (`wsrs-ckpt-v1`).
+ *
+ * A checkpoint file is a header followed by named sections:
+ *
+ *   header   := magic[8]="WSRSCKP1" u32 version u64 metaHash str kind
+ *   section  := "SECT" str name u64 payloadLen u32 crc32(payload) payload
+ *   trailer  := "DONE" u32 sectionCount
+ *
+ * All integers are little-endian; `str` is a u32 byte length followed by the
+ * bytes. The `kind` tag distinguishes checkpoint flavors (full simulation
+ * snapshot vs. warm-up-only snapshot); `metaHash` binds a checkpoint to the
+ * configuration that produced it so a restore into a mismatched machine
+ * fails loudly instead of silently desynchronizing.
+ *
+ * Components serialize themselves through the byte-oriented Writer/Reader
+ * pair (see snapshotter.h); the Checkpoint{Writer,Reader} classes handle
+ * framing, integrity checks and error reporting with exact byte offsets.
+ */
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wsrs::ckpt {
+
+/** Schema tag for the checkpoint container format. */
+inline constexpr const char *kFormatName = "wsrs-ckpt-v1";
+/** Container file magic. */
+inline constexpr char kMagic[8] = {'W', 'S', 'R', 'S', 'C', 'K', 'P', '1'};
+/** Container format version; bump on any layout change. */
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/** Checkpoint kinds used by the simulator. */
+inline constexpr const char *kKindFullSim = "full-sim";
+inline constexpr const char *kKindWarmup = "warmup";
+
+/** CRC-32 (IEEE 802.3 polynomial) over @p len bytes, seedable for chaining. */
+std::uint32_t crc32(const void *data, std::size_t len,
+                    std::uint32_t seed = 0);
+
+/**
+ * Byte-stream encoder components serialize themselves into. Accumulates
+ * into an in-memory buffer so the container can frame each section with its
+ * length and CRC.
+ */
+class Writer
+{
+  public:
+    void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+    void u16(std::uint16_t v) { putLe(v, 2); }
+    void u32(std::uint32_t v) { putLe(v, 4); }
+    void u64(std::uint64_t v) { putLe(v, 8); }
+    /** Double via its IEEE-754 bit pattern (bit-exact round trip). */
+    void d64(double v);
+    /** Boolean as one byte. */
+    void b(bool v) { u8(v ? 1 : 0); }
+    /** Length-prefixed string. */
+    void str(std::string_view s);
+    void bytes(const void *p, std::size_t n);
+
+    const std::string &buffer() const { return buf_; }
+    std::size_t size() const { return buf_.size(); }
+
+  private:
+    void putLe(std::uint64_t v, int n);
+
+    std::string buf_;
+};
+
+/**
+ * Byte-stream decoder over one section's payload. Every accessor checks
+ * bounds and reports failures via wsrs::fatal with the checkpoint origin
+ * and the absolute file byte offset of the bad read.
+ */
+class Reader
+{
+  public:
+    /**
+     * @param data       section payload (must outlive the reader).
+     * @param origin     human-readable source, e.g. "ckpt 'f.ckpt' [core]".
+     * @param baseOffset absolute file offset of data[0], for error messages.
+     */
+    Reader(std::string_view data, std::string origin,
+           std::uint64_t baseOffset = 0)
+        : data_(data), origin_(std::move(origin)), base_(baseOffset)
+    {
+    }
+
+    std::uint8_t u8();
+    std::uint16_t u16() { return static_cast<std::uint16_t>(getLe(2)); }
+    std::uint32_t u32() { return static_cast<std::uint32_t>(getLe(4)); }
+    std::uint64_t u64() { return getLe(8); }
+    double d64();
+    bool b() { return u8() != 0; }
+    std::string str();
+    void bytes(void *p, std::size_t n);
+
+    std::size_t remaining() const { return data_.size() - pos_; }
+    bool atEnd() const { return pos_ == data_.size(); }
+    /** Absolute file offset of the next byte to be read. */
+    std::uint64_t offset() const { return base_ + pos_; }
+    const std::string &origin() const { return origin_; }
+
+    /** Fail with @p what at the current offset (restore-side validation). */
+    [[noreturn]] void fail(const std::string &what) const;
+
+  private:
+    std::uint64_t getLe(int n);
+    void need(std::size_t n) const;
+
+    std::string_view data_;
+    std::size_t pos_ = 0;
+    std::string origin_;
+    std::uint64_t base_;
+};
+
+/* Vector helpers shared by component snapshotters. */
+
+template <typename T>
+void
+writeVec(Writer &w, const std::vector<T> &v)
+{
+    w.u64(v.size());
+    for (const T &x : v) {
+        if constexpr (sizeof(T) == 1)
+            w.u8(static_cast<std::uint8_t>(x));
+        else if constexpr (sizeof(T) == 2)
+            w.u16(static_cast<std::uint16_t>(x));
+        else if constexpr (sizeof(T) == 4)
+            w.u32(static_cast<std::uint32_t>(x));
+        else
+            w.u64(static_cast<std::uint64_t>(x));
+    }
+}
+
+template <typename T>
+void
+readVec(Reader &r, std::vector<T> &v)
+{
+    const std::uint64_t n = r.u64();
+    v.clear();
+    v.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        if constexpr (sizeof(T) == 1)
+            v.push_back(static_cast<T>(r.u8()));
+        else if constexpr (sizeof(T) == 2)
+            v.push_back(static_cast<T>(r.u16()));
+        else if constexpr (sizeof(T) == 4)
+            v.push_back(static_cast<T>(r.u32()));
+        else
+            v.push_back(static_cast<T>(r.u64()));
+    }
+}
+
+/**
+ * Read a vector whose size is fixed by the restore target's configuration;
+ * fails if the checkpoint disagrees.
+ */
+template <typename T>
+void
+readVecExact(Reader &r, std::vector<T> &v, std::size_t expect,
+             const char *what)
+{
+    readVec(r, v);
+    if (v.size() != expect)
+        r.fail(std::string(what) + ": size " + std::to_string(v.size()) +
+               " != expected " + std::to_string(expect));
+}
+
+/** Writes the container framing around per-component sections. */
+class CheckpointWriter
+{
+  public:
+    /** Write the header. @p metaHash binds the checkpoint to its config. */
+    CheckpointWriter(std::ostream &os, std::string path,
+                     std::string_view kind, std::uint64_t metaHash);
+    ~CheckpointWriter();
+
+    CheckpointWriter(const CheckpointWriter &) = delete;
+    CheckpointWriter &operator=(const CheckpointWriter &) = delete;
+
+    /** Emit one framed, CRC-protected section. */
+    void section(std::string_view name, const Writer &payload);
+
+    /** Write the trailer and flush; fails on any stream error. */
+    void finish();
+
+  private:
+    void rawStr(std::string_view s);
+    void rawU32(std::uint32_t v);
+    void rawU64(std::uint64_t v);
+
+    std::ostream &os_;
+    std::string path_;
+    std::uint32_t sections_ = 0;
+    bool finished_ = false;
+};
+
+/**
+ * Parses and integrity-checks a whole checkpoint up front, then hands out
+ * per-section Readers. Any structural damage (bad magic, version skew,
+ * truncation, CRC mismatch, missing trailer) is a fatal error naming the
+ * byte offset of the damage.
+ */
+class CheckpointReader
+{
+  public:
+    /** @param origin name used in diagnostics (usually the file path). */
+    CheckpointReader(std::istream &is, std::string origin);
+
+    const std::string &kind() const { return kind_; }
+    std::uint64_t metaHash() const { return metaHash_; }
+    std::size_t sectionCount() const { return sections_.size(); }
+
+    bool hasSection(std::string_view name) const;
+    /** Reader over a section's payload; fatal if the section is absent. */
+    Reader section(std::string_view name) const;
+
+    /** Validate kind and metaHash in one step (fatal on mismatch). */
+    void expect(std::string_view kind, std::uint64_t metaHash) const;
+
+  private:
+    struct Section
+    {
+        std::string payload;
+        std::uint64_t fileOffset;  // offset of payload[0] in the file
+    };
+
+    std::string origin_;
+    std::string kind_;
+    std::uint64_t metaHash_ = 0;
+    std::map<std::string, Section, std::less<>> sections_;
+};
+
+} // namespace wsrs::ckpt

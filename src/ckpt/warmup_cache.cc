@@ -1,0 +1,26 @@
+#include "warmup_cache.h"
+
+namespace wsrs::ckpt {
+
+std::shared_ptr<const std::string>
+WarmupCache::getOrBuild(std::uint64_t key, const Builder &build)
+{
+    std::shared_ptr<Slot> slot;
+    {
+        std::lock_guard<std::mutex> lk(mapMu_);
+        auto &s = slots_[key];
+        if (!s)
+            s = std::make_shared<Slot>();
+        slot = s;
+    }
+    std::lock_guard<std::mutex> lk(slot->mu);
+    if (slot->blob) {
+        hits_.fetch_add(1);
+        return slot->blob;
+    }
+    misses_.fetch_add(1);
+    slot->blob = std::make_shared<const std::string>(build());
+    return slot->blob;
+}
+
+} // namespace wsrs::ckpt

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Thread-safe cache of warm-up snapshot blobs, keyed by a configuration
+ * hash.
+ *
+ * The sweep runner uses one WarmupCache per sweep: warm-up state depends
+ * only on (profile, memory geometry, predictor, seed, warm-up length) — not
+ * on the core configuration being swept — so each distinct key is built
+ * once and every other machine config restores the cached blob. Builders
+ * for distinct keys run concurrently; concurrent requests for the same key
+ * block until the first builder finishes (no duplicated work).
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace wsrs::ckpt {
+
+/** Keyed blob cache with build-once semantics and hit/miss telemetry. */
+class WarmupCache
+{
+  public:
+    using Builder = std::function<std::string()>;
+
+    /**
+     * Return the blob for @p key, invoking @p build (at most once per key)
+     * to produce it on a miss. Exceptions from @p build propagate to the
+     * caller that ran it; the slot is left empty so a later call retries.
+     */
+    std::shared_ptr<const std::string>
+    getOrBuild(std::uint64_t key, const Builder &build);
+
+    /** Requests satisfied from an already-built blob. */
+    std::uint64_t hits() const { return hits_.load(); }
+    /** Requests that had to run the builder. */
+    std::uint64_t misses() const { return misses_.load(); }
+
+  private:
+    struct Slot
+    {
+        std::mutex mu;
+        std::shared_ptr<const std::string> blob;
+    };
+
+    std::mutex mapMu_;
+    std::map<std::uint64_t, std::shared_ptr<Slot>> slots_;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+};
+
+} // namespace wsrs::ckpt

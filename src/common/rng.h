@@ -91,6 +91,20 @@ class XorShiftRng
         return k;
     }
 
+    /**
+     * Raw generator state, for checkpoint/restore. Restoring the two words
+     * reproduces the exact continuation of the stream.
+     */
+    std::uint64_t stateWord(int i) const { return state_[i & 1]; }
+    void
+    setState(std::uint64_t s0, std::uint64_t s1)
+    {
+        state_[0] = s0;
+        state_[1] = s1;
+        if (state_[0] == 0 && state_[1] == 0)
+            state_[0] = 1;
+    }
+
   private:
     static std::uint64_t
     splitMix(std::uint64_t x)

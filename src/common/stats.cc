@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <iomanip>
 
+#include "src/common/log.h"
+
 namespace wsrs {
 
 std::string
@@ -89,6 +91,19 @@ Histogram::dump(std::ostream &os) const
         os << "  " << std::left << std::setw(42) << (name() + "[overflow]")
            << std::right << std::setw(16) << overflow_ << "\n";
     }
+}
+
+void
+Histogram::restore(std::vector<std::uint64_t> buckets,
+                   std::uint64_t overflow, std::uint64_t samples, double sum)
+{
+    if (buckets.size() != buckets_.size())
+        fatal("histogram '%s' restore: %zu buckets, expected %zu",
+              name().c_str(), buckets.size(), buckets_.size());
+    buckets_ = std::move(buckets);
+    overflow_ = overflow;
+    samples_ = samples;
+    sum_ = sum;
 }
 
 void

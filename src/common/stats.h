@@ -72,6 +72,9 @@ class Counter : public StatBase
 
     std::uint64_t value() const { return value_; }
 
+    /** Checkpoint restore: overwrite the count. */
+    void restore(std::uint64_t v) { value_ = v; }
+
     void dump(std::ostream &os) const override;
     void dumpJson(std::ostream &os) const override;
     void reset() override { value_ = 0; }
@@ -129,11 +132,20 @@ class Histogram : public StatBase
         sum_ += static_cast<double>(v) * static_cast<double>(count);
     }
 
+    /**
+     * Checkpoint restore: overwrite the measurement state. @p buckets must
+     * match the configured bucket count.
+     */
+    void restore(std::vector<std::uint64_t> buckets, std::uint64_t overflow,
+                 std::uint64_t samples, double sum);
+
     std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
     std::size_t numBuckets() const { return buckets_.size(); }
     /** Samples that fell at or beyond numBuckets(). */
     std::uint64_t overflow() const { return overflow_; }
     std::uint64_t samples() const { return samples_; }
+    /** Raw sample sum (exposed so checkpoints round-trip bit-exactly). */
+    double sum() const { return sum_; }
     double mean() const { return samples_ ? sum_ / samples_ : 0.0; }
 
     void dump(std::ostream &os) const override;

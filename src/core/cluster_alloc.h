@@ -22,6 +22,7 @@
 
 #include <array>
 
+#include "src/ckpt/snapshotter.h"
 #include "src/common/rng.h"
 #include "src/core/params.h"
 #include "src/isa/micro_op.h"
@@ -85,7 +86,7 @@ struct AllocContext
 };
 
 /** Stateful allocator implementing all policies of CoreParams. */
-class ClusterAllocator
+class ClusterAllocator : public ckpt::Snapshotter
 {
   public:
     explicit ClusterAllocator(const CoreParams &params);
@@ -100,6 +101,23 @@ class ClusterAllocator
     std::array<AllocDecision, 4>
     wsrsOptions(const isa::MicroOp &op, const AllocContext &ctx,
                 unsigned &count) const;
+
+    void
+    snapshot(ckpt::Writer &w) const override
+    {
+        w.u64(rng_.stateWord(0));
+        w.u64(rng_.stateWord(1));
+        w.u32(rrCounter_);
+    }
+
+    void
+    restore(ckpt::Reader &r) override
+    {
+        const std::uint64_t s0 = r.u64();
+        const std::uint64_t s1 = r.u64();
+        rng_.setState(s0, s1);
+        rrCounter_ = r.u32();
+    }
 
   private:
     AllocDecision allocateWsrs(const isa::MicroOp &op,

@@ -1052,4 +1052,400 @@ Core::dumpStatsJson(std::ostream &os) const
     os << "}";
 }
 
+namespace {
+
+void
+snapshotMicroOp(ckpt::Writer &w, const isa::MicroOp &op)
+{
+    w.u64(op.seq);
+    w.u64(op.pc);
+    w.u8(static_cast<std::uint8_t>(op.op));
+    w.u8(op.src1);
+    w.u8(op.src2);
+    w.u8(op.dst);
+    w.b(op.commutative);
+    w.b(op.taken);
+    w.u64(op.target);
+    w.u64(op.effAddr);
+}
+
+isa::MicroOp
+restoreMicroOp(ckpt::Reader &r)
+{
+    isa::MicroOp op;
+    op.seq = r.u64();
+    op.pc = r.u64();
+    const std::uint8_t cls = r.u8();
+    if (cls >= isa::kNumOpClasses)
+        r.fail("invalid op class in checkpointed micro-op");
+    op.op = static_cast<isa::OpClass>(cls);
+    op.src1 = r.u8();
+    op.src2 = r.u8();
+    op.dst = r.u8();
+    op.commutative = r.b();
+    op.taken = r.b();
+    op.target = r.u64();
+    op.effAddr = r.u64();
+    return op;
+}
+
+void
+snapshotDynInst(ckpt::Writer &w, const DynInst &d)
+{
+    snapshotMicroOp(w, d.op);
+    w.u64(d.expected);
+    w.u64(d.result);
+    w.u64(d.memOrdinal);
+    w.u64(d.fetchCycle);
+    w.u64(d.renameCycle);
+    w.u64(d.readyCycle);
+    w.u64(d.issueCycle);
+    w.u64(d.completeCycle);
+    w.u16(d.psrc1);
+    w.u16(d.psrc2);
+    w.u16(d.pdst);
+    w.u16(d.oldPdst);
+    w.u8(d.cluster);
+    w.b(d.swapped);
+    w.b(d.injectedMove);
+    w.b(d.mispredicted);
+    w.u8(static_cast<std::uint8_t>(d.state));
+    w.u8(d.waitClass);
+}
+
+void
+restoreDynInst(ckpt::Reader &r, DynInst &d, unsigned num_clusters)
+{
+    d.op = restoreMicroOp(r);
+    d.expected = r.u64();
+    d.result = r.u64();
+    d.memOrdinal = r.u64();
+    d.fetchCycle = r.u64();
+    d.renameCycle = r.u64();
+    d.readyCycle = r.u64();
+    d.issueCycle = r.u64();
+    d.completeCycle = r.u64();
+    d.psrc1 = r.u16();
+    d.psrc2 = r.u16();
+    d.pdst = r.u16();
+    d.oldPdst = r.u16();
+    d.cluster = r.u8();
+    if (d.cluster >= num_clusters)
+        r.fail("in-flight micro-op cluster out of range");
+    d.swapped = r.b();
+    d.injectedMove = r.b();
+    d.mispredicted = r.b();
+    const std::uint8_t st = r.u8();
+    if (st > 1)
+        r.fail("invalid in-flight micro-op state");
+    d.state = static_cast<InstState>(st);
+    d.waitClass = r.u8();
+}
+
+} // namespace
+
+void
+Core::snapshot(ckpt::Writer &w) const
+{
+    // Geometry guard: restore targets must be configured identically.
+    w.u32(params_.numClusters);
+    w.u32(params_.numPhysRegs);
+    w.u64(rob_.size());
+    w.u64(now_);
+
+    prf_.snapshot(w);
+    renamer_.snapshot(w);
+    alloc_.snapshot(w);
+    lsq_.snapshot(w);
+    w.u64(rng_.stateWord(0));
+    w.u64(rng_.stateWord(1));
+    oracle_.snapshot(w);
+
+    // ROB: live window only; the ring's stale slots are never read.
+    w.u64(robHead_);
+    w.u64(robTail_);
+    for (std::uint64_t n = robHead_; n != robTail_; ++n)
+        snapshotDynInst(w, rob(n));
+
+    for (const auto &q : readyQ_)
+        ckpt::writeVec(w, q);
+    for (const unsigned v : inflight_)
+        w.u32(v);
+    w.u64(regWaiters_.size());
+    for (const auto &waiters : regWaiters_)
+        ckpt::writeVec(w, waiters);
+
+    // Wake wheel: only buckets scheduled at or after `now_` are live
+    // (scheduleWake lazily reclaims stale slots by overwriting them).
+    std::uint64_t live = 0;
+    for (const WakeBucket &b : wakeWheel_)
+        if (b.cycle != kNeverCycle && b.cycle >= now_ && !b.robs.empty())
+            ++live;
+    w.u64(live);
+    for (const WakeBucket &b : wakeWheel_) {
+        if (b.cycle != kNeverCycle && b.cycle >= now_ && !b.robs.empty()) {
+            w.u64(b.cycle);
+            ckpt::writeVec(w, b.robs);
+        }
+    }
+    w.u64(farWakes_.size());
+    for (const auto &[cycle, rob_num] : farWakes_) {
+        w.u64(cycle);
+        w.u64(rob_num);
+    }
+
+    w.u64(prod_.size());
+    for (const Producer &p : prod_) {
+        w.u64(p.readyBase);
+        w.u8(p.cluster);
+    }
+
+    for (const Cycle c : complexBusyUntil_)
+        w.u64(c);
+    for (const Cycle c : fpDivBusyUntil_)
+        w.u64(c);
+
+    // Write-back rings: only future reservations matter.
+    w.u64(wbSlots_.size());
+    for (const auto &ring : wbSlots_) {
+        std::uint64_t active = 0;
+        for (const WbSlot &s : ring)
+            if (s.cycle != kNeverCycle && s.cycle >= now_ && s.count > 0)
+                ++active;
+        w.u64(active);
+        for (const WbSlot &s : ring) {
+            if (s.cycle != kNeverCycle && s.cycle >= now_ && s.count > 0) {
+                w.u64(s.cycle);
+                w.u8(s.count);
+            }
+        }
+    }
+
+    w.u64(fetchQ_.size());
+    for (const Fetched &f : fetchQ_) {
+        snapshotMicroOp(w, f.op);
+        w.u64(f.expected);
+        w.u64(f.readyAt);
+        w.u64(f.fetchCycle);
+        w.b(f.mispredicted);
+    }
+    w.b(fetchStalled_);
+    w.u64(fetchResumeAt_);
+
+    ckpt::writeVec(w, pendingStoreData_);
+
+    // Committed memory image, sorted for deterministic snapshot bytes.
+    std::vector<std::pair<Addr, std::uint64_t>> img(committedMem_.begin(),
+                                                    committedMem_.end());
+    std::sort(img.begin(), img.end());
+    w.u64(img.size());
+    for (const auto &[a, v] : img) {
+        w.u64(a);
+        w.u64(v);
+    }
+
+    for (const std::uint64_t g : groupCount_)
+        w.u64(g);
+    w.u32(groupFill_);
+
+    w.u64(timelineCapacity_);
+    w.u64(timeline_.size());
+    for (const TimelineEntry &e : timeline_) {
+        w.u64(e.seq);
+        w.u64(e.pc);
+        w.u8(static_cast<std::uint8_t>(e.op));
+        w.u8(e.cluster);
+        w.b(e.mispredicted);
+        w.u64(e.renameCycle);
+        w.u64(e.issueCycle);
+        w.u64(e.completeCycle);
+        w.u64(e.commitCycle);
+    }
+
+    // Measurement state.
+    w.u64(stats_.cycles);
+    w.u64(stats_.committed);
+    w.u64(stats_.injectedMoves);
+    w.u64(stats_.branches);
+    w.u64(stats_.mispredicts);
+    w.u64(stats_.loadForwards);
+    w.u64(stats_.renameStallFreeReg);
+    w.u64(stats_.renameStallWindow);
+    w.u64(stats_.renameStallRob);
+    w.u64(stats_.renameStallLsq);
+    w.u64(stats_.unbalancedGroups);
+    w.u64(stats_.totalGroups);
+    w.u64(stats_.valueMismatches);
+    for (const std::uint64_t v : stats_.perCluster)
+        w.u64(v);
+    for (const std::uint64_t v : stats_.issueWidthHist)
+        w.u64(v);
+    w.u64(stats_.windowOccupancySum);
+
+    for (const unsigned v : waitLocal_)
+        w.u32(v);
+    for (const unsigned v : waitRemote_)
+        w.u32(v);
+    obs_.snapshot(w);
+}
+
+void
+Core::restore(ckpt::Reader &r)
+{
+    if (r.u32() != params_.numClusters || r.u32() != params_.numPhysRegs ||
+        r.u64() != rob_.size())
+        r.fail("core geometry mismatch: checkpoint was taken on a "
+               "differently configured machine");
+    now_ = r.u64();
+
+    prf_.restore(r);
+    renamer_.restore(r);
+    alloc_.restore(r);
+    lsq_.restore(r);
+    const std::uint64_t s0 = r.u64();
+    const std::uint64_t s1 = r.u64();
+    rng_.setState(s0, s1);
+    oracle_.restore(r);
+
+    robHead_ = r.u64();
+    robTail_ = r.u64();
+    if (robTail_ < robHead_ || robTail_ - robHead_ > rob_.size())
+        r.fail("ROB window out of range");
+    for (DynInst &d : rob_)
+        d = DynInst{};
+    for (std::uint64_t n = robHead_; n != robTail_; ++n)
+        restoreDynInst(r, rob(n), params_.numClusters);
+
+    for (auto &q : readyQ_)
+        ckpt::readVec(r, q);
+    for (unsigned &v : inflight_)
+        v = r.u32();
+    if (r.u64() != regWaiters_.size())
+        r.fail("register-waiter table size mismatch");
+    for (auto &waiters : regWaiters_)
+        ckpt::readVec(r, waiters);
+
+    for (WakeBucket &b : wakeWheel_) {
+        b.cycle = kNeverCycle;
+        b.robs.clear();
+    }
+    const std::uint64_t live = r.u64();
+    for (std::uint64_t i = 0; i < live; ++i) {
+        const Cycle cycle = r.u64();
+        if (cycle < now_)
+            r.fail("wake-wheel bucket in the past");
+        WakeBucket &b = wakeWheel_[cycle % kWakeRing];
+        b.cycle = cycle;
+        ckpt::readVec(r, b.robs);
+    }
+    farWakes_.clear();
+    const std::uint64_t far = r.u64();
+    for (std::uint64_t i = 0; i < far; ++i) {
+        const Cycle cycle = r.u64();
+        const std::uint64_t rob_num = r.u64();
+        farWakes_.emplace_back(cycle, rob_num);
+    }
+
+    if (r.u64() != prod_.size())
+        r.fail("producer table size mismatch");
+    for (Producer &p : prod_) {
+        p.readyBase = r.u64();
+        p.cluster = r.u8();
+    }
+
+    for (Cycle &c : complexBusyUntil_)
+        c = r.u64();
+    for (Cycle &c : fpDivBusyUntil_)
+        c = r.u64();
+
+    if (r.u64() != wbSlots_.size())
+        r.fail("write-back ring count mismatch");
+    for (auto &ring : wbSlots_) {
+        for (WbSlot &s : ring)
+            s = WbSlot{};
+        const std::uint64_t active = r.u64();
+        for (std::uint64_t i = 0; i < active; ++i) {
+            const Cycle cycle = r.u64();
+            if (cycle < now_)
+                r.fail("write-back reservation in the past");
+            WbSlot &s = ring[cycle % kWbRing];
+            s.cycle = cycle;
+            s.count = r.u8();
+        }
+    }
+
+    fetchQ_.clear();
+    const std::uint64_t fq = r.u64();
+    for (std::uint64_t i = 0; i < fq; ++i) {
+        Fetched f;
+        f.op = restoreMicroOp(r);
+        f.expected = r.u64();
+        f.readyAt = r.u64();
+        f.fetchCycle = r.u64();
+        f.mispredicted = r.b();
+        fetchQ_.push_back(f);
+    }
+    fetchStalled_ = r.b();
+    fetchResumeAt_ = r.u64();
+
+    ckpt::readVec(r, pendingStoreData_);
+
+    committedMem_.clear();
+    const std::uint64_t mem = r.u64();
+    committedMem_.reserve(mem);
+    for (std::uint64_t i = 0; i < mem; ++i) {
+        const Addr a = r.u64();
+        committedMem_[a] = r.u64();
+    }
+
+    for (std::uint64_t &g : groupCount_)
+        g = r.u64();
+    groupFill_ = r.u32();
+
+    timelineCapacity_ = static_cast<std::size_t>(r.u64());
+    timeline_.clear();
+    const std::uint64_t tl = r.u64();
+    for (std::uint64_t i = 0; i < tl; ++i) {
+        TimelineEntry e;
+        e.seq = r.u64();
+        e.pc = r.u64();
+        e.op = static_cast<isa::OpClass>(r.u8());
+        e.cluster = r.u8();
+        e.mispredicted = r.b();
+        e.renameCycle = r.u64();
+        e.issueCycle = r.u64();
+        e.completeCycle = r.u64();
+        e.commitCycle = r.u64();
+        timeline_.push_back(e);
+    }
+
+    stats_.cycles = r.u64();
+    stats_.committed = r.u64();
+    stats_.injectedMoves = r.u64();
+    stats_.branches = r.u64();
+    stats_.mispredicts = r.u64();
+    stats_.loadForwards = r.u64();
+    stats_.renameStallFreeReg = r.u64();
+    stats_.renameStallWindow = r.u64();
+    stats_.renameStallRob = r.u64();
+    stats_.renameStallLsq = r.u64();
+    stats_.unbalancedGroups = r.u64();
+    stats_.totalGroups = r.u64();
+    stats_.valueMismatches = r.u64();
+    for (std::uint64_t &v : stats_.perCluster)
+        v = r.u64();
+    for (std::uint64_t &v : stats_.issueWidthHist)
+        v = r.u64();
+    stats_.windowOccupancySum = r.u64();
+
+    for (unsigned &v : waitLocal_)
+        v = r.u32();
+    for (unsigned &v : waitRemote_)
+        v = r.u32();
+    obs_.restore(r);
+
+    if (!r.atEnd())
+        r.fail("trailing bytes after core state");
+}
+
 } // namespace wsrs::core

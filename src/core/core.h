@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "src/bpred/predictor.h"
+#include "src/ckpt/snapshotter.h"
 #include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/obs/pipeline_stats.h"
@@ -215,6 +216,20 @@ class Core
 
     /** Machine-readable core stats document (schema wsrs-stats-v1 body). */
     void dumpStatsJson(std::ostream &os) const;
+
+    // ---- checkpointing (src/ckpt) ----
+
+    /**
+     * Serialize the complete transient machine state — ROB, schedulers,
+     * wake wheel, LSQ, rename state, free lists, front end, committed
+     * memory image and statistics — so that restore() into a freshly
+     * constructed Core with identical CoreParams continues bit-identically.
+     * Must be called at a cycle boundary (between run() calls). The
+     * attached micro-op source, predictor and memory hierarchy are NOT
+     * included; the caller checkpoints those separately.
+     */
+    void snapshot(ckpt::Writer &w) const;
+    void restore(ckpt::Reader &r);
 
   private:
     // ---- pipeline stages (called in tick() order) ----

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <deque>
 
+#include "src/ckpt/snapshotter.h"
 #include "src/common/log.h"
 #include "src/common/types.h"
 
@@ -35,7 +36,7 @@ struct ForwardProbe
 };
 
 /** Program-ordered queue of in-flight memory micro-ops. */
-class LoadStoreQueue
+class LoadStoreQueue : public ckpt::Snapshotter
 {
   public:
     explicit LoadStoreQueue(unsigned capacity) : capacity_(capacity) {}
@@ -137,6 +138,46 @@ class LoadStoreQueue
         entries_.pop_front();
         ++frontOrdinal_;
         --agenCount_;
+    }
+
+    void
+    snapshot(ckpt::Writer &w) const override
+    {
+        w.u32(capacity_);
+        w.u64(frontOrdinal_);
+        w.u64(agenCount_);
+        w.u64(entries_.size());
+        for (const Entry &e : entries_) {
+            w.u64(e.addr);
+            w.u64(e.storeValue);
+            w.u64(e.robNum);
+            w.b(e.isStore);
+            w.b(e.dataReady);
+            w.b(e.addrComputedFlag);
+        }
+    }
+
+    void
+    restore(ckpt::Reader &r) override
+    {
+        if (r.u32() != capacity_)
+            r.fail("LSQ capacity mismatch");
+        frontOrdinal_ = r.u64();
+        agenCount_ = r.u64();
+        const std::uint64_t n = r.u64();
+        if (n > capacity_ || agenCount_ > n)
+            r.fail("LSQ occupancy out of range");
+        entries_.clear();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            Entry e;
+            e.addr = r.u64();
+            e.storeValue = r.u64();
+            e.robNum = r.u64();
+            e.isStore = r.b();
+            e.dataReady = r.b();
+            e.addrComputedFlag = r.b();
+            entries_.push_back(e);
+        }
     }
 
   private:

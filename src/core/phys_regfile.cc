@@ -54,4 +54,42 @@ PhysRegFile::drainRecycler(Cycle now)
     }
 }
 
+void
+PhysRegFile::snapshot(ckpt::Writer &w) const
+{
+    w.u32(numRegs());
+    w.u32(numSubsets_);
+    for (const std::uint64_t v : values_)
+        w.u64(v);
+    for (const auto &list : freeLists_)
+        ckpt::writeVec(w, list);
+    w.u64(recycler_.size());
+    for (const RecycleEntry &e : recycler_) {
+        w.u64(e.availableAt);
+        w.u32(e.reg);
+    }
+}
+
+void
+PhysRegFile::restore(ckpt::Reader &r)
+{
+    if (r.u32() != numRegs() || r.u32() != numSubsets_)
+        r.fail("physical register file geometry mismatch");
+    for (std::uint64_t &v : values_)
+        v = r.u64();
+    for (auto &list : freeLists_) {
+        ckpt::readVec(r, list);
+        if (list.size() > subsetSize_)
+            r.fail("free list larger than its subset");
+    }
+    recycler_.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        RecycleEntry e;
+        e.availableAt = r.u64();
+        e.reg = static_cast<PhysReg>(r.u32());
+        recycler_.push_back(e);
+    }
+}
+
 } // namespace wsrs::core

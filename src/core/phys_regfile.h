@@ -13,13 +13,14 @@
 #include <deque>
 #include <vector>
 
+#include "src/ckpt/snapshotter.h"
 #include "src/common/log.h"
 #include "src/common/types.h"
 
 namespace wsrs::core {
 
 /** Physical register state and free-list management. */
-class PhysRegFile
+class PhysRegFile : public ckpt::Snapshotter
 {
   public:
     /**
@@ -88,6 +89,10 @@ class PhysRegFile
         values_[p] = v;
     }
     /// @}
+
+    /** Checkpoint values, free lists and the recycling pipeline. */
+    void snapshot(ckpt::Writer &w) const override;
+    void restore(ckpt::Reader &r) override;
 
   private:
     unsigned numSubsets_;

@@ -118,4 +118,31 @@ Renamer::commitFree(PhysReg old_pdst, Cycle now)
         prf_.release(old_pdst);
 }
 
+void
+Renamer::snapshot(ckpt::Writer &w) const
+{
+    for (const PhysReg p : map_)
+        w.u32(p);
+    ckpt::writeVec(w, archCount_);
+    w.u64(staged_.size());
+    for (const auto &stage : staged_)
+        ckpt::writeVec(w, stage);
+}
+
+void
+Renamer::restore(ckpt::Reader &r)
+{
+    for (PhysReg &p : map_) {
+        p = static_cast<PhysReg>(r.u32());
+        if (p >= prf_.numRegs())
+            r.fail("rename map entry out of range");
+    }
+    ckpt::readVecExact(r, archCount_, archCount_.size(),
+                       "subset occupancy counts");
+    if (r.u64() != staged_.size())
+        r.fail("staging-buffer count mismatch");
+    for (auto &stage : staged_)
+        ckpt::readVec(r, stage);
+}
+
 } // namespace wsrs::core

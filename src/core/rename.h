@@ -20,6 +20,7 @@
 #include <array>
 #include <vector>
 
+#include "src/ckpt/snapshotter.h"
 #include "src/core/params.h"
 #include "src/core/phys_regfile.h"
 #include "src/isa/micro_op.h"
@@ -36,7 +37,7 @@ struct RenamedRegs
 };
 
 /** Map table + subset-aware free-register assignment. */
-class Renamer
+class Renamer : public ckpt::Snapshotter
 {
   public:
     /**
@@ -108,6 +109,10 @@ class Renamer
 
     /** Registers currently held in the Impl-1 staging buffers. */
     unsigned staged() const;
+
+    /** Checkpoint the map table, subset occupancy and staging buffers. */
+    void snapshot(ckpt::Writer &w) const override;
+    void restore(ckpt::Reader &r) override;
 
   private:
     PhysRegFile &prf_;

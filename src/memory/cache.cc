@@ -148,6 +148,44 @@ Cache::probe(Addr addr) const
 }
 
 void
+Cache::snapshot(ckpt::Writer &w) const
+{
+    // Geometry header lets restore() reject a mismatched target.
+    w.u64(numSets_);
+    w.u32(params_.assoc);
+    w.u32(params_.lineBytes);
+    w.u8(static_cast<std::uint8_t>(params_.replacement));
+    w.u64(stamp_);
+    w.u64(rngState_);
+    for (const Line &line : lines_) {
+        w.u64(line.tag);
+        w.b(line.valid);
+        w.b(line.dirty);
+        w.u64(line.lruStamp);
+    }
+    ckpt::writeVec(w, plruBits_);
+}
+
+void
+Cache::restore(ckpt::Reader &r)
+{
+    if (r.u64() != numSets_ || r.u32() != params_.assoc ||
+        r.u32() != params_.lineBytes ||
+        r.u8() != static_cast<std::uint8_t>(params_.replacement))
+        r.fail("cache geometry mismatch between checkpoint and restore "
+               "target");
+    stamp_ = r.u64();
+    rngState_ = r.u64();
+    for (Line &line : lines_) {
+        line.tag = r.u64();
+        line.valid = r.b();
+        line.dirty = r.b();
+        line.lruStamp = r.u64();
+    }
+    ckpt::readVecExact(r, plruBits_, numSets_, "cache PLRU bits");
+}
+
+void
 Cache::flush()
 {
     for (auto &line : lines_)

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/ckpt/snapshotter.h"
 #include "src/common/log.h"
 #include "src/common/types.h"
 
@@ -40,7 +41,7 @@ struct AccessOutcome
 };
 
 /** Tag-state model of a single set-associative cache. */
-class Cache
+class Cache : public ckpt::Snapshotter
 {
   public:
     explicit Cache(const CacheParams &params);
@@ -61,6 +62,10 @@ class Cache
 
     const CacheParams &params() const { return params_; }
     std::uint64_t numSets() const { return numSets_; }
+
+    /** Checkpoint all tag/replacement state (geometry is validated). */
+    void snapshot(ckpt::Writer &w) const override;
+    void restore(ckpt::Reader &r) override;
 
   private:
     struct Line

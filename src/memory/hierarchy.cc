@@ -78,10 +78,53 @@ MemoryHierarchy::access(Addr addr, bool is_store, Cycle now)
 }
 
 void
+MemoryHierarchy::snapshot(ckpt::Writer &w) const
+{
+    l1_.snapshot(w);
+    l2_.snapshot(w);
+    w.u64(l2PortFree_);
+    ckpt::writeVec(w, missDone_);
+    w.u64(missDonePos_);
+    w.u64(accesses_.value());
+    w.u64(l1Misses_.value());
+    w.u64(l2Misses_.value());
+    w.u64(writebacks_.value());
+    w.u64(mshrStalls_.value());
+    w.u64(prefetches_.value());
+}
+
+void
+MemoryHierarchy::restore(ckpt::Reader &r)
+{
+    l1_.restore(r);
+    l2_.restore(r);
+    l2PortFree_ = r.u64();
+    ckpt::readVecExact(r, missDone_, missDone_.size(), "MSHR miss slots");
+    missDonePos_ = static_cast<std::size_t>(r.u64());
+    if (!missDone_.empty() && missDonePos_ >= missDone_.size())
+        r.fail("MSHR cursor out of range");
+    accesses_.restore(r.u64());
+    l1Misses_.restore(r.u64());
+    l2Misses_.restore(r.u64());
+    writebacks_.restore(r.u64());
+    mshrStalls_.restore(r.u64());
+    prefetches_.restore(r.u64());
+}
+
+void
 MemoryHierarchy::flush()
 {
     l1_.flush();
     l2_.flush();
+    l2PortFree_ = 0;
+    for (auto &c : missDone_)
+        c = 0;
+    missDonePos_ = 0;
+}
+
+void
+MemoryHierarchy::rebaseTiming()
+{
     l2PortFree_ = 0;
     for (auto &c : missDone_)
         c = 0;

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/ckpt/snapshotter.h"
 #include "src/common/stats.h"
 #include "src/common/types.h"
 #include "src/memory/cache.h"
@@ -48,7 +49,7 @@ struct TimedAccess
 };
 
 /** Two-level hierarchy with bandwidth-aware timing. */
-class MemoryHierarchy
+class MemoryHierarchy : public ckpt::Snapshotter
 {
   public:
     /**
@@ -70,6 +71,16 @@ class MemoryHierarchy
     /** Invalidate both levels and reset port state (not the counters). */
     void flush();
 
+    /**
+     * Zero the transient timing state (L2 port occupancy, in-flight
+     * misses) while keeping tags, replacement state and counters. Used
+     * when warmed state is transplanted to a core whose clock starts at
+     * zero (warm-up snapshots): stamps from the warming pass would
+     * otherwise sit in the restored core's future and stall every early
+     * refill behind a phantom busy port.
+     */
+    void rebaseTiming();
+
     const HierarchyParams &params() const { return params_; }
 
     std::uint64_t l1Misses() const { return l1Misses_.value(); }
@@ -77,6 +88,10 @@ class MemoryHierarchy
     std::uint64_t prefetches() const { return prefetches_.value(); }
     std::uint64_t l2Misses() const { return l2Misses_.value(); }
     std::uint64_t accesses() const { return accesses_.value(); }
+
+    /** Checkpoint both cache levels, port/MSHR state and the counters. */
+    void snapshot(ckpt::Writer &w) const override;
+    void restore(ckpt::Reader &r) override;
 
   private:
     HierarchyParams params_;

@@ -158,4 +158,77 @@ PipelineStats::dumpJson(std::ostream &os) const
     os << "]}}";
 }
 
+namespace {
+
+void
+snapshotHist(ckpt::Writer &w, const Histogram &h)
+{
+    w.u64(h.numBuckets());
+    for (std::size_t i = 0; i < h.numBuckets(); ++i)
+        w.u64(h.bucket(i));
+    w.u64(h.overflow());
+    w.u64(h.samples());
+    w.d64(h.sum());
+}
+
+void
+restoreHist(ckpt::Reader &r, Histogram &h)
+{
+    std::vector<std::uint64_t> buckets;
+    ckpt::readVecExact(r, buckets, h.numBuckets(), "histogram buckets");
+    const std::uint64_t overflow = r.u64();
+    const std::uint64_t samples = r.u64();
+    const double sum = r.d64();
+    h.restore(std::move(buckets), overflow, samples, sum);
+}
+
+} // namespace
+
+void
+PipelineStats::snapshot(ckpt::Writer &w) const
+{
+    w.u32(numClusters_);
+    for (const auto &h : issueStall_)
+        snapshotHist(w, *h);
+    snapshotHist(w, *renameStall_);
+    snapshotHist(w, *commitStall_);
+    snapshotHist(w, *wakeupLatency_);
+    for (const std::uint64_t s : occupancySum_)
+        w.u64(s);
+    w.u64(intervalCountdown_);
+    w.u64(intervals_.size());
+    for (const IntervalSample &s : intervals_) {
+        w.u64(s.cycle);
+        w.u64(s.committed);
+        for (const std::uint32_t o : s.occupancy)
+            w.u32(o);
+    }
+}
+
+void
+PipelineStats::restore(ckpt::Reader &r)
+{
+    if (r.u32() != numClusters_)
+        r.fail("pipeline-stats cluster count mismatch");
+    for (auto &h : issueStall_)
+        restoreHist(r, *h);
+    restoreHist(r, *renameStall_);
+    restoreHist(r, *commitStall_);
+    restoreHist(r, *wakeupLatency_);
+    for (std::uint64_t &s : occupancySum_)
+        s = r.u64();
+    intervalCountdown_ = r.u64();
+    intervals_.clear();
+    const std::uint64_t n = r.u64();
+    intervals_.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        IntervalSample s;
+        s.cycle = r.u64();
+        s.committed = r.u64();
+        for (std::uint32_t &o : s.occupancy)
+            o = r.u32();
+        intervals_.push_back(s);
+    }
+}
+
 } // namespace wsrs::obs

@@ -28,6 +28,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/ckpt/snapshotter.h"
 #include "src/common/stats.h"
 #include "src/common/types.h"
 
@@ -88,7 +89,7 @@ struct IntervalSample
  * owning StatGroup under stable names (issue_stall_c<k>, rename_stall,
  * commit_stall, wakeup_latency).
  */
-class PipelineStats
+class PipelineStats : public ckpt::Snapshotter
 {
   public:
     /** Wake-up latency histogram range; longer waits overflow. */
@@ -166,6 +167,10 @@ class PipelineStats
      * histogram stats, occupancy sums and the interval series.
      */
     void dumpJson(std::ostream &os) const;
+
+    /** Checkpoint the measurements and sampler position (not the period). */
+    void snapshot(ckpt::Writer &w) const override;
+    void restore(ckpt::Reader &r) override;
 
   private:
     unsigned numClusters_;

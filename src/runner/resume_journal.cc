@@ -1,0 +1,269 @@
+#include "resume_journal.h"
+
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+
+#include "src/common/hash.h"
+#include "src/common/log.h"
+#include "src/sim/warmup.h"
+
+namespace wsrs::runner {
+
+namespace {
+
+constexpr char kRecordMarker[4] = {'J', 'R', 'E', 'C'};
+constexpr std::size_t kHeaderBytes = 8 + 4 + 8 + 8;
+/** Marker + index + payload length (CRC follows the payload). */
+constexpr std::size_t kRecordHeadBytes = 4 + 8 + 8;
+
+std::uint64_t
+readLe64(const char *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | static_cast<unsigned char>(p[i]);
+    return v;
+}
+
+std::uint32_t
+readLe32(const char *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | static_cast<unsigned char>(p[i]);
+    return v;
+}
+
+} // namespace
+
+std::uint64_t
+sweepKeyHash(const std::vector<SweepJob> &jobs)
+{
+    std::uint64_t h = mix64(0x73776a72u);  // sweep-journal salt
+    h = mixCombine(h, jobs.size());
+    for (const SweepJob &job : jobs) {
+        // The full-checkpoint meta-hash already covers the profile, trace
+        // seed, warm-up length, memory hierarchy, predictor and the whole
+        // core preset; only the measured length is missing from it.
+        h = mixCombine(h,
+                       sim::fullCheckpointMetaHash(job.profile, job.config));
+        h = mixCombine(h, job.config.measureUops);
+    }
+    return h;
+}
+
+void
+encodeOutcome(ckpt::Writer &w, const SweepOutcome &out)
+{
+    w.b(out.ok);
+    w.str(out.error);
+    const sim::SimResults &r = out.results;
+    w.str(r.benchmark);
+    w.str(r.machine);
+    w.str(r.statsJson);
+    w.str(r.timelineText);
+    w.d64(r.ipc);
+    w.d64(r.unbalancingDegree);
+    w.d64(r.branchMispredictRate);
+    w.d64(r.l1MissRate);
+    w.d64(r.l2MissRate);
+    const core::CoreStats &s = r.stats;
+    w.u64(s.cycles);
+    w.u64(s.committed);
+    w.u64(s.injectedMoves);
+    w.u64(s.branches);
+    w.u64(s.mispredicts);
+    w.u64(s.loadForwards);
+    w.u64(s.renameStallFreeReg);
+    w.u64(s.renameStallWindow);
+    w.u64(s.renameStallRob);
+    w.u64(s.renameStallLsq);
+    w.u64(s.unbalancedGroups);
+    w.u64(s.totalGroups);
+    w.u64(s.valueMismatches);
+    for (const std::uint64_t c : s.perCluster)
+        w.u64(c);
+    for (const std::uint64_t c : s.issueWidthHist)
+        w.u64(c);
+    w.u64(s.windowOccupancySum);
+}
+
+SweepOutcome
+decodeOutcome(ckpt::Reader &r)
+{
+    SweepOutcome out;
+    out.ok = r.b();
+    out.error = r.str();
+    sim::SimResults &res = out.results;
+    res.benchmark = r.str();
+    res.machine = r.str();
+    res.statsJson = r.str();
+    res.timelineText = r.str();
+    res.ipc = r.d64();
+    res.unbalancingDegree = r.d64();
+    res.branchMispredictRate = r.d64();
+    res.l1MissRate = r.d64();
+    res.l2MissRate = r.d64();
+    core::CoreStats &s = res.stats;
+    s.cycles = r.u64();
+    s.committed = r.u64();
+    s.injectedMoves = r.u64();
+    s.branches = r.u64();
+    s.mispredicts = r.u64();
+    s.loadForwards = r.u64();
+    s.renameStallFreeReg = r.u64();
+    s.renameStallWindow = r.u64();
+    s.renameStallRob = r.u64();
+    s.renameStallLsq = r.u64();
+    s.unbalancedGroups = r.u64();
+    s.totalGroups = r.u64();
+    s.valueMismatches = r.u64();
+    for (std::uint64_t &c : s.perCluster)
+        c = r.u64();
+    for (std::uint64_t &c : s.issueWidthHist)
+        c = r.u64();
+    s.windowOccupancySum = r.u64();
+    if (!r.atEnd())
+        r.fail("trailing bytes after journal outcome");
+    return out;
+}
+
+ResumeJournal::ResumeJournal(std::string path, std::uint64_t sweep_key,
+                             std::uint64_t num_jobs, bool resume)
+    : path_(std::move(path)), sweepKey_(sweep_key), numJobs_(num_jobs),
+      recovered_(num_jobs), mask_(num_jobs, false)
+{
+    if (resume && std::filesystem::exists(path_)) {
+        replay();
+    } else {
+        writeHeader();
+    }
+}
+
+void
+ResumeJournal::writeHeader()
+{
+    out_.open(path_, std::ios::binary | std::ios::trunc);
+    if (!out_)
+        fatal("cannot open resume journal '%s' for writing", path_.c_str());
+    ckpt::Writer w;
+    w.bytes(kJournalMagic, sizeof(kJournalMagic));
+    w.u32(kJournalVersion);
+    w.u64(sweepKey_);
+    w.u64(numJobs_);
+    out_.write(w.buffer().data(),
+               static_cast<std::streamsize>(w.size()));
+    out_.flush();
+    if (!out_)
+        fatal("write error on resume journal '%s'", path_.c_str());
+}
+
+void
+ResumeJournal::replay()
+{
+    std::string data;
+    {
+        std::ifstream is(path_, std::ios::binary);
+        if (!is)
+            fatal("cannot open resume journal '%s'", path_.c_str());
+        std::ostringstream buf;
+        buf << is.rdbuf();
+        data = buf.str();
+    }
+    if (data.size() < kHeaderBytes)
+        fatal("resume journal '%s' is truncated: %zu bytes, need %zu for "
+              "the header",
+              path_.c_str(), data.size(), kHeaderBytes);
+    if (std::memcmp(data.data(), kJournalMagic, sizeof(kJournalMagic)) != 0)
+        fatal("'%s' is not a wsrs sweep journal (bad magic)", path_.c_str());
+    const std::uint32_t version = readLe32(data.data() + 8);
+    if (version != kJournalVersion)
+        fatal("resume journal '%s' has format version %u, this build "
+              "reads version %u",
+              path_.c_str(), version, kJournalVersion);
+    const std::uint64_t key = readLe64(data.data() + 12);
+    if (key != sweepKey_)
+        fatal("resume journal '%s' belongs to a different sweep "
+              "(journal key %016llx, this sweep %016llx); refusing to mix "
+              "results — delete the journal or rerun the original sweep",
+              path_.c_str(), static_cast<unsigned long long>(key),
+              static_cast<unsigned long long>(sweepKey_));
+    const std::uint64_t jobs = readLe64(data.data() + 20);
+    if (jobs != numJobs_)
+        fatal("resume journal '%s' records a %llu-job sweep, this sweep "
+              "has %llu jobs",
+              path_.c_str(), static_cast<unsigned long long>(jobs),
+              static_cast<unsigned long long>(numJobs_));
+    resumed_ = true;
+
+    // Replay intact records; anything from the first damaged or
+    // incomplete record onward is a torn tail from the crash and is
+    // discarded (the jobs it covered simply rerun).
+    std::size_t pos = kHeaderBytes;
+    std::size_t goodEnd = pos;
+    while (data.size() - pos >= kRecordHeadBytes) {
+        if (std::memcmp(data.data() + pos, kRecordMarker,
+                        sizeof(kRecordMarker)) != 0)
+            break;
+        const std::uint64_t index = readLe64(data.data() + pos + 4);
+        const std::uint64_t len = readLe64(data.data() + pos + 12);
+        if (index >= numJobs_ || len > data.size() - pos - kRecordHeadBytes)
+            break;
+        const std::size_t crcPos = pos + kRecordHeadBytes +
+                                   static_cast<std::size_t>(len);
+        if (data.size() - crcPos < 4)
+            break;
+        const std::uint32_t stored = readLe32(data.data() + crcPos);
+        const std::uint32_t computed = ckpt::crc32(
+            data.data() + pos + 4, kRecordHeadBytes - 4 +
+                                       static_cast<std::size_t>(len));
+        if (stored != computed)
+            break;
+        ckpt::Reader r(
+            std::string_view(data.data() + pos + kRecordHeadBytes,
+                             static_cast<std::size_t>(len)),
+            "journal '" + path_ + "'", pos + kRecordHeadBytes);
+        recovered_[static_cast<std::size_t>(index)] = decodeOutcome(r);
+        if (!mask_[static_cast<std::size_t>(index)]) {
+            mask_[static_cast<std::size_t>(index)] = true;
+            ++recoveredCount_;
+        }
+        pos = crcPos + 4;
+        goodEnd = pos;
+    }
+
+    if (goodEnd != data.size())
+        std::filesystem::resize_file(path_, goodEnd);
+    out_.open(path_, std::ios::binary | std::ios::app);
+    if (!out_)
+        fatal("cannot reopen resume journal '%s' for append",
+              path_.c_str());
+}
+
+void
+ResumeJournal::record(std::uint64_t index, const SweepOutcome &out)
+{
+    ckpt::Writer body;
+    body.u64(index);
+    ckpt::Writer payload;
+    encodeOutcome(payload, out);
+    body.u64(payload.size());
+    body.bytes(payload.buffer().data(), payload.size());
+    const std::uint32_t crc =
+        ckpt::crc32(body.buffer().data(), body.size());
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    out_.write(kRecordMarker, sizeof(kRecordMarker));
+    out_.write(body.buffer().data(),
+               static_cast<std::streamsize>(body.size()));
+    ckpt::Writer tail;
+    tail.u32(crc);
+    out_.write(tail.buffer().data(),
+               static_cast<std::streamsize>(tail.size()));
+    out_.flush();
+    if (!out_)
+        fatal("write error on resume journal '%s'", path_.c_str());
+}
+
+} // namespace wsrs::runner

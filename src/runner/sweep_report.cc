@@ -9,7 +9,8 @@ namespace wsrs::runner {
 
 void
 writeSweepReport(std::ostream &os, const std::vector<SweepJob> &jobs,
-                 const std::vector<SweepOutcome> &outcomes)
+                 const std::vector<SweepOutcome> &outcomes,
+                 const SweepRunner::Telemetry &telemetry)
 {
     if (jobs.size() != outcomes.size())
         fatal("sweep report: %zu jobs but %zu outcomes", jobs.size(),
@@ -33,7 +34,14 @@ writeSweepReport(std::ostream &os, const std::vector<SweepJob> &jobs,
         }
         os << "}";
     }
-    os << "], \"summary\": {\"total\": " << jobs.size()
+    os << "], \"resume\": {\"resumed\": "
+       << (telemetry.resumed ? "true" : "false")
+       << ", \"skipped_runs\": " << telemetry.skippedRuns
+       << "}, \"ckpt\": {\"warmup_reuse\": "
+       << (telemetry.warmupReuse ? "true" : "false")
+       << ", \"warmup_cache\": {\"hits\": " << telemetry.warmupHits
+       << ", \"misses\": " << telemetry.warmupMisses
+       << "}}, \"summary\": {\"total\": " << jobs.size()
        << ", \"failed\": " << failed << "}}";
 }
 

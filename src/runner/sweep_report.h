@@ -20,9 +20,12 @@ inline constexpr const char *kSweepReportSchema = "wsrs-sweep-report-v1";
  * Write the aggregated report for a finished sweep. @p jobs and
  * @p outcomes must be the submission-order pair returned by
  * SweepRunner::run; failed jobs are reported with ok=false and their
- * error text instead of a stats document.
+ * error text instead of a stats document. The report carries the runner's
+ * telemetry in two additive objects: "resume" ({resumed, skipped_runs})
+ * and "ckpt" ({warmup_reuse, warmup_cache: {hits, misses}}).
  */
 void writeSweepReport(std::ostream &os, const std::vector<SweepJob> &jobs,
-                      const std::vector<SweepOutcome> &outcomes);
+                      const std::vector<SweepOutcome> &outcomes,
+                      const SweepRunner::Telemetry &telemetry = {});
 
 } // namespace wsrs::runner

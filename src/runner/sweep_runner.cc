@@ -6,9 +6,12 @@
 #include <mutex>
 #include <thread>
 
+#include "src/ckpt/warmup_cache.h"
 #include "src/common/log.h"
+#include "src/runner/resume_journal.h"
 #include "src/runner/trace_cache.h"
 #include "src/sim/presets.h"
+#include "src/sim/warmup.h"
 
 namespace wsrs::runner {
 
@@ -53,14 +56,52 @@ SweepRunner::crossProduct(
 std::vector<SweepOutcome>
 SweepRunner::run(const std::vector<SweepJob> &jobs)
 {
+    telemetry_ = Telemetry{};
+    telemetry_.warmupReuse = options_.reuseWarmup;
     std::vector<SweepOutcome> outcomes(jobs.size());
     if (jobs.empty())
         return outcomes;
 
+    // Crash-resume journal: recovered jobs land in their outcome slots up
+    // front and are never handed to a worker.
+    std::unique_ptr<ResumeJournal> journal;
+    std::vector<bool> recovered(jobs.size(), false);
+    if (!options_.journalPath.empty()) {
+        journal = std::make_unique<ResumeJournal>(
+            options_.journalPath, sweepKeyHash(jobs), jobs.size(),
+            options_.resume);
+        telemetry_.resumed = journal->resumed();
+        telemetry_.skippedRuns = journal->recoveredCount();
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            if (!journal->recoveredMask()[i])
+                continue;
+            outcomes[i] = journal->recovered()[i];
+            recovered[i] = true;
+        }
+    }
+
     TraceCache cache;
+    ckpt::WarmupCache warmups;
     std::atomic<std::size_t> nextJob{0};
     std::size_t completed = 0;  ///< Guarded by eventMutex.
     std::mutex eventMutex;
+
+    // Recovered jobs complete "instantly": deliver their events first so
+    // progress consumers see every job exactly once, in a sane order.
+    if (options_.onEvent) {
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            if (!recovered[i])
+                continue;
+            SweepEvent ev;
+            ev.index = i;
+            ev.completed = ++completed;
+            ev.total = jobs.size();
+            ev.outcome = &outcomes[i];
+            options_.onEvent(ev);
+        }
+    } else {
+        completed = telemetry_.skippedRuns;
+    }
 
     const auto worker = [&]() {
         for (;;) {
@@ -68,26 +109,43 @@ SweepRunner::run(const std::vector<SweepJob> &jobs)
                 nextJob.fetch_add(1, std::memory_order_relaxed);
             if (i >= jobs.size())
                 return;
+            if (recovered[i])
+                continue;
             const SweepJob &job = jobs[i];
             SweepOutcome &out = outcomes[i];
             try {
+                sim::SimConfig cfg = job.config;
+                std::shared_ptr<const std::string> blob;
+                if (options_.reuseWarmup && cfg.warmupUops > 0) {
+                    // One functional warm-up per key serves every machine
+                    // config of the benchmark; the blob stays alive for
+                    // the duration of this run.
+                    blob = warmups.getOrBuild(
+                        sim::warmupKeyHash(job.profile, cfg), [&] {
+                            return sim::buildWarmupSnapshot(job.profile,
+                                                            cfg);
+                        });
+                    cfg.warmupBlob = blob.get();
+                }
                 if (options_.shareTraces) {
                     // Hold the shared trace only for the duration of the
                     // run: it stays recorded while any sibling job needs
                     // it and is released when the profile's jobs drain.
                     const std::shared_ptr<CachedTrace> trace =
-                        cache.acquire(job.profile, job.config.seed);
+                        cache.acquire(job.profile, cfg.seed);
                     const auto cursor = trace->openCursor();
                     out.results =
-                        sim::runSimulation(job.profile, job.config, *cursor);
+                        sim::runSimulation(job.profile, cfg, *cursor);
                 } else {
-                    out.results = sim::runSimulation(job.profile, job.config);
+                    out.results = sim::runSimulation(job.profile, cfg);
                 }
                 out.ok = true;
             } catch (const std::exception &e) {
                 out.ok = false;
                 out.error = e.what();
             }
+            if (journal)
+                journal->record(i, out);
             if (options_.onEvent) {
                 // The count is advanced under the same lock that serializes
                 // delivery, so callbacks observe completed = 1, 2, ... N
@@ -114,6 +172,8 @@ SweepRunner::run(const std::vector<SweepJob> &jobs)
         for (std::thread &t : pool)
             t.join();
     }
+    telemetry_.warmupHits = warmups.hits();
+    telemetry_.warmupMisses = warmups.misses();
     return outcomes;
 }
 

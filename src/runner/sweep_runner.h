@@ -68,8 +68,34 @@ class SweepRunner
         unsigned threads = 0;
         /** Record each profile's trace once and replay it per machine. */
         bool shareTraces = true;
+        /**
+         * Warm each benchmark once (functional warm-up snapshot of the
+         * memory hierarchy and predictor, cached per warm-up key) and
+         * restore it for every machine configuration, instead of running
+         * each job's core through the warm-up slice. Changes what warm-up
+         * means (functional instead of core-timed) so it is opt-in;
+         * results stay deterministic and machine-comparable because every
+         * job of a benchmark starts from the identical warmed state.
+         * Incompatible with jobs that set verifyDataflow.
+         */
+        bool reuseWarmup = false;
+        /** Journal each completed job to this file (empty = no journal). */
+        std::string journalPath;
+        /** Resume from an existing journal at journalPath: recovered jobs
+         *  are skipped and their recorded outcomes returned. */
+        bool resume = false;
         /** Per-completion progress hook (serialized; may be empty). */
         std::function<void(const SweepEvent &)> onEvent;
+    };
+
+    /** What happened around the sweep (reported in the sweep report). */
+    struct Telemetry
+    {
+        bool resumed = false;          ///< A prior journal was replayed.
+        std::size_t skippedRuns = 0;   ///< Jobs recovered, not re-run.
+        bool warmupReuse = false;      ///< Options::reuseWarmup was on.
+        std::uint64_t warmupHits = 0;  ///< Warm-up snapshot cache hits.
+        std::uint64_t warmupMisses = 0;///< ... and builds.
     };
 
     SweepRunner();
@@ -80,6 +106,9 @@ class SweepRunner
      * submission order and independent of the thread count.
      */
     std::vector<SweepOutcome> run(const std::vector<SweepJob> &jobs);
+
+    /** Telemetry of the most recent run() call. */
+    const Telemetry &telemetry() const { return telemetry_; }
 
     /** Worker threads a sweep of @p num_jobs jobs would use. */
     unsigned effectiveThreads(std::size_t num_jobs) const;
@@ -95,6 +124,7 @@ class SweepRunner
 
   private:
     Options options_;
+    Telemetry telemetry_;
 };
 
 } // namespace wsrs::runner

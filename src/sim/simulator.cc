@@ -9,13 +9,13 @@
 #include "src/bpred/simple_predictors.h"
 #include "src/bpred/tournament.h"
 #include "src/bpred/two_bc_gskew.h"
+#include "src/ckpt/io.h"
 #include "src/common/log.h"
 #include "src/obs/trace_sink.h"
+#include "src/sim/warmup.h"
 #include "src/workload/trace_generator.h"
 
 namespace wsrs::sim {
-
-namespace {
 
 std::unique_ptr<bpred::BranchPredictor>
 makePredictor(PredictorKind kind)
@@ -33,6 +33,77 @@ makePredictor(PredictorKind kind)
         return std::make_unique<bpred::PerfectPredictor>();
     }
     WSRS_PANIC("unhandled predictor kind");
+}
+
+namespace {
+
+/**
+ * Save a kind="full-sim" checkpoint: the trace source's cursor, the
+ * predictor, the memory hierarchy and the core's complete transient state,
+ * taken at a cycle boundary (between run() calls).
+ */
+void
+saveFullCheckpoint(const std::string &path, std::uint64_t meta_hash,
+                   const ckpt::Snapshotter &source_snap,
+                   const bpred::BranchPredictor &predictor,
+                   const memory::MemoryHierarchy &mem,
+                   const core::Core &machine)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os)
+        fatal("cannot open checkpoint file '%s' for writing", path.c_str());
+    ckpt::CheckpointWriter cw(os, path, ckpt::kKindFullSim, meta_hash);
+    {
+        ckpt::Writer w;
+        source_snap.snapshot(w);
+        cw.section("trace", w);
+    }
+    {
+        ckpt::Writer w;
+        predictor.snapshot(w);
+        cw.section("bpred", w);
+    }
+    {
+        ckpt::Writer w;
+        mem.snapshot(w);
+        cw.section("memory", w);
+    }
+    {
+        ckpt::Writer w;
+        machine.snapshot(w);
+        cw.section("core", w);
+    }
+    cw.finish();
+}
+
+/** Restore everything saveFullCheckpoint wrote, validating the meta-hash. */
+void
+loadFullCheckpoint(const std::string &path, std::uint64_t meta_hash,
+                   ckpt::Snapshotter &source_snap,
+                   bpred::BranchPredictor &predictor,
+                   memory::MemoryHierarchy &mem, core::Core &machine)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        fatal("cannot open checkpoint file '%s'", path.c_str());
+    ckpt::CheckpointReader cr(is, path);
+    cr.expect(ckpt::kKindFullSim, meta_hash);
+    {
+        ckpt::Reader r = cr.section("trace");
+        source_snap.restore(r);
+    }
+    {
+        ckpt::Reader r = cr.section("bpred");
+        predictor.restore(r);
+    }
+    {
+        ckpt::Reader r = cr.section("memory");
+        mem.restore(r);
+    }
+    {
+        ckpt::Reader r = cr.section("core");
+        machine.restore(r);
+    }
 }
 
 /** Parse a strictly-decimal environment value; fatal on malformed input. */
@@ -63,17 +134,17 @@ applyEnvOverrides(SimConfig config)
     return config;
 }
 
-SimResults
-runSimulation(const workload::BenchmarkProfile &profile,
-              const SimConfig &config)
-{
-    workload::TraceGenerator gen(profile, config.seed);
-    return runSimulation(profile, config, gen);
-}
+namespace {
 
+/**
+ * Shared simulation body. @p source_snap is the checkpointable view of
+ * @p source when one exists (the generator-backed overload); full-sim
+ * checkpoint save/load needs it to capture/restore the trace cursor.
+ */
 SimResults
-runSimulation(const workload::BenchmarkProfile &profile,
-              const SimConfig &config, workload::MicroOpSource &source)
+runSimulationImpl(const workload::BenchmarkProfile &profile,
+                  const SimConfig &config, workload::MicroOpSource &source,
+                  ckpt::Snapshotter *source_snap)
 {
     auto predictor = makePredictor(config.predictor);
     StatGroup stats(profile.name);
@@ -83,8 +154,43 @@ runSimulation(const workload::BenchmarkProfile &profile,
     cp.verifyDataflow = config.verifyDataflow;
     core::Core machine(cp, source, *predictor, mem);
 
-    if (config.warmupUops > 0)
+    // ---- warm-up phase: run it, restore it, or skip past it ----
+    if (!config.checkpointLoadPath.empty()) {
+        if (config.warmupBlob)
+            fatal("checkpointLoadPath and warmupBlob are mutually "
+                  "exclusive");
+        if (!source_snap)
+            fatal("full-sim checkpoints require a generator-backed trace "
+                  "source (runSimulation overload without an external "
+                  "MicroOpSource)");
+        loadFullCheckpoint(config.checkpointLoadPath,
+                           fullCheckpointMetaHash(profile, config),
+                           *source_snap, *predictor, mem, machine);
+    } else if (config.warmupBlob) {
+        if (config.verifyDataflow)
+            fatal("warm-up snapshot reuse cannot be combined with "
+                  "verifyDataflow: the commit-time oracle must observe the "
+                  "warm-up micro-ops it would skip");
+        restoreWarmupSnapshot(*config.warmupBlob, "<warmup-blob>", profile,
+                              config, mem, *predictor);
+        // The warmed state corresponds to the stream's first warmupUops
+        // micro-ops; fast-forward the source so the measured slice starts
+        // where a core-driven warm-up of that length would have it start.
+        for (std::uint64_t i = 0; i < config.warmupUops; ++i)
+            (void)source.next();
+    } else if (config.warmupUops > 0) {
         machine.run(config.warmupUops);
+    }
+
+    if (!config.checkpointSavePath.empty()) {
+        if (!source_snap)
+            fatal("full-sim checkpoints require a generator-backed trace "
+                  "source (runSimulation overload without an external "
+                  "MicroOpSource)");
+        saveFullCheckpoint(config.checkpointSavePath,
+                           fullCheckpointMetaHash(profile, config),
+                           *source_snap, *predictor, mem, machine);
+    }
 
     machine.resetStats();
     if (config.timelineRows > 0)
@@ -204,6 +310,23 @@ runSimulation(const workload::BenchmarkProfile &profile,
         r.statsJson = os.str();
     }
     return r;
+}
+
+} // namespace
+
+SimResults
+runSimulation(const workload::BenchmarkProfile &profile,
+              const SimConfig &config)
+{
+    workload::TraceGenerator gen(profile, config.seed);
+    return runSimulationImpl(profile, config, gen, &gen);
+}
+
+SimResults
+runSimulation(const workload::BenchmarkProfile &profile,
+              const SimConfig &config, workload::MicroOpSource &source)
+{
+    return runSimulationImpl(profile, config, source, nullptr);
 }
 
 } // namespace wsrs::sim

@@ -7,8 +7,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
+#include "src/bpred/predictor.h"
 #include "src/core/core.h"
 #include "src/core/params.h"
 #include "src/memory/hierarchy.h"
@@ -43,6 +45,23 @@ struct SimConfig
     std::string tracePipeBinPath;  ///< Compact binary trace.
     Cycle intervalStatsCycles = 0; ///< Interval sampler period (0 off).
     obs::StageProfiler *profiler = nullptr;  ///< Host-side stage timing.
+
+    // ---- checkpointing (see docs/checkpointing.md) ----
+    /** Write a kind="full-sim" checkpoint (trace cursor, predictor, memory
+     *  and full core transient state) at the warm-up/measure boundary,
+     *  then continue; the saving run's results are unperturbed. Requires
+     *  the generator-backed runSimulation overload. */
+    std::string checkpointSavePath;
+    /** Restore a kind="full-sim" checkpoint instead of warming up; the
+     *  measured slice is bit-identical to the run that saved it. The
+     *  configuration must match the saver's (enforced via meta-hash). */
+    std::string checkpointLoadPath;
+    /** In-memory kind="warmup" snapshot (see sim/warmup.h): restore the
+     *  warmed memory hierarchy and predictor from the blob and fast-forward
+     *  the micro-op source instead of running the core through warm-up.
+     *  Borrowed; must outlive the run. Incompatible with verifyDataflow
+     *  (the commit-time oracle cannot skip the warm-up dataflow). */
+    const std::string *warmupBlob = nullptr;
 };
 
 /** Results of a measured slice. */
@@ -82,5 +101,8 @@ SimResults runSimulation(const workload::BenchmarkProfile &profile,
  * (WSRS_MEASURE_UOPS / WSRS_WARMUP_UOPS), for quick bench runs.
  */
 SimConfig applyEnvOverrides(SimConfig config);
+
+/** Construct the branch predictor a SimConfig names. */
+std::unique_ptr<bpred::BranchPredictor> makePredictor(PredictorKind kind);
 
 } // namespace wsrs::sim

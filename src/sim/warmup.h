@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Warm-up snapshot construction and configuration hashing.
+ *
+ * A warm-up snapshot (checkpoint kind "warmup") captures the
+ * *machine-independent* warm state of a benchmark: the memory hierarchy and
+ * the branch predictor after the profile's first warmupUops micro-ops have
+ * streamed through them functionally (no core timing involved). Because the
+ * warmed state depends only on the trace and the memory/predictor
+ * configuration — never on the core preset — one snapshot per benchmark
+ * serves every machine configuration of a sweep, replacing N core-timed
+ * warm-up phases with one cheap functional pass (see runner::SweepRunner's
+ * reuseWarmup option and docs/checkpointing.md).
+ *
+ * The key/meta hashes here bind snapshots to the configuration slice that
+ * shaped them, so restoring against a mismatched profile, seed, warm-up
+ * length, memory geometry or predictor fails loudly up front.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/bpred/predictor.h"
+#include "src/memory/hierarchy.h"
+#include "src/sim/simulator.h"
+#include "src/workload/profile.h"
+
+namespace wsrs::sim {
+
+/**
+ * Cache key and meta-hash of a warm-up snapshot: covers everything that
+ * shapes the warmed state (profile knobs, trace seed, warm-up length,
+ * memory-hierarchy parameters, predictor kind) and deliberately excludes
+ * the core configuration — machine independence is the point of reuse.
+ */
+std::uint64_t warmupKeyHash(const workload::BenchmarkProfile &profile,
+                            const SimConfig &config);
+
+/**
+ * Meta-hash binding a full-simulation checkpoint (kind "full-sim") to its
+ * complete configuration, core preset included.
+ */
+std::uint64_t fullCheckpointMetaHash(
+    const workload::BenchmarkProfile &profile, const SimConfig &config);
+
+/**
+ * Build a warm-up snapshot blob for (profile, config): stream the first
+ * config.warmupUops micro-ops of TraceGenerator(profile, config.seed)
+ * through a fresh memory hierarchy and predictor, then serialize both into
+ * a kind="warmup" checkpoint container. Deterministic: identical inputs
+ * produce byte-identical blobs.
+ */
+std::string buildWarmupSnapshot(const workload::BenchmarkProfile &profile,
+                                const SimConfig &config);
+
+/**
+ * Restore @p mem and @p predictor from a blob produced by
+ * buildWarmupSnapshot under the same (profile, config) key; fatal on kind,
+ * hash or integrity mismatch. @p origin names the blob in diagnostics.
+ */
+void restoreWarmupSnapshot(const std::string &blob, const std::string &origin,
+                           const workload::BenchmarkProfile &profile,
+                           const SimConfig &config,
+                           memory::MemoryHierarchy &mem,
+                           bpred::BranchPredictor &predictor);
+
+} // namespace wsrs::sim

@@ -9,17 +9,20 @@
  */
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
+#include "src/ckpt/snapshotter.h"
 #include "src/isa/micro_op.h"
 #include "src/workload/dataflow.h"
 
 namespace wsrs::workload {
 
 /** Golden in-order executor over architectural register and memory state. */
-class OracleExecutor
+class OracleExecutor : public ckpt::Snapshotter
 {
   public:
     OracleExecutor()
@@ -63,6 +66,37 @@ class OracleExecutor
     {
         const auto it = mem_.find(a);
         return it != mem_.end() ? it->second : memInitValue(a);
+    }
+
+    void
+    snapshot(ckpt::Writer &w) const override
+    {
+        for (const std::uint64_t v : regs_)
+            w.u64(v);
+        // Sort the sparse memory image so snapshot bytes are deterministic
+        // regardless of the hash table's iteration order.
+        std::vector<std::pair<Addr, std::uint64_t>> img(mem_.begin(),
+                                                        mem_.end());
+        std::sort(img.begin(), img.end());
+        w.u64(img.size());
+        for (const auto &[a, v] : img) {
+            w.u64(a);
+            w.u64(v);
+        }
+    }
+
+    void
+    restore(ckpt::Reader &r) override
+    {
+        for (std::uint64_t &v : regs_)
+            v = r.u64();
+        mem_.clear();
+        const std::uint64_t n = r.u64();
+        mem_.reserve(n);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const Addr a = r.u64();
+            mem_[a] = r.u64();
+        }
     }
 
   private:

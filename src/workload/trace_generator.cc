@@ -455,4 +455,64 @@ TraceGenerator::next()
     return m;
 }
 
+void
+TraceGenerator::snapshot(ckpt::Writer &w) const
+{
+    // The restore target rebuilds the same static program from (profile,
+    // seed); the program size cross-checks that contract.
+    w.u64(program_.size());
+    w.u64(rng_.stateWord(0));
+    w.u64(rng_.stateWord(1));
+    w.u32(cursor_);
+    w.u64(seq_);
+    w.u64(branchState_.size());
+    for (const BranchState &st : branchState_)
+        w.u32(st.count);
+    w.u64(streams_.size());
+    for (const StreamState &st : streams_) {
+        w.u64(st.base);
+        w.u64(st.next);
+        w.u64(st.stride);
+    }
+    ckpt::writeVec(w, recentLoadAddrs_);
+    w.u64(recentLoadPos_);
+    ckpt::writeVec(w, recentStoreAddrs_);
+    w.u64(recentStorePos_);
+}
+
+void
+TraceGenerator::restore(ckpt::Reader &r)
+{
+    if (r.u64() != program_.size())
+        r.fail("trace generator static-program size mismatch (different "
+               "profile or seed)");
+    const std::uint64_t s0 = r.u64();
+    const std::uint64_t s1 = r.u64();
+    rng_.setState(s0, s1);
+    cursor_ = r.u32();
+    if (cursor_ >= program_.size())
+        r.fail("trace generator cursor out of range");
+    seq_ = r.u64();
+    if (r.u64() != branchState_.size())
+        r.fail("trace generator branch-state size mismatch");
+    for (BranchState &st : branchState_)
+        st.count = r.u32();
+    if (r.u64() != streams_.size())
+        r.fail("trace generator stream count mismatch");
+    for (StreamState &st : streams_) {
+        st.base = r.u64();
+        st.next = r.u64();
+        st.stride = r.u64();
+    }
+    ckpt::readVecExact(r, recentLoadAddrs_, recentLoadAddrs_.size(),
+                       "recent-load ring");
+    recentLoadPos_ = static_cast<std::size_t>(r.u64());
+    ckpt::readVecExact(r, recentStoreAddrs_, recentStoreAddrs_.size(),
+                       "recent-store ring");
+    recentStorePos_ = static_cast<std::size_t>(r.u64());
+    if (recentLoadPos_ >= recentLoadAddrs_.size() ||
+        recentStorePos_ >= recentStoreAddrs_.size())
+        r.fail("trace generator alias-ring cursor out of range");
+}
+
 } // namespace wsrs::workload

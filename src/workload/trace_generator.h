@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/ckpt/snapshotter.h"
 #include "src/common/rng.h"
 #include "src/common/types.h"
 #include "src/isa/micro_op.h"
@@ -74,7 +75,7 @@ struct StaticOp
  * bit-identical streams, so the oracle and any number of simulated machines
  * can each own an independent generator over the same trace.
  */
-class TraceGenerator : public MicroOpSource
+class TraceGenerator : public MicroOpSource, public ckpt::Snapshotter
 {
   public:
     /**
@@ -94,6 +95,15 @@ class TraceGenerator : public MicroOpSource
 
     /** Number of dynamic micro-ops produced so far. */
     SeqNum produced() const { return seq_; }
+
+    /**
+     * Checkpoint the dynamic walk (cursor, per-site branch state, stream
+     * bases, alias rings, RNG). The static program is rebuilt by the
+     * constructor, so the restore target must be constructed from the same
+     * profile and seed; the program size is validated.
+     */
+    void snapshot(ckpt::Writer &w) const override;
+    void restore(ckpt::Reader &r) override;
 
   private:
     void buildProgram();

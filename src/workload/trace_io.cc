@@ -47,14 +47,18 @@ encodeRecord(const isa::MicroOp &op)
 }
 
 isa::MicroOp
-decodeRecord(const std::array<std::uint8_t, kRecordBytes> &rec)
+decodeRecord(const std::array<std::uint8_t, kRecordBytes> &rec,
+             const std::string &path, std::uint64_t byte_offset)
 {
     isa::MicroOp op;
     op.pc = decodeU64(&rec[0]);
     op.effAddr = decodeU64(&rec[8]);
     op.target = decodeU64(&rec[16]);
     if (rec[24] >= isa::kNumOpClasses)
-        fatal("trace record has invalid op class %u", rec[24]);
+        fatal("trace file '%s' is corrupt: invalid op class %u at byte "
+              "offset %llu",
+              path.c_str(), rec[24],
+              static_cast<unsigned long long>(byte_offset + 24));
     op.op = static_cast<isa::OpClass>(rec[24]);
     op.src1 = rec[25];
     op.src2 = rec[26];
@@ -113,6 +117,19 @@ TraceReader::TraceReader(const std::string &path, bool wrap)
 {
     if (!in_)
         fatal("cannot open trace file '%s'", path.c_str());
+
+    // Size the file up front so truncation is reported as an explicit
+    // error (with the offending byte offset) instead of a short read
+    // surfacing later, mid-simulation.
+    in_.seekg(0, std::ios::end);
+    const auto fileSize = static_cast<std::uint64_t>(in_.tellg());
+    in_.seekg(0);
+
+    if (fileSize < kHeaderBytes)
+        fatal("trace file '%s' is truncated: %llu bytes, need %zu for the "
+              "header",
+              path.c_str(), static_cast<unsigned long long>(fileSize),
+              kHeaderBytes);
     std::uint8_t header[kHeaderBytes];
     in_.read(reinterpret_cast<char *>(header), kHeaderBytes);
     if (!in_ || std::memcmp(header, kMagic, sizeof(kMagic)) != 0)
@@ -120,6 +137,19 @@ TraceReader::TraceReader(const std::string &path, bool wrap)
     count_ = decodeU64(header + 8);
     if (count_ == 0)
         fatal("trace file '%s' contains no records", path.c_str());
+
+    const std::uint64_t need = kHeaderBytes + count_ * kRecordBytes;
+    if (fileSize < need)
+        fatal("trace file '%s' is truncated: header declares %llu records "
+              "(%llu bytes) but the file ends at byte offset %llu",
+              path.c_str(), static_cast<unsigned long long>(count_),
+              static_cast<unsigned long long>(need),
+              static_cast<unsigned long long>(fileSize));
+    if (fileSize > need)
+        fatal("trace file '%s' is corrupt: %llu trailing bytes after the "
+              "last record (record region ends at byte offset %llu)",
+              path.c_str(), static_cast<unsigned long long>(fileSize - need),
+              static_cast<unsigned long long>(need));
 }
 
 isa::MicroOp
@@ -136,9 +166,14 @@ TraceReader::next()
     std::array<std::uint8_t, kRecordBytes> rec;
     in_.read(reinterpret_cast<char *>(rec.data()), rec.size());
     if (!in_)
-        fatal("error reading trace file '%s'", path_.c_str());
+        fatal("error reading trace file '%s': record %llu at byte offset "
+              "%llu is unreadable (truncated or I/O error)",
+              path_.c_str(), static_cast<unsigned long long>(cursor_),
+              static_cast<unsigned long long>(kHeaderBytes +
+                                              cursor_ * kRecordBytes));
     ++cursor_;
-    isa::MicroOp op = decodeRecord(rec);
+    isa::MicroOp op =
+        decodeRecord(rec, path_, kHeaderBytes + (cursor_ - 1) * kRecordBytes);
     op.seq = produced_++;
     return op;
 }

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Golden end-to-end checkpoint tests: save at the warm-up/measure boundary,
+ * restore into a fresh simulation, and require the measured slice to be
+ * bit-identical — cycles and the full wsrs-stats-v1 document — to an
+ * uninterrupted run. This is the determinism contract the crash-resume and
+ * warm-up-reuse features stand on.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "src/common/log.h"
+#include "src/sim/presets.h"
+#include "src/sim/simulator.h"
+#include "src/sim/warmup.h"
+#include "src/workload/profiles.h"
+
+namespace wsrs::sim {
+namespace {
+
+struct TempFile
+{
+    TempFile()
+    {
+        path = (std::filesystem::temp_directory_path() /
+                ("wsrs_ckpt_" + std::to_string(::getpid()) + "_" +
+                 std::to_string(counter++) + ".ckpt"))
+                   .string();
+    }
+    ~TempFile() { std::remove(path.c_str()); }
+    static inline int counter = 0;
+    std::string path;
+};
+
+SimConfig
+smallConfig(const std::string &machine, bool verify = false)
+{
+    SimConfig cfg;
+    cfg.core = findPreset(machine);
+    cfg.warmupUops = 8000;
+    cfg.measureUops = 15000;
+    cfg.verifyDataflow = verify;
+    return cfg;
+}
+
+class GoldenCheckpoint
+    : public ::testing::TestWithParam<std::tuple<const char *, const char *>>
+{
+};
+
+TEST_P(GoldenCheckpoint, SaveRestoreContinueIsBitIdentical)
+{
+    const auto [bench, machine] = GetParam();
+    const workload::BenchmarkProfile &profile =
+        workload::findProfile(bench);
+    const SimConfig cfg = smallConfig(machine);
+
+    const SimResults clean = runSimulation(profile, cfg);
+
+    // Saving must not perturb the saving run.
+    TempFile ckpt;
+    SimConfig save = cfg;
+    save.checkpointSavePath = ckpt.path;
+    const SimResults saved = runSimulation(profile, save);
+    EXPECT_EQ(saved.stats.cycles, clean.stats.cycles);
+    EXPECT_EQ(saved.statsJson, clean.statsJson);
+
+    // A fresh simulation restored from the checkpoint continues exactly
+    // where the saver was: bit-identical measured slice.
+    SimConfig load = cfg;
+    load.checkpointLoadPath = ckpt.path;
+    const SimResults restored = runSimulation(profile, load);
+    EXPECT_EQ(restored.stats.cycles, clean.stats.cycles);
+    EXPECT_EQ(restored.stats.committed, clean.stats.committed);
+    EXPECT_EQ(restored.statsJson, clean.statsJson);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProfilesTimesMachines, GoldenCheckpoint,
+    ::testing::Combine(::testing::Values("gzip", "swim"),
+                       ::testing::Values("WSRS-RC-512", "RR-256")),
+    [](const auto &info) {
+        std::string name = std::string(std::get<0>(info.param)) + "_" +
+                           std::get<1>(info.param);
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+TEST(CheckpointGolden, VerifyDataflowSurvivesRestore)
+{
+    // With the oracle enabled the checkpoint also carries the in-order
+    // architectural state; a desync would trip valueMismatches.
+    const workload::BenchmarkProfile &profile = workload::findProfile("gcc");
+    const SimConfig cfg = smallConfig("WSRS-RC-512", /*verify=*/true);
+    const SimResults clean = runSimulation(profile, cfg);
+
+    TempFile ckpt;
+    SimConfig save = cfg;
+    save.checkpointSavePath = ckpt.path;
+    (void)runSimulation(profile, save);
+
+    SimConfig load = cfg;
+    load.checkpointLoadPath = ckpt.path;
+    const SimResults restored = runSimulation(profile, load);
+    EXPECT_EQ(restored.stats.valueMismatches, 0u);
+    EXPECT_EQ(restored.statsJson, clean.statsJson);
+}
+
+TEST(CheckpointGolden, RejectsMismatchedConfiguration)
+{
+    const workload::BenchmarkProfile &profile =
+        workload::findProfile("gzip");
+    TempFile ckpt;
+    SimConfig save = smallConfig("WSRS-RC-512");
+    save.checkpointSavePath = ckpt.path;
+    (void)runSimulation(profile, save);
+
+    // Different machine preset.
+    SimConfig wrongMachine = smallConfig("RR-256");
+    wrongMachine.checkpointLoadPath = ckpt.path;
+    EXPECT_THROW(runSimulation(profile, wrongMachine), FatalError);
+
+    // Different warm-up length.
+    SimConfig wrongWarmup = smallConfig("WSRS-RC-512");
+    wrongWarmup.warmupUops = 9000;
+    wrongWarmup.checkpointLoadPath = ckpt.path;
+    EXPECT_THROW(runSimulation(profile, wrongWarmup), FatalError);
+
+    // Different benchmark.
+    SimConfig cfg = smallConfig("WSRS-RC-512");
+    cfg.checkpointLoadPath = ckpt.path;
+    EXPECT_THROW(runSimulation(workload::findProfile("swim"), cfg),
+                 FatalError);
+}
+
+TEST(CheckpointGolden, MissingFileFailsCleanly)
+{
+    SimConfig cfg = smallConfig("RR-256");
+    cfg.checkpointLoadPath = "/nonexistent/dir/x.ckpt";
+    EXPECT_THROW(runSimulation(workload::findProfile("gzip"), cfg),
+                 FatalError);
+}
+
+TEST(WarmupSnapshot, ReuseIsDeterministicAcrossBuilds)
+{
+    const workload::BenchmarkProfile &profile =
+        workload::findProfile("vpr");
+    const SimConfig cfg = smallConfig("WSRS-RC-512");
+
+    const std::string blob1 = buildWarmupSnapshot(profile, cfg);
+    const std::string blob2 = buildWarmupSnapshot(profile, cfg);
+    EXPECT_EQ(blob1, blob2) << "warm-up build is not deterministic";
+
+    SimConfig reuse = cfg;
+    reuse.warmupBlob = &blob1;
+    const SimResults a = runSimulation(profile, reuse);
+    const SimResults b = runSimulation(profile, reuse);
+    EXPECT_EQ(a.statsJson, b.statsJson);
+    EXPECT_GT(a.stats.committed, 0u);
+}
+
+TEST(WarmupSnapshot, KeyCoversConfigurationSlice)
+{
+    const workload::BenchmarkProfile &profile =
+        workload::findProfile("vpr");
+    const SimConfig base = smallConfig("WSRS-RC-512");
+    const std::uint64_t k0 = warmupKeyHash(profile, base);
+
+    SimConfig other = base;
+    other.warmupUops += 1;
+    EXPECT_NE(warmupKeyHash(profile, other), k0);
+    other = base;
+    other.seed = 99;
+    EXPECT_NE(warmupKeyHash(profile, other), k0);
+    other = base;
+    other.predictor = PredictorKind::Gshare;
+    EXPECT_NE(warmupKeyHash(profile, other), k0);
+    other = base;
+    other.mem.l1.sizeBytes *= 2;
+    EXPECT_NE(warmupKeyHash(profile, other), k0);
+    // The core preset is deliberately NOT part of the key: machine
+    // independence is what makes one snapshot serve the whole sweep.
+    other = base;
+    other.core = findPreset("RR-256");
+    EXPECT_EQ(warmupKeyHash(profile, other), k0);
+
+    // A mismatched key is refused at restore time.
+    const std::string blob = buildWarmupSnapshot(profile, base);
+    SimConfig wrong = base;
+    wrong.warmupUops = 4000;
+    wrong.warmupBlob = &blob;
+    EXPECT_THROW(runSimulation(profile, wrong), FatalError);
+}
+
+TEST(WarmupSnapshot, IncompatibleWithVerifyDataflow)
+{
+    const workload::BenchmarkProfile &profile =
+        workload::findProfile("gzip");
+    const SimConfig cfg = smallConfig("WSRS-RC-512");
+    const std::string blob = buildWarmupSnapshot(profile, cfg);
+    SimConfig bad = cfg;
+    bad.verifyDataflow = true;
+    bad.warmupBlob = &blob;
+    EXPECT_THROW(runSimulation(profile, bad), FatalError);
+}
+
+} // namespace
+} // namespace wsrs::sim

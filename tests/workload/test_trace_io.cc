@@ -113,6 +113,99 @@ TEST(TraceIo, RejectsMissingAndCorruptFiles)
     EXPECT_THROW(TraceReader r(tmp.path), FatalError);
 }
 
+/** Build a valid 5-record trace file at @p path and return its bytes. */
+std::string
+writeSmallTrace(const std::string &path)
+{
+    TraceGenerator gen(findProfile("gzip"));
+    TraceWriter writer(path);
+    for (int i = 0; i < 5; ++i)
+        writer.append(gen.next());
+    writer.close();
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+std::string
+messageFrom(const std::string &path)
+{
+    try {
+        TraceReader r(path);
+    } catch (const FatalError &e) {
+        return e.what();
+    }
+    ADD_FAILURE() << "expected TraceReader to reject '" << path << "'";
+    return "";
+}
+
+TEST(TraceIo, TruncatedHeaderReportsByteCounts)
+{
+    TempFile tmp;
+    const std::string bytes = writeSmallTrace(tmp.path);
+    {
+        std::ofstream out(tmp.path, std::ios::binary | std::ios::trunc);
+        out << bytes.substr(0, 10);
+    }
+    const std::string msg = messageFrom(tmp.path);
+    EXPECT_NE(msg.find("truncated"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("10 bytes"), std::string::npos) << msg;
+}
+
+TEST(TraceIo, TruncatedRecordRegionReportsOffsets)
+{
+    // Header (16 bytes) declares 5 records (5*30 bytes): the record region
+    // should end at byte offset 166. Chop the file at byte 100.
+    TempFile tmp;
+    const std::string bytes = writeSmallTrace(tmp.path);
+    ASSERT_EQ(bytes.size(), 166u);
+    {
+        std::ofstream out(tmp.path, std::ios::binary | std::ios::trunc);
+        out << bytes.substr(0, 100);
+    }
+    const std::string msg = messageFrom(tmp.path);
+    EXPECT_NE(msg.find("truncated"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("declares 5 records"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("166"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("100"), std::string::npos) << msg;
+}
+
+TEST(TraceIo, TrailingGarbageReportsWhereRecordsEnd)
+{
+    TempFile tmp;
+    writeSmallTrace(tmp.path);
+    {
+        std::ofstream out(tmp.path, std::ios::binary | std::ios::app);
+        out << "garbage";
+    }
+    const std::string msg = messageFrom(tmp.path);
+    EXPECT_NE(msg.find("7 trailing bytes"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("166"), std::string::npos) << msg;
+}
+
+TEST(TraceIo, InvalidOpClassReportsExactByteOffset)
+{
+    // Corrupt the op-class byte of record 3: header + 3 records + 24.
+    TempFile tmp;
+    std::string bytes = writeSmallTrace(tmp.path);
+    const std::size_t off = 16 + 3 * 30 + 24;
+    bytes[off] = static_cast<char>(0xee);
+    {
+        std::ofstream out(tmp.path, std::ios::binary | std::ios::trunc);
+        out << bytes;
+    }
+    TraceReader reader(tmp.path);
+    for (int i = 0; i < 3; ++i)
+        (void)reader.next();
+    try {
+        (void)reader.next();
+        FAIL() << "expected FatalError for invalid op class";
+    } catch (const FatalError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("invalid op class"), std::string::npos) << msg;
+        EXPECT_NE(msg.find(std::to_string(off)), std::string::npos) << msg;
+    }
+}
+
 TEST(TraceIo, RecordedTraceDrivesTheCoreIdentically)
 {
     // Simulating from a recorded trace must give cycle-identical results

@@ -189,6 +189,21 @@ main(int argc, char **argv)
     args.addOption("interval-stats",
                    "sample {cycle, committed, occupancy} every N cycles "
                    "into the stats JSON");
+    args.addOption("ckpt-save",
+                   "write a full-sim checkpoint to FILE at the "
+                   "warm-up/measure boundary (single run only)");
+    args.addOption("ckpt-load",
+                   "restore a full-sim checkpoint from FILE instead of "
+                   "warming up (single run only; config must match)");
+    args.addOption("reuse-warmup",
+                   "with --all: warm each benchmark once (functional "
+                   "warm-up snapshot) and reuse it for every machine", true);
+    args.addOption("resume-journal",
+                   "with --all: journal each completed run to FILE so a "
+                   "killed sweep can be resumed");
+    args.addOption("resume",
+                   "with --all and --resume-journal: skip runs already "
+                   "recorded in the journal", true);
     args.addOption("help", "show this help", true);
 
     try {
@@ -242,6 +257,12 @@ main(int argc, char **argv)
             if (args.has("trace-pipe") || args.has("trace-pipe-bin"))
                 fatal("--trace-pipe traces a single run; combine it with "
                       "--bench/--machine, not --all");
+            if (args.has("ckpt-save") || args.has("ckpt-load"))
+                fatal("--ckpt-save/--ckpt-load checkpoint a single run; "
+                      "for sweeps use --reuse-warmup and --resume-journal");
+            if (args.has("resume") && !args.has("resume-journal"))
+                fatal("--resume needs --resume-journal=FILE to know which "
+                      "journal to resume from");
             // The full matrix runs on the sweep runner: one job per
             // {benchmark, machine}, per-profile trace recorded once and
             // replayed for all machines, results streamed in submission
@@ -258,6 +279,9 @@ main(int argc, char **argv)
             runner::SweepRunner::Options opt;
             opt.threads = unsigned(args.getUint("jobs", 0));
             opt.shareTraces = !args.has("no-trace-cache");
+            opt.reuseWarmup = args.has("reuse-warmup");
+            opt.journalPath = args.get("resume-journal", "");
+            opt.resume = args.has("resume");
             opt.onEvent = [&](const runner::SweepEvent &ev) {
                 slots[ev.index] = ev.outcome;
                 while (nextToPrint < slots.size() && slots[nextToPrint]) {
@@ -280,18 +304,21 @@ main(int argc, char **argv)
                 }
                 std::fflush(stdout);
             };
-            const auto outcomes = runner::SweepRunner(opt).run(jobs);
+            runner::SweepRunner sweep(opt);
+            const auto outcomes = sweep.run(jobs);
             if (args.has("stats-json")) {
                 const std::string path = args.get("stats-json");
                 if (path == "-") {
                     std::ostringstream os;
-                    runner::writeSweepReport(os, jobs, outcomes);
+                    runner::writeSweepReport(os, jobs, outcomes,
+                                             sweep.telemetry());
                     std::printf("%s\n", os.str().c_str());
                 } else {
                     std::ofstream os(path);
                     if (!os)
                         fatal("cannot open stats file '%s'", path.c_str());
-                    runner::writeSweepReport(os, jobs, outcomes);
+                    runner::writeSweepReport(os, jobs, outcomes,
+                                             sweep.telemetry());
                     os << "\n";
                 }
             }
@@ -306,6 +333,8 @@ main(int argc, char **argv)
         sim::SimConfig cfg = configure(machine);
         cfg.tracePipePath = args.get("trace-pipe", "");
         cfg.tracePipeBinPath = args.get("trace-pipe-bin", "");
+        cfg.checkpointSavePath = args.get("ckpt-save", "");
+        cfg.checkpointLoadPath = args.get("ckpt-load", "");
         const sim::SimResults r =
             sim::runSimulation(workload::findProfile(bench), cfg);
         if (args.has("stats-json"))
