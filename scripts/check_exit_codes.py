@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Prove wsrs-sim's documented exit codes stay distinct.
+
+Usage: check_exit_codes.py /path/to/wsrs-sim
+
+The CLI contract (docs/sweep_service.md):
+
+  0  success
+  1  configuration error (bad flag value, unknown benchmark/machine,
+     unsupported transport scheme)
+  2  I/O or corruption error (unreadable/damaged checkpoint or socket)
+  3  journal/sweep binding mismatch (a journal or checkpoint that
+     belongs to a different sweep or machine configuration)
+  4  sweep completed but some jobs failed
+  75 daemon admission-queue backpressure (EX_TEMPFAIL, --request only;
+     covered by serve_smoke_test.py)
+
+Every probe below must hit its exact code — a collapse of two classes
+into one (e.g. everything exiting 1) is a regression in scriptability.
+Exit status 0 on success. Used by the `svc` labelled ctest.
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+
+TINY = ["--uops=2000", "--warmup=500"]
+
+
+def probe(name, cmd, want):
+    r = subprocess.run(cmd, stdout=subprocess.DEVNULL,
+                       stderr=subprocess.PIPE, text=True)
+    if r.returncode != want:
+        sys.exit(f"FAIL {name}: exit {r.returncode}, expected {want}\n"
+                 f"  cmd: {' '.join(cmd)}\n  stderr: {r.stderr.strip()}")
+    print(f"ok: {name} -> {want}")
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(__doc__)
+    binary = sys.argv[1]
+
+    with tempfile.TemporaryDirectory(prefix="wsrs_exit_") as tmp:
+        probe("clean run exits 0",
+              [binary, "--bench=gzip", "--machine=RR-256", *TINY], 0)
+
+        # Class 1: configuration errors.
+        probe("unknown machine is a config error",
+              [binary, "--bench=gzip", "--machine=NO-SUCH", *TINY], 1)
+        probe("unknown benchmark is a config error",
+              [binary, "--bench=nonesuch", "--machine=RR-256", *TINY], 1)
+        probe("unsupported transport scheme is a config error",
+              [binary, "--all", *TINY, "--coordinator=tcp://1.2.3.4:1"],
+              1)
+
+        # Class 2: I/O / corruption errors.
+        garbage = os.path.join(tmp, "garbage.ckpt")
+        with open(garbage, "wb") as f:
+            f.write(b"not a checkpoint container at all")
+        probe("corrupt checkpoint is an I/O error",
+              [binary, "--bench=gzip", "--machine=RR-256", *TINY,
+               f"--ckpt-load={garbage}"], 2)
+        probe("missing checkpoint is an I/O error",
+              [binary, "--bench=gzip", "--machine=RR-256", *TINY,
+               f"--ckpt-load={os.path.join(tmp, 'absent.ckpt')}"], 2)
+
+        # Class 3: journal bound to a different sweep.
+        journal = os.path.join(tmp, "sweep.journal")
+        subprocess.run([binary, "--all", *TINY,
+                        f"--resume-journal={journal}"],
+                       check=True, stdout=subprocess.DEVNULL)
+        probe("resuming another sweep's journal is a mismatch error",
+              [binary, "--all", *TINY, "--seed=99",
+               f"--resume-journal={journal}", "--resume"], 3)
+
+    print("all exit codes distinct and as documented")
+
+
+if __name__ == "__main__":
+    main()

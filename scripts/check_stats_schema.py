@@ -17,10 +17,14 @@ and then structurally checked:
   - interval samples are monotone in cycle and respect the period;
   - sweep reports carry well-formed resume metadata (resumed flag,
     skipped_runs bounded by the job count) and warm-up checkpoint cache
-    counters (wsrs-ckpt warm-up reuse).
+    counters (wsrs-ckpt warm-up reuse);
+  - sweep reports merged by a coordinator carry a complete `svc` object
+    (sharding/lease/worker counters plus the worker liveness array);
+  - wsrs-svc-status-v1 daemon status replies and wsrs-svc-frames-v1
+    frame logs (wsrs-sim --serve) are structurally sound.
 
 Exit status is non-zero on the first file that fails; used by the `obs`
-labelled ctest.
+and `svc` labelled ctests.
 """
 
 import json
@@ -128,6 +132,97 @@ def check_resume_metadata(doc, where):
                f"{where}.ckpt: warmup cache traffic without warmup_reuse")
 
 
+SVC_COUNTER_KEYS = (
+    "shards", "shard_size", "leases_granted", "lease_retries",
+    "lease_timeouts", "shards_failed", "duplicate_results",
+    "workers_seen", "workers_lost", "requests_admitted",
+    "requests_completed", "requests_failed", "backpressure_rejects")
+
+
+def check_svc_object(svc, where, total_jobs=None):
+    """Validate the sweep-service counter object (report or status)."""
+    expect(isinstance(svc, dict), f"{where}: must be an object")
+    for key in SVC_COUNTER_KEYS:
+        expect(isinstance(svc.get(key), int) and svc[key] >= 0,
+               f"{where}: '{key}' must be a non-negative int")
+    expect(svc["shards_failed"] <= svc["shards"],
+           f"{where}: shards_failed {svc['shards_failed']} exceeds "
+           f"shards {svc['shards']}")
+    expect(svc["workers_lost"] <= svc["workers_seen"],
+           f"{where}: workers_lost {svc['workers_lost']} exceeds "
+           f"workers_seen {svc['workers_seen']}")
+    expect(svc["requests_completed"] <= svc["requests_admitted"],
+           f"{where}: requests_completed exceeds requests_admitted")
+    workers = svc["workers"]
+    expect(isinstance(workers, list), f"{where}: 'workers' must be a list")
+    done = 0
+    for i, w in enumerate(workers):
+        for key in ("id", "pid", "jobs_done"):
+            expect(isinstance(w.get(key), int),
+                   f"{where}.workers[{i}]: '{key}' must be an int")
+        expect(isinstance(w.get("alive"), bool),
+               f"{where}.workers[{i}]: 'alive' must be a bool")
+        done += w["jobs_done"]
+    if total_jobs is not None and workers:
+        expect(done <= total_jobs,
+               f"{where}: workers report {done} jobs done for a "
+               f"{total_jobs}-job sweep")
+
+
+def check_status_doc(doc, where):
+    """Validate a wsrs-svc-status-v1 daemon status reply."""
+    for key in ("endpoint", "queue_depth", "executors", "queued",
+                "running", "svc", "requests"):
+        expect(key in doc, f"{where}: missing '{key}'")
+    expect(isinstance(doc["endpoint"], str) and doc["endpoint"],
+           f"{where}: 'endpoint' must be a non-empty string")
+    for key in ("queue_depth", "executors", "queued", "running"):
+        expect(isinstance(doc[key], int) and doc[key] >= 0,
+               f"{where}: '{key}' must be a non-negative int")
+    expect(doc["queued"] <= doc["queue_depth"],
+           f"{where}: queued {doc['queued']} exceeds queue_depth "
+           f"{doc['queue_depth']}")
+    check_svc_object(doc["svc"], f"{where}.svc")
+    states = {"queued", "running", "done", "failed"}
+    for i, r in enumerate(doc["requests"]):
+        rwhere = f"{where}.requests[{i}]"
+        for key in ("id", "jobs_total", "jobs_done"):
+            expect(isinstance(r.get(key), int) and r[key] >= 0,
+                   f"{rwhere}: '{key}' must be a non-negative int")
+        expect(r.get("state") in states,
+               f"{rwhere}: state {r.get('state')!r} not in {states}")
+        expect(r["jobs_done"] <= r["jobs_total"],
+               f"{rwhere}: jobs_done {r['jobs_done']} exceeds "
+               f"jobs_total {r['jobs_total']}")
+        if r["state"] == "done":
+            expect(r["jobs_done"] == r["jobs_total"],
+                   f"{rwhere}: done with {r['jobs_done']}/"
+                   f"{r['jobs_total']} jobs")
+    return len(doc["requests"])
+
+
+def check_frames_doc(doc, where):
+    """Validate a wsrs-svc-frames-v1 serve-protocol frame log."""
+    dropped = doc.get("dropped_frames")
+    expect(isinstance(dropped, int) and dropped >= 0,
+           f"{where}: 'dropped_frames' must be a non-negative int")
+    frames = doc["frames"]
+    expect(isinstance(frames, list), f"{where}: 'frames' must be a list")
+    for i, f in enumerate(frames):
+        fwhere = f"{where}.frames[{i}]"
+        expect(f.get("dir") in ("rx", "tx"),
+               f"{fwhere}: dir {f.get('dir')!r} must be 'rx' or 'tx'")
+        expect(isinstance(f.get("type"), str) and f["type"],
+               f"{fwhere}: 'type' must be a non-empty string")
+        expect(isinstance(f.get("payload_bytes"), int)
+               and f["payload_bytes"] >= 0,
+               f"{fwhere}: 'payload_bytes' must be a non-negative int")
+        expect("body" in f, f"{fwhere}: missing 'body'")
+        expect(f["body"] is None or isinstance(f["body"], (dict, list)),
+               f"{fwhere}: 'body' must be embedded JSON or null")
+    return len(frames)
+
+
 def check_sweep_report(doc, where):
     expect(doc.get("schema") == "wsrs-sweep-report-v1",
            f"{where}: schema is {doc.get('schema')!r}")
@@ -148,6 +243,8 @@ def check_sweep_report(doc, where):
             failed += 1
     expect(summary["failed"] == failed,
            f"{where}: summary.failed {summary['failed']} != {failed}")
+    if "svc" in doc:
+        check_svc_object(doc["svc"], f"{where}.svc", len(jobs))
     return len(jobs)
 
 
@@ -158,6 +255,12 @@ def check_file(path):
     if schema == "wsrs-sweep-report-v1":
         n = check_sweep_report(doc, path)
         print(f"{path}: ok (sweep report, {n} jobs)")
+    elif schema == "wsrs-svc-status-v1":
+        n = check_status_doc(doc, path)
+        print(f"{path}: ok (daemon status, {n} requests)")
+    elif schema == "wsrs-svc-frames-v1":
+        n = check_frames_doc(doc, path)
+        print(f"{path}: ok (frame log, {n} frames)")
     else:
         check_stats_doc(doc, path)
         print(f"{path}: ok (single-run stats, "

@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""SIGKILL distributed sweep workers (and the coordinator) mid-flight.
+
+Usage: kill_worker_test.py /path/to/wsrs-sim
+
+Three sweeps over the same job matrix:
+
+  1. clean:       single-process reference run;
+  2. worker-kill: coordinator with 3 self-spawned workers sharing a
+                  warm-up cache directory; two workers are SIGKILLed
+                  while the journal shows the sweep in flight. The
+                  coordinator must re-lease their shards and the merged
+                  report must equal the clean run;
+  3. coord-kill:  a journalled distributed sweep whose *coordinator* is
+                  SIGKILLed mid-flight, then re-run with --resume and
+                  fresh workers. The journal is the work queue: the
+                  resumed report must again equal the clean run.
+
+"Equal" means the jobs array and summary compare byte for byte after a
+canonical json.dumps — per-job stats documents included — so losing a
+worker (or the coordinator) is observationally indistinguishable from
+never losing one. The checks tolerate the lucky race where a victim
+finishes before the kill lands; what they never tolerate is a report
+mismatch. Exit status 0 on success. Used by the `svc` labelled ctest.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+# 12 profiles x 6 machines: enough jobs for a mid-sweep kill window,
+# small enough to finish in seconds.
+SWEEP_ARGS = ["--all", "--uops=20000", "--warmup=5000", "--reuse-warmup"]
+JOURNAL_HEADER_BYTES = 28
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def canonical(report):
+    """The byte-identity surface: per-job results plus the summary."""
+    return (json.dumps(report["jobs"], sort_keys=True),
+            json.dumps(report["summary"], sort_keys=True))
+
+
+def children_of(pid):
+    try:
+        with open(f"/proc/{pid}/task/{pid}/children") as f:
+            return [int(tok) for tok in f.read().split()]
+    except OSError:
+        return []
+
+
+def wait_for_progress(proc, journal, deadline_s=120):
+    """Block until the journal holds a committed record (or proc exits)."""
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            return False
+        try:
+            if os.path.getsize(journal) > JOURNAL_HEADER_BYTES:
+                return True
+        except OSError:
+            pass
+        time.sleep(0.005)
+    raise TimeoutError(f"no journal progress in {deadline_s}s")
+
+
+def distributed_cmd(binary, tmp, tag, journal, resume=False):
+    cmd = [binary, *SWEEP_ARGS,
+           f"--coordinator=unix:{os.path.join(tmp, tag + '.sock')}",
+           "--workers=3", "--shard-size=4",
+           f"--warmup-cache-dir={os.path.join(tmp, 'warmup')}",
+           f"--resume-journal={journal}",
+           f"--stats-json={os.path.join(tmp, tag + '.json')}"]
+    if resume:
+        cmd.append("--resume")
+    return cmd
+
+
+def worker_kill_run(binary, tmp):
+    journal = os.path.join(tmp, "workers.journal")
+    proc = subprocess.Popen(distributed_cmd(binary, tmp, "workers", journal),
+                            stdout=subprocess.DEVNULL,
+                            stderr=subprocess.DEVNULL)
+    killed = 0
+    if wait_for_progress(proc, journal):
+        # Two staggered kills, so the coordinator re-leases twice while
+        # the surviving worker keeps the sweep moving.
+        for _ in range(2):
+            kids = children_of(proc.pid)
+            if not kids:
+                break
+            os.kill(kids[0], signal.SIGKILL)
+            killed += 1
+            time.sleep(0.05)
+    rc = proc.wait()
+    if rc != 0:
+        sys.exit(f"FAIL: coordinator exited {rc} after worker kills")
+    report = load(os.path.join(tmp, "workers.json"))
+    svc = report["svc"]
+    print(f"worker-kill: killed {killed} workers; "
+          f"workers_seen={svc['workers_seen']} "
+          f"workers_lost={svc['workers_lost']} "
+          f"lease_retries={svc['lease_retries']}")
+    return report
+
+
+def coordinator_kill_run(binary, tmp):
+    journal = os.path.join(tmp, "coord.journal")
+    proc = subprocess.Popen(distributed_cmd(binary, tmp, "coord", journal),
+                            stdout=subprocess.DEVNULL,
+                            stderr=subprocess.DEVNULL)
+    progressed = wait_for_progress(proc, journal)
+    if progressed:
+        os.kill(proc.pid, signal.SIGKILL)
+    proc.wait()
+    if not progressed:
+        print("note: sweep finished before the coordinator kill; "
+              "resume will skip every job")
+    # Orphaned workers die on coordinator EOF; give them a beat so the
+    # resumed coordinator can rebind a quiet socket path.
+    time.sleep(0.2)
+
+    subprocess.run(distributed_cmd(binary, tmp, "coord2", journal,
+                                   resume=True),
+                   check=True, stdout=subprocess.DEVNULL)
+    report = load(os.path.join(tmp, "coord2.json"))
+    if not report["resume"]["resumed"]:
+        sys.exit("FAIL: resumed report lacks resumed=true")
+    skipped = report["resume"]["skipped_runs"]
+    total = report["summary"]["total"]
+    if not 0 < skipped <= total:
+        sys.exit(f"FAIL: implausible skipped_runs={skipped} "
+                 f"(total={total})")
+    print(f"coord-kill: resume recovered {skipped}/{total} jobs "
+          "from the journal")
+    return report
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(__doc__)
+    binary = sys.argv[1]
+
+    with tempfile.TemporaryDirectory(prefix="wsrs_svc_kill_") as tmp:
+        clean_json = os.path.join(tmp, "clean.json")
+        subprocess.run([binary, *SWEEP_ARGS, "--jobs=2",
+                        f"--stats-json={clean_json}"],
+                       check=True, stdout=subprocess.DEVNULL)
+        clean = canonical(load(clean_json))
+
+        if canonical(worker_kill_run(binary, tmp)) != clean:
+            sys.exit("FAIL: worker-kill report differs from the clean run")
+        print("ok: worker-kill report matches the clean run byte for byte")
+
+        if canonical(coordinator_kill_run(binary, tmp)) != clean:
+            sys.exit("FAIL: coordinator-kill resume report differs from "
+                     "the clean run")
+        print("ok: coordinator-kill resume matches the clean run "
+              "byte for byte")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""End-to-end smoke of the wsrs-sim --serve daemon.
+
+Usage: serve_smoke_test.py /path/to/wsrs-sim /path/to/check_stats_schema.py
+
+Drives a real daemon process over its unix socket through the whole
+client surface:
+
+  1. --request round trip: a JSON sweep request comes back as a valid
+     wsrs-sweep-report-v1 document on stdout;
+  2. an invalid request (unknown benchmark) is reported to the client
+     as a config error (exit 1) and does not kill the daemon;
+  3. backpressure: with --queue-depth=0 every admission is refused, the
+     client exits 75 (EX_TEMPFAIL) and stderr carries the retry hint;
+  4. --status: a wsrs-svc-status-v1 document that passes the schema
+     checker and records the admitted/rejected traffic;
+  5. SIGTERM: the daemon drains, exits 0, and writes a
+     wsrs-svc-frames-v1 frame log that also passes the schema checker.
+
+Exit status 0 on success. Used by the `svc` labelled ctest.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+TINY_REQUEST = {"benchmarks": ["gzip"], "machines": ["RR-256"],
+                "uops": 2000, "warmup": 500}
+
+
+def start_daemon(binary, endpoint, extra):
+    proc = subprocess.Popen([binary, f"--serve={endpoint}", *extra],
+                            stdout=subprocess.DEVNULL,
+                            stderr=subprocess.PIPE, text=True)
+    # The daemon announces readiness on stderr once the socket is bound.
+    line = proc.stderr.readline()
+    if "serving on" not in line:
+        proc.kill()
+        sys.exit(f"FAIL: daemon did not come up: {line!r}")
+    return proc
+
+
+def stop_daemon(proc):
+    proc.send_signal(signal.SIGTERM)
+    rc = proc.wait(timeout=60)
+    if rc != 0:
+        sys.exit(f"FAIL: daemon exited {rc} on SIGTERM")
+
+
+def client(binary, endpoint, args, request=None):
+    stdin = json.dumps(request) if request is not None else None
+    return subprocess.run([binary, f"--connect={endpoint}", *args],
+                          input=stdin, capture_output=True, text=True)
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    binary, schema_checker = sys.argv[1], sys.argv[2]
+
+    with tempfile.TemporaryDirectory(prefix="wsrs_serve_") as tmp:
+        endpoint = "unix:" + os.path.join(tmp, "daemon.sock")
+        frame_log = os.path.join(tmp, "frames.json")
+        daemon = start_daemon(binary, endpoint,
+                              ["--queue-depth=2",
+                               f"--frame-log={frame_log}"])
+        try:
+            # 1: request -> report round trip.
+            r = client(binary, endpoint, ["--request=-"], TINY_REQUEST)
+            if r.returncode != 0:
+                sys.exit(f"FAIL: request exited {r.returncode}: "
+                         f"{r.stderr.strip()}")
+            report = json.loads(r.stdout)
+            if report.get("schema") != "wsrs-sweep-report-v1":
+                sys.exit(f"FAIL: report schema {report.get('schema')!r}")
+            if report["summary"]["total"] != 1 or not report["jobs"][0]["ok"]:
+                sys.exit("FAIL: unexpected report contents")
+            print("ok: request round trip returns a sweep report")
+
+            # 2: a bad request is the client's problem, not the daemon's.
+            r = client(binary, endpoint, ["--request=-"],
+                       {"benchmarks": ["nonesuch"]})
+            if r.returncode != 1 or "nonesuch" not in r.stderr:
+                sys.exit(f"FAIL: bad request exited {r.returncode} "
+                         f"(stderr: {r.stderr.strip()!r}), expected 1")
+            print("ok: invalid benchmark reported as a config error")
+
+            # 4: status document validates and shows the traffic.
+            r = client(binary, endpoint, ["--status"])
+            if r.returncode != 0:
+                sys.exit(f"FAIL: status exited {r.returncode}")
+            status_path = os.path.join(tmp, "status.json")
+            with open(status_path, "w") as f:
+                f.write(r.stdout)
+            status = json.loads(r.stdout)
+            if status["svc"]["requests_completed"] != 1:
+                sys.exit("FAIL: status does not show the completed request")
+            subprocess.run([sys.executable, schema_checker, status_path],
+                           check=True, stdout=subprocess.DEVNULL)
+            print("ok: status document passes the schema checker")
+        finally:
+            stop_daemon(daemon)
+
+        if not os.path.exists(frame_log):
+            sys.exit("FAIL: daemon wrote no frame log on SIGTERM")
+        subprocess.run([sys.executable, schema_checker, frame_log],
+                       check=True, stdout=subprocess.DEVNULL)
+        with open(frame_log) as f:
+            types = {e["type"] for e in json.load(f)["frames"]}
+        for expected in ("sweep_request", "sweep_result", "status_reply"):
+            if expected not in types:
+                sys.exit(f"FAIL: frame log lacks a {expected} frame "
+                         f"(saw {sorted(types)})")
+        print("ok: frame log written on shutdown and passes the checker")
+
+        # 3: a zero-depth queue refuses every admission with a hint.
+        endpoint2 = "unix:" + os.path.join(tmp, "tiny.sock")
+        daemon2 = start_daemon(binary, endpoint2, ["--queue-depth=0"])
+        try:
+            r = client(binary, endpoint2, ["--request=-"], TINY_REQUEST)
+            if r.returncode != 75:
+                sys.exit(f"FAIL: backpressure reject exited "
+                         f"{r.returncode}, expected 75")
+            if "retry after" not in r.stderr:
+                sys.exit(f"FAIL: reject lacks retry hint: "
+                         f"{r.stderr.strip()!r}")
+            print("ok: admission overflow rejected with exit 75 and "
+                  "a retry hint")
+        finally:
+            stop_daemon(daemon2)
+
+    print("serve daemon smoke: all checks passed")
+
+
+if __name__ == "__main__":
+    main()

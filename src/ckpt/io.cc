@@ -74,7 +74,7 @@ void
 Reader::need(std::size_t n) const
 {
     if (data_.size() - pos_ < n)
-        fatal("%s: truncated: need %zu bytes at offset %llu but only %zu "
+        fatalIo("%s: truncated: need %zu bytes at offset %llu but only %zu "
               "remain",
               origin_.c_str(), n, static_cast<unsigned long long>(offset()),
               data_.size() - pos_);
@@ -129,7 +129,7 @@ Reader::bytes(void *p, std::size_t n)
 void
 Reader::fail(const std::string &what) const
 {
-    fatal("%s: %s (at byte offset %llu)", origin_.c_str(), what.c_str(),
+    fatalIo("%s: %s (at byte offset %llu)", origin_.c_str(), what.c_str(),
           static_cast<unsigned long long>(offset()));
 }
 
@@ -196,7 +196,7 @@ CheckpointWriter::finish()
     rawU32(sections_);
     os_.flush();
     if (!os_)
-        fatal("error writing checkpoint '%s'", path_.c_str());
+        fatalIo("error writing checkpoint '%s'", path_.c_str());
 }
 
 CheckpointReader::CheckpointReader(std::istream &is, std::string origin)
@@ -205,7 +205,7 @@ CheckpointReader::CheckpointReader(std::istream &is, std::string origin)
     std::string data((std::istreambuf_iterator<char>(is)),
                      std::istreambuf_iterator<char>());
     if (!is.eof() && !is)
-        fatal("error reading checkpoint '%s'", origin_.c_str());
+        fatalIo("error reading checkpoint '%s'", origin_.c_str());
 
     Reader r(data, "checkpoint '" + origin_ + "'");
     char magic[sizeof(kMagic)];
@@ -213,10 +213,10 @@ CheckpointReader::CheckpointReader(std::istream &is, std::string origin)
         r.fail("file too small to be a checkpoint");
     r.bytes(magic, sizeof(kMagic));
     if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
-        fatal("'%s' is not a wsrs checkpoint (bad magic)", origin_.c_str());
+        fatalIo("'%s' is not a wsrs checkpoint (bad magic)", origin_.c_str());
     const std::uint32_t version = r.u32();
     if (version != kFormatVersion)
-        fatal("checkpoint '%s' has format version %u, this build reads "
+        fatalIo("checkpoint '%s' has format version %u, this build reads "
               "version %u (%s)",
               origin_.c_str(), version, kFormatVersion, kFormatName);
     metaHash_ = r.u64();
@@ -244,7 +244,7 @@ CheckpointReader::CheckpointReader(std::istream &is, std::string origin)
         r.bytes(payload.data(), len);
         const std::uint32_t gotCrc = crc32(payload.data(), payload.size());
         if (gotCrc != wantCrc)
-            fatal("checkpoint '%s': section '%s' CRC mismatch "
+            fatalIo("checkpoint '%s': section '%s' CRC mismatch "
                   "(stored %08x, computed %08x, payload at byte offset %llu)",
                   origin_.c_str(), name.c_str(), wantCrc, gotCrc,
                   static_cast<unsigned long long>(payloadOffset));
@@ -255,7 +255,7 @@ CheckpointReader::CheckpointReader(std::istream &is, std::string origin)
     }
     const std::uint32_t count = r.u32();
     if (count != sections_.size())
-        fatal("checkpoint '%s': trailer declares %u sections, found %zu",
+        fatalIo("checkpoint '%s': trailer declares %u sections, found %zu",
               origin_.c_str(), count, sections_.size());
 }
 
@@ -281,11 +281,11 @@ void
 CheckpointReader::expect(std::string_view kind, std::uint64_t metaHash) const
 {
     if (kind_ != kind)
-        fatal("checkpoint '%s' has kind '%s', expected '%.*s'",
+        fatalMismatch("checkpoint '%s' has kind '%s', expected '%.*s'",
               origin_.c_str(), kind_.c_str(), static_cast<int>(kind.size()),
               kind.data());
     if (metaHash_ != metaHash)
-        fatal("checkpoint '%s' was produced by a different configuration "
+        fatalMismatch("checkpoint '%s' was produced by a different configuration "
               "(meta hash %016llx, this run expects %016llx); refusing to "
               "restore",
               origin_.c_str(),

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Cross-process, disk-backed warm-up snapshot cache.
+ *
+ * The in-memory WarmupCache dedupes snapshot builds inside one process; a
+ * distributed sweep runs many worker *processes* that would each rebuild
+ * the same benchmark's warm-up. SharedWarmupCache publishes each snapshot
+ * blob as `warmup-<key>.ckpt` in a shared directory:
+ *
+ *  - build-once across processes: builders serialize on an flock(2)'d
+ *    `warmup-<key>.lock` file, and the winner re-checks for a published
+ *    entry before building, so concurrent workers build each key once;
+ *  - atomic publish: the blob is written to a process-unique temp file and
+ *    rename(2)'d into place, so readers never observe a half-written
+ *    entry through the normal protocol;
+ *  - corruption containment: every entry read back is re-validated as a
+ *    wsrs-ckpt-v1 container (magic, section CRCs, trailer). A torn or
+ *    tampered entry — e.g. written by a crashed process without the
+ *    atomic-rename protocol — fails with the container's byte-offset
+ *    diagnostics (IoError); getOrBuild additionally quarantines such an
+ *    entry and rebuilds it instead of poisoning the sweep.
+ *
+ * Entries are keyed by warmupKeyHash, which already binds a blob to the
+ * profile, seed, warm-up length, memory geometry and predictor — a stale
+ * directory reused across configurations simply misses.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace wsrs::ckpt {
+
+/** Directory-backed blob cache shared between worker processes. */
+class SharedWarmupCache
+{
+  public:
+    using Builder = std::function<std::string()>;
+
+    /** Use @p dir (created if missing) as the shared cache directory. */
+    explicit SharedWarmupCache(std::string dir);
+
+    /**
+     * Return the validated blob for @p key, building and publishing it
+     * under the key's file lock when no (intact) entry exists. A corrupt
+     * entry is quarantined, counted, and rebuilt.
+     */
+    std::string getOrBuild(std::uint64_t key, const Builder &build);
+
+    /**
+     * Read and validate the entry for @p key without building.
+     * @throws wsrs::IoError with byte-offset diagnostics when the entry
+     *         is missing, truncated or corrupt.
+     */
+    std::string load(std::uint64_t key) const;
+
+    /** Whether an entry file for @p key currently exists. */
+    bool contains(std::uint64_t key) const;
+
+    /** Entry file path for @p key (for tests and diagnostics). */
+    std::string entryPath(std::uint64_t key) const;
+
+    const std::string &dir() const { return dir_; }
+
+    /** Requests satisfied by an already-published entry. */
+    std::uint64_t hits() const { return hits_.load(); }
+    /** Requests that built and published a new entry. */
+    std::uint64_t misses() const { return misses_.load(); }
+    /** Corrupt entries detected, quarantined and rebuilt. */
+    std::uint64_t corruptRebuilds() const { return corruptRebuilds_.load(); }
+
+  private:
+    std::string lockPath(std::uint64_t key) const;
+
+    std::string dir_;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> corruptRebuilds_{0};
+};
+
+} // namespace wsrs::ckpt

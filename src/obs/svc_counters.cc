@@ -1,0 +1,34 @@
+#include "svc_counters.h"
+
+#include <ostream>
+
+namespace wsrs::obs {
+
+void
+writeSvcJson(std::ostream &os, const SvcCounters &c,
+             const std::vector<WorkerLiveness> &workers)
+{
+    os << "{\"shards\": " << c.shards
+       << ", \"shard_size\": " << c.shardSize
+       << ", \"leases_granted\": " << c.leasesGranted
+       << ", \"lease_retries\": " << c.leaseRetries
+       << ", \"lease_timeouts\": " << c.leaseTimeouts
+       << ", \"shards_failed\": " << c.shardsFailed
+       << ", \"duplicate_results\": " << c.duplicateResults
+       << ", \"workers_seen\": " << c.workersSeen
+       << ", \"workers_lost\": " << c.workersLost
+       << ", \"requests_admitted\": " << c.requestsAdmitted
+       << ", \"requests_completed\": " << c.requestsCompleted
+       << ", \"requests_failed\": " << c.requestsFailed
+       << ", \"backpressure_rejects\": " << c.backpressureRejects
+       << ", \"workers\": [";
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+        const WorkerLiveness &w = workers[i];
+        os << (i ? ", " : "") << "{\"id\": " << w.id
+           << ", \"pid\": " << w.pid << ", \"jobs_done\": " << w.jobsDone
+           << ", \"alive\": " << (w.alive ? "true" : "false") << "}";
+    }
+    os << "]}";
+}
+
+} // namespace wsrs::obs

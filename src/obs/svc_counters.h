@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Observability counters of the distributed sweep service (src/svc).
+ *
+ * The coordinator and the `--serve` daemon both expose what happened
+ * around a sweep — sharding, lease churn, worker liveness, admission
+ * backpressure — through one machine-readable object. It appears as the
+ * `svc` member of a wsrs-sweep-report-v1 document produced by a
+ * coordinator merge, and (live) inside the daemon's status replies.
+ * scripts/check_stats_schema.py validates the shape.
+ */
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace wsrs::obs {
+
+/** Liveness snapshot of one worker connection, as the coordinator saw
+ *  it when the report was merged (or the status reply was built). */
+struct WorkerLiveness
+{
+    std::uint64_t id = 0;       ///< Coordinator-assigned worker id.
+    std::int64_t pid = 0;       ///< Worker's reported pid (0 = unknown).
+    std::uint64_t jobsDone = 0; ///< Job results accepted from it.
+    bool alive = false;         ///< Connection still open at snapshot.
+};
+
+/** Counters of one distributed sweep / one daemon lifetime. */
+struct SvcCounters
+{
+    // Sharded work-queue behaviour (coordinator).
+    std::uint64_t shards = 0;        ///< Shards the sweep was split into.
+    std::uint64_t shardSize = 0;     ///< Configured jobs per shard.
+    std::uint64_t leasesGranted = 0; ///< Lease grants, re-leases included.
+    std::uint64_t leaseRetries = 0;  ///< Re-leases after a worker died.
+    std::uint64_t leaseTimeouts = 0; ///< Re-leases after a deadline blew.
+    std::uint64_t shardsFailed = 0;  ///< Shards that exhausted retries.
+    std::uint64_t duplicateResults = 0; ///< Dropped double-reported jobs.
+    std::uint64_t workersSeen = 0;   ///< Workers that completed handshake.
+    std::uint64_t workersLost = 0;   ///< Workers that died mid-sweep.
+
+    // Admission behaviour (daemon mode).
+    std::uint64_t requestsAdmitted = 0;
+    std::uint64_t requestsCompleted = 0;
+    std::uint64_t requestsFailed = 0;
+    std::uint64_t backpressureRejects = 0; ///< Admission-queue overflows.
+};
+
+/**
+ * Write the `svc` JSON object: the counters plus a `workers` liveness
+ * array. Emits a complete object (`{...}`), no trailing newline.
+ */
+void writeSvcJson(std::ostream &os, const SvcCounters &counters,
+                  const std::vector<WorkerLiveness> &workers);
+
+} // namespace wsrs::obs

@@ -1,0 +1,57 @@
+#include "job_exec.h"
+
+#include <memory>
+
+#include "src/ckpt/shared_warmup_cache.h"
+#include "src/ckpt/warmup_cache.h"
+#include "src/common/log.h"
+#include "src/runner/trace_cache.h"
+#include "src/sim/warmup.h"
+
+namespace wsrs::runner {
+
+SweepOutcome
+executeJob(const SweepJob &job, const JobContext &ctx)
+{
+    SweepOutcome out;
+    try {
+        sim::SimConfig cfg = job.config;
+        std::shared_ptr<const std::string> blob;
+        if (ctx.reuseWarmup && cfg.warmupUops > 0) {
+            if (!ctx.warmups)
+                fatal("executeJob: reuseWarmup requires a warm-up cache");
+            // One functional warm-up per key serves every machine config
+            // of the benchmark; the blob stays alive for the duration of
+            // this run. With a shared disk layer, the first process to
+            // need a key builds and publishes it for every other worker.
+            const std::uint64_t key = sim::warmupKeyHash(job.profile, cfg);
+            const auto build = [&] {
+                return sim::buildWarmupSnapshot(job.profile, cfg);
+            };
+            blob = ctx.warmups->getOrBuild(key, [&]() -> std::string {
+                if (ctx.sharedWarmups)
+                    return ctx.sharedWarmups->getOrBuild(key, build);
+                return build();
+            });
+            cfg.warmupBlob = blob.get();
+        }
+        if (ctx.traces) {
+            // Hold the shared trace only for the duration of the run: it
+            // stays recorded while any sibling job needs it and is
+            // released when the profile's jobs drain.
+            const std::shared_ptr<CachedTrace> trace =
+                ctx.traces->acquire(job.profile, cfg.seed);
+            const auto cursor = trace->openCursor();
+            out.results = sim::runSimulation(job.profile, cfg, *cursor);
+        } else {
+            out.results = sim::runSimulation(job.profile, cfg);
+        }
+        out.ok = true;
+    } catch (const std::exception &e) {
+        out.ok = false;
+        out.error = e.what();
+    }
+    return out;
+}
+
+} // namespace wsrs::runner

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Single-job execution shared by the in-process sweep runner and the
+ * distributed sweep workers (src/svc).
+ *
+ * A sweep job is self-contained: executeJob runs one {benchmark, machine}
+ * simulation against the caches the caller supplies and captures any
+ * failure in the returned outcome instead of throwing. Because the same
+ * function body runs under SweepRunner's thread pool and inside
+ * `wsrs-sim --worker` processes, a job's results (including its
+ * wsrs-stats-v1 document) are byte-identical no matter where it executed —
+ * the property the coordinator's merged sweep report relies on.
+ */
+#pragma once
+
+#include "src/runner/sweep_runner.h"
+
+namespace wsrs::ckpt {
+class WarmupCache;
+class SharedWarmupCache;
+} // namespace wsrs::ckpt
+
+namespace wsrs::runner {
+
+class TraceCache;
+
+/** Caches and policy one executeJob call runs against. All pointers are
+ *  borrowed and may be shared between concurrent calls. */
+struct JobContext
+{
+    /** Per-profile recorded trace cache; null regenerates per run. */
+    TraceCache *traces = nullptr;
+    /** In-memory warm-up snapshot cache (required when reuseWarmup). */
+    ckpt::WarmupCache *warmups = nullptr;
+    /** Optional cross-process disk layer behind the in-memory cache. */
+    ckpt::SharedWarmupCache *sharedWarmups = nullptr;
+    /** Restore one functional warm-up snapshot per benchmark instead of
+     *  core-timed warm-up (see SweepRunner::Options::reuseWarmup). */
+    bool reuseWarmup = false;
+};
+
+/**
+ * Run one job to completion. Exceptions (FatalError and friends) are
+ * captured into the outcome's error field; the call itself only throws on
+ * broken preconditions (reuseWarmup without a warmup cache).
+ */
+SweepOutcome executeJob(const SweepJob &job, const JobContext &ctx);
+
+} // namespace wsrs::runner

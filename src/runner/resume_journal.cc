@@ -146,7 +146,7 @@ ResumeJournal::writeHeader()
 {
     out_.open(path_, std::ios::binary | std::ios::trunc);
     if (!out_)
-        fatal("cannot open resume journal '%s' for writing", path_.c_str());
+        fatalIo("cannot open resume journal '%s' for writing", path_.c_str());
     ckpt::Writer w;
     w.bytes(kJournalMagic, sizeof(kJournalMagic));
     w.u32(kJournalVersion);
@@ -156,7 +156,7 @@ ResumeJournal::writeHeader()
                static_cast<std::streamsize>(w.size()));
     out_.flush();
     if (!out_)
-        fatal("write error on resume journal '%s'", path_.c_str());
+        fatalIo("write error on resume journal '%s'", path_.c_str());
 }
 
 void
@@ -166,32 +166,32 @@ ResumeJournal::replay()
     {
         std::ifstream is(path_, std::ios::binary);
         if (!is)
-            fatal("cannot open resume journal '%s'", path_.c_str());
+            fatalIo("cannot open resume journal '%s'", path_.c_str());
         std::ostringstream buf;
         buf << is.rdbuf();
         data = buf.str();
     }
     if (data.size() < kHeaderBytes)
-        fatal("resume journal '%s' is truncated: %zu bytes, need %zu for "
+        fatalIo("resume journal '%s' is truncated: %zu bytes, need %zu for "
               "the header",
               path_.c_str(), data.size(), kHeaderBytes);
     if (std::memcmp(data.data(), kJournalMagic, sizeof(kJournalMagic)) != 0)
-        fatal("'%s' is not a wsrs sweep journal (bad magic)", path_.c_str());
+        fatalIo("'%s' is not a wsrs sweep journal (bad magic)", path_.c_str());
     const std::uint32_t version = readLe32(data.data() + 8);
     if (version != kJournalVersion)
-        fatal("resume journal '%s' has format version %u, this build "
+        fatalMismatch("resume journal '%s' has format version %u, this build "
               "reads version %u",
               path_.c_str(), version, kJournalVersion);
     const std::uint64_t key = readLe64(data.data() + 12);
     if (key != sweepKey_)
-        fatal("resume journal '%s' belongs to a different sweep "
+        fatalMismatch("resume journal '%s' belongs to a different sweep "
               "(journal key %016llx, this sweep %016llx); refusing to mix "
               "results — delete the journal or rerun the original sweep",
               path_.c_str(), static_cast<unsigned long long>(key),
               static_cast<unsigned long long>(sweepKey_));
     const std::uint64_t jobs = readLe64(data.data() + 20);
     if (jobs != numJobs_)
-        fatal("resume journal '%s' records a %llu-job sweep, this sweep "
+        fatalMismatch("resume journal '%s' records a %llu-job sweep, this sweep "
               "has %llu jobs",
               path_.c_str(), static_cast<unsigned long long>(jobs),
               static_cast<unsigned long long>(numJobs_));
@@ -237,7 +237,7 @@ ResumeJournal::replay()
         std::filesystem::resize_file(path_, goodEnd);
     out_.open(path_, std::ios::binary | std::ios::app);
     if (!out_)
-        fatal("cannot reopen resume journal '%s' for append",
+        fatalIo("cannot reopen resume journal '%s' for append",
               path_.c_str());
 }
 
@@ -263,7 +263,7 @@ ResumeJournal::record(std::uint64_t index, const SweepOutcome &out)
                static_cast<std::streamsize>(tail.size()));
     out_.flush();
     if (!out_)
-        fatal("write error on resume journal '%s'", path_.c_str());
+        fatalIo("write error on resume journal '%s'", path_.c_str());
 }
 
 } // namespace wsrs::runner

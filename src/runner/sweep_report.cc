@@ -10,7 +10,8 @@ namespace wsrs::runner {
 void
 writeSweepReport(std::ostream &os, const std::vector<SweepJob> &jobs,
                  const std::vector<SweepOutcome> &outcomes,
-                 const SweepRunner::Telemetry &telemetry)
+                 const SweepRunner::Telemetry &telemetry,
+                 const SvcReport *svc)
 {
     if (jobs.size() != outcomes.size())
         fatal("sweep report: %zu jobs but %zu outcomes", jobs.size(),
@@ -40,8 +41,12 @@ writeSweepReport(std::ostream &os, const std::vector<SweepJob> &jobs,
        << "}, \"ckpt\": {\"warmup_reuse\": "
        << (telemetry.warmupReuse ? "true" : "false")
        << ", \"warmup_cache\": {\"hits\": " << telemetry.warmupHits
-       << ", \"misses\": " << telemetry.warmupMisses
-       << "}}, \"summary\": {\"total\": " << jobs.size()
+       << ", \"misses\": " << telemetry.warmupMisses << "}}";
+    if (svc) {
+        os << ", \"svc\": ";
+        obs::writeSvcJson(os, svc->counters, svc->workers);
+    }
+    os << ", \"summary\": {\"total\": " << jobs.size()
        << ", \"failed\": " << failed << "}}";
 }
 

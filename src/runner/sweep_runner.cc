@@ -8,6 +8,7 @@
 
 #include "src/ckpt/warmup_cache.h"
 #include "src/common/log.h"
+#include "src/runner/job_exec.h"
 #include "src/runner/resume_journal.h"
 #include "src/runner/trace_cache.h"
 #include "src/sim/presets.h"
@@ -103,6 +104,11 @@ SweepRunner::run(const std::vector<SweepJob> &jobs)
         completed = telemetry_.skippedRuns;
     }
 
+    JobContext ctx;
+    ctx.traces = options_.shareTraces ? &cache : nullptr;
+    ctx.warmups = &warmups;
+    ctx.reuseWarmup = options_.reuseWarmup;
+
     const auto worker = [&]() {
         for (;;) {
             const std::size_t i =
@@ -111,39 +117,8 @@ SweepRunner::run(const std::vector<SweepJob> &jobs)
                 return;
             if (recovered[i])
                 continue;
-            const SweepJob &job = jobs[i];
             SweepOutcome &out = outcomes[i];
-            try {
-                sim::SimConfig cfg = job.config;
-                std::shared_ptr<const std::string> blob;
-                if (options_.reuseWarmup && cfg.warmupUops > 0) {
-                    // One functional warm-up per key serves every machine
-                    // config of the benchmark; the blob stays alive for
-                    // the duration of this run.
-                    blob = warmups.getOrBuild(
-                        sim::warmupKeyHash(job.profile, cfg), [&] {
-                            return sim::buildWarmupSnapshot(job.profile,
-                                                            cfg);
-                        });
-                    cfg.warmupBlob = blob.get();
-                }
-                if (options_.shareTraces) {
-                    // Hold the shared trace only for the duration of the
-                    // run: it stays recorded while any sibling job needs
-                    // it and is released when the profile's jobs drain.
-                    const std::shared_ptr<CachedTrace> trace =
-                        cache.acquire(job.profile, cfg.seed);
-                    const auto cursor = trace->openCursor();
-                    out.results =
-                        sim::runSimulation(job.profile, cfg, *cursor);
-                } else {
-                    out.results = sim::runSimulation(job.profile, cfg);
-                }
-                out.ok = true;
-            } catch (const std::exception &e) {
-                out.ok = false;
-                out.error = e.what();
-            }
+            out = executeJob(jobs[i], ctx);
             if (journal)
                 journal->record(i, out);
             if (options_.onEvent) {

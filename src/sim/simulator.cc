@@ -51,7 +51,7 @@ saveFullCheckpoint(const std::string &path, std::uint64_t meta_hash,
 {
     std::ofstream os(path, std::ios::binary | std::ios::trunc);
     if (!os)
-        fatal("cannot open checkpoint file '%s' for writing", path.c_str());
+        fatalIo("cannot open checkpoint file '%s' for writing", path.c_str());
     ckpt::CheckpointWriter cw(os, path, ckpt::kKindFullSim, meta_hash);
     {
         ckpt::Writer w;
@@ -85,7 +85,7 @@ loadFullCheckpoint(const std::string &path, std::uint64_t meta_hash,
 {
     std::ifstream is(path, std::ios::binary);
     if (!is)
-        fatal("cannot open checkpoint file '%s'", path.c_str());
+        fatalIo("cannot open checkpoint file '%s'", path.c_str());
     ckpt::CheckpointReader cr(is, path);
     cr.expect(ckpt::kKindFullSim, meta_hash);
     {
@@ -204,14 +204,14 @@ runSimulationImpl(const workload::BenchmarkProfile &profile,
     if (!config.tracePipePath.empty()) {
         trace_text.open(config.tracePipePath);
         if (!trace_text)
-            fatal("cannot open trace file '%s'",
+            fatalIo("cannot open trace file '%s'",
                   config.tracePipePath.c_str());
         text_sink = std::make_unique<obs::O3PipeViewSink>(trace_text);
     }
     if (!config.tracePipeBinPath.empty()) {
         trace_bin.open(config.tracePipeBinPath, std::ios::binary);
         if (!trace_bin)
-            fatal("cannot open binary trace file '%s'",
+            fatalIo("cannot open binary trace file '%s'",
                   config.tracePipeBinPath.c_str());
         bin_sink = std::make_unique<obs::BinaryTraceSink>(trace_bin);
     }

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Distributed sweep coordinator: the resume journal as a sharded work
+ * queue.
+ *
+ * The coordinator owns a sweep's job list and its resume journal. Job
+ * indices not already journaled are partitioned into contiguous shards
+ * (src/svc/shard.h); worker processes connect over the framed transport,
+ * handshake (the sweep-key hash must match, so a worker built from a
+ * different job matrix is refused instead of silently mixing results),
+ * and claim shard leases. Every completed job streams back immediately as
+ * its journal-codec bytes and is appended to the journal, so a SIGKILLed
+ * worker loses at most its one in-flight job and a SIGKILLed coordinator
+ * resumes from the journal prefix like any crashed sweep.
+ *
+ * Fault model:
+ *  - worker death (EOF/send failure) re-queues its leased shards' missing
+ *    jobs with attempts+1 and exponential backoff;
+ *  - a lease that exceeds its per-job deadline is torn down the same way
+ *    (counted separately) — the hung worker's connection is closed;
+ *  - a shard that exhausts its retry budget fails its remaining jobs with
+ *    an explicit error outcome instead of stalling the sweep;
+ *  - duplicate results (a re-leased shard's original owner limping home)
+ *    are dropped and counted.
+ *
+ * The merge is submission-ordered by construction — outcomes land at
+ * their job index, exactly like the in-process SweepRunner — so the final
+ * wsrs-sweep-report-v1's job payloads are byte-identical to a
+ * single-process run; only the execution-metadata objects (resume, ckpt,
+ * svc) describe how this particular sweep ran.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/runner/sweep_report.h"
+#include "src/runner/sweep_runner.h"
+#include "src/svc/transport.h"
+
+namespace wsrs::svc {
+
+/** Blocking, single-threaded coordinator (poll(2) event loop). */
+class Coordinator
+{
+  public:
+    struct Options
+    {
+        /** Listen endpoint, e.g. "unix:/tmp/wsrs-sweep.sock". */
+        std::string endpoint;
+        /** Max jobs per shard lease. */
+        std::uint64_t shardSize = 4;
+        /** Lease deadline per leased job; a blown deadline re-queues the
+         *  shard and drops the worker. */
+        std::uint64_t perJobTimeoutMs = 120000;
+        /** Re-lease budget per shard before its jobs are failed. */
+        unsigned maxLeaseRetries = 3;
+        /** Base re-lease backoff (doubles per attempt, capped at 30 s). */
+        std::uint64_t leaseBackoffMs = 100;
+        /** Resume journal path (empty = journal-less, not resumable). */
+        std::string journalPath;
+        /** Replay an existing journal instead of starting fresh. */
+        bool resume = false;
+        /** Workers restore shared warm-up snapshots (telemetry only; the
+         *  flag itself travels on the worker command line). */
+        bool reuseWarmup = false;
+        /** Grace period to collect worker stats after the last job. */
+        std::uint64_t drainGraceMs = 3000;
+        /** Per-completion progress hook (serialized; may be empty). */
+        std::function<void(const runner::SweepEvent &)> onEvent;
+    };
+
+    Coordinator(Options options, std::vector<runner::SweepJob> jobs);
+    ~Coordinator();
+
+    /**
+     * Bind and start listening. Returns once workers can connect —
+     * spawn worker processes after this to avoid a connect race.
+     */
+    void bind();
+
+    /** The bound endpoint (valid after bind()). */
+    std::string endpoint() const;
+
+    /**
+     * Distribute the sweep; blocks until every job has an outcome and
+     * connected workers have retired (or the drain grace expires).
+     * Outcomes are in submission order, like SweepRunner::run.
+     */
+    std::vector<runner::SweepOutcome> run();
+
+    /** Telemetry of the most recent run() (resume + warm-up counters
+     *  aggregated from worker stats). */
+    const runner::SweepRunner::Telemetry &telemetry() const
+    {
+        return telemetry_;
+    }
+
+    /** Sharding/lease/liveness counters of the most recent run(). */
+    const runner::SvcReport &svcReport() const { return svcReport_; }
+
+    /** Sweep identity hash the workers must present. */
+    std::uint64_t sweepKey() const { return sweepKey_; }
+
+  private:
+    struct Impl;
+
+    Options options_;
+    std::vector<runner::SweepJob> jobs_;
+    std::uint64_t sweepKey_ = 0;
+    std::unique_ptr<Listener> listener_;
+    runner::SweepRunner::Telemetry telemetry_;
+    runner::SvcReport svcReport_;
+};
+
+} // namespace wsrs::svc

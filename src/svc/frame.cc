@@ -1,0 +1,165 @@
+#include "frame.h"
+
+#include <cstring>
+
+#include "src/ckpt/io.h"
+#include "src/common/log.h"
+
+namespace wsrs::svc {
+
+namespace {
+
+constexpr char kFrameMagic[4] = {'W', 'S', 'V', 'F'};
+constexpr std::size_t kHeadBytes = 4 + 4 + 8;  // magic, type, length.
+
+void
+putLe32(std::string &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void
+putLe64(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+std::uint32_t
+getLe32(const char *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | static_cast<unsigned char>(p[i]);
+    return v;
+}
+
+std::uint64_t
+getLe64(const char *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | static_cast<unsigned char>(p[i]);
+    return v;
+}
+
+/** Read exactly @p len bytes. 1 = ok, 0 = EOF at a frame boundary
+ *  (nothing read), throws on EOF mid-frame or stream error. */
+int
+readExact(Stream &stream, char *buf, std::size_t len, bool atBoundary)
+{
+    std::size_t done = 0;
+    while (done < len) {
+        const long n = stream.read(buf + done, len - done);
+        if (n < 0)
+            fatalIo("service stream read error after %zu bytes", done);
+        if (n == 0) {
+            if (done == 0 && atBoundary)
+                return 0;
+            fatalIo("service stream closed mid-frame: got %zu of %zu "
+                    "bytes",
+                    done, len);
+        }
+        done += static_cast<std::size_t>(n);
+    }
+    return 1;
+}
+
+std::uint32_t
+frameCrc(FrameType type, std::string_view payload)
+{
+    std::string head;
+    putLe32(head, static_cast<std::uint32_t>(type));
+    putLe64(head, payload.size());
+    std::uint32_t crc = ckpt::crc32(head.data(), head.size());
+    return ckpt::crc32(payload.data(), payload.size(), crc);
+}
+
+} // namespace
+
+const char *
+frameTypeName(FrameType type)
+{
+    switch (type) {
+      case FrameType::Hello: return "hello";
+      case FrameType::HelloAck: return "hello_ack";
+      case FrameType::Claim: return "claim";
+      case FrameType::Lease: return "lease";
+      case FrameType::NoWork: return "no_work";
+      case FrameType::JobDone: return "job_done";
+      case FrameType::ShardDone: return "shard_done";
+      case FrameType::WorkerStats: return "worker_stats";
+      case FrameType::SweepRequest: return "sweep_request";
+      case FrameType::SweepAccepted: return "sweep_accepted";
+      case FrameType::SweepRejected: return "sweep_rejected";
+      case FrameType::SweepResult: return "sweep_result";
+      case FrameType::StatusRequest: return "status_request";
+      case FrameType::StatusReply: return "status_reply";
+      case FrameType::Error: return "error";
+    }
+    return "unknown";
+}
+
+std::string
+encodeFrame(FrameType type, std::string_view payload)
+{
+    if (payload.size() > kMaxFramePayload)
+        fatal("frame payload of %zu bytes exceeds the %llu-byte limit",
+              payload.size(),
+              static_cast<unsigned long long>(kMaxFramePayload));
+    std::string out;
+    out.reserve(kHeadBytes + payload.size() + 4);
+    out.append(kFrameMagic, sizeof(kFrameMagic));
+    putLe32(out, static_cast<std::uint32_t>(type));
+    putLe64(out, payload.size());
+    out.append(payload.data(), payload.size());
+    putLe32(out, frameCrc(type, payload));
+    return out;
+}
+
+bool
+sendFrame(Stream &stream, FrameType type, std::string_view payload)
+{
+    const std::string wire = encodeFrame(type, payload);
+    return stream.writeAll(wire.data(), wire.size());
+}
+
+bool
+recvFrame(Stream &stream, Frame &out)
+{
+    char head[kHeadBytes];
+    if (readExact(stream, head, sizeof(head), true) == 0)
+        return false;
+    if (std::memcmp(head, kFrameMagic, sizeof(kFrameMagic)) != 0)
+        fatalIo("bad service frame magic %02x%02x%02x%02x (protocol "
+                "desync or non-wsrs peer)",
+                static_cast<unsigned char>(head[0]),
+                static_cast<unsigned char>(head[1]),
+                static_cast<unsigned char>(head[2]),
+                static_cast<unsigned char>(head[3]));
+    const std::uint32_t type = getLe32(head + 4);
+    const std::uint64_t len = getLe64(head + 8);
+    if (len > kMaxFramePayload)
+        fatalIo("service frame of type %u declares %llu payload bytes, "
+                "limit is %llu — refusing to buffer",
+                type, static_cast<unsigned long long>(len),
+                static_cast<unsigned long long>(kMaxFramePayload));
+    out.type = static_cast<FrameType>(type);
+    out.payload.resize(static_cast<std::size_t>(len));
+    if (len > 0)
+        readExact(stream, out.payload.data(),
+                  static_cast<std::size_t>(len), false);
+    char crcBuf[4];
+    readExact(stream, crcBuf, sizeof(crcBuf), false);
+    const std::uint32_t stored = getLe32(crcBuf);
+    const std::uint32_t computed = frameCrc(out.type, out.payload);
+    if (stored != computed)
+        fatalIo("service frame CRC mismatch on %s frame (stored %08x, "
+                "computed %08x over %llu payload bytes)",
+                frameTypeName(out.type), stored, computed,
+                static_cast<unsigned long long>(len));
+    return true;
+}
+
+} // namespace wsrs::svc

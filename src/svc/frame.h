@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Length-prefixed, CRC-checked message framing for the sweep service.
+ *
+ * Wire layout (all integers little-endian):
+ *
+ *   frame := magic[4]="WSVF" u32 type u64 payloadLen payload
+ *            u32 crc32(type || payloadLen || payload)
+ *
+ * Control frames (handshakes, leases, requests, status) carry JSON
+ * payloads; JobDone carries the binary ckpt::Writer encoding of a
+ * SweepOutcome (the journal codec, reused verbatim so a streamed result
+ * and a journaled one are the same bytes). Payloads are bounded
+ * (kMaxFramePayload) so a broken or malicious peer cannot make a receiver
+ * buffer unboundedly; anything damaged — bad magic, oversized length,
+ * truncation, CRC mismatch — is an IoError naming what broke, mirroring
+ * the checkpoint container's diagnostics.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/svc/transport.h"
+
+namespace wsrs::svc {
+
+/** Frame type tags (wire values are stable; append only). */
+enum class FrameType : std::uint32_t {
+    // Coordinator <-> worker.
+    Hello = 1,       ///< worker->coord JSON {role, pid, sweep_key, jobs}.
+    HelloAck = 2,    ///< coord->worker JSON {ok, error?}.
+    Claim = 3,       ///< worker->coord JSON {}.
+    Lease = 4,       ///< coord->worker JSON {shard, jobs: [indices]}.
+    NoWork = 5,      ///< coord->worker JSON {}: sweep drained, retire.
+    JobDone = 6,     ///< worker->coord binary: u64 index || outcome.
+    ShardDone = 7,   ///< worker->coord JSON {shard}.
+    WorkerStats = 8, ///< worker->coord JSON warm-up cache counters.
+
+    // Client <-> serve daemon.
+    SweepRequest = 16,  ///< client->daemon JSON sweep spec.
+    SweepAccepted = 17, ///< daemon->client JSON {request, queued_ahead}.
+    SweepRejected = 18, ///< daemon->client JSON {retry_after_ms, reason}.
+    SweepResult = 19,   ///< daemon->client JSON: wsrs-sweep-report-v1.
+    StatusRequest = 20, ///< client->daemon JSON {}.
+    StatusReply = 21,   ///< daemon->client JSON wsrs-svc-status-v1.
+    Error = 22,         ///< either way JSON {error}.
+};
+
+/** Human-readable frame-type name (diagnostics, frame logs). */
+const char *frameTypeName(FrameType type);
+
+/** Hard upper bound on a frame payload (64 MiB). */
+inline constexpr std::uint64_t kMaxFramePayload = 64ull << 20;
+
+/** One decoded frame. */
+struct Frame
+{
+    FrameType type = FrameType::Error;
+    std::string payload;
+};
+
+/** Serialize a frame to its wire bytes. */
+std::string encodeFrame(FrameType type, std::string_view payload);
+
+/** Send one frame; false when the peer is gone. */
+bool sendFrame(Stream &stream, FrameType type, std::string_view payload);
+
+/**
+ * Receive exactly one frame.
+ * @return false on orderly EOF before the first byte.
+ * @throws wsrs::IoError on torn frames, bad magic, oversized payloads or
+ *         CRC mismatch (with the offending values in the message).
+ */
+bool recvFrame(Stream &stream, Frame &out);
+
+} // namespace wsrs::svc

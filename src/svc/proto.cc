@@ -1,0 +1,195 @@
+#include "proto.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "src/ckpt/io.h"
+#include "src/common/log.h"
+#include "src/runner/resume_journal.h"
+#include "src/svc/json_min.h"
+
+namespace wsrs::svc {
+
+std::string
+hexKey(std::uint64_t key)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(key));
+    return std::string(buf);
+}
+
+std::uint64_t
+parseHexKey(const std::string &text, const std::string &what)
+{
+    if (text.size() != 16)
+        fatal("%s: sweep key '%s' is not 16 hex digits", what.c_str(),
+              text.c_str());
+    std::uint64_t v = 0;
+    for (const char c : text) {
+        v <<= 4;
+        if (c >= '0' && c <= '9')
+            v |= static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            v |= static_cast<std::uint64_t>(c - 'a' + 10);
+        else
+            fatal("%s: sweep key '%s' has a non-hex digit", what.c_str(),
+                  text.c_str());
+    }
+    return v;
+}
+
+std::string
+helloPayload(std::int64_t pid, std::uint64_t sweep_key,
+             std::uint64_t num_jobs)
+{
+    std::ostringstream os;
+    os << "{\"role\": \"worker\", \"pid\": " << pid << ", \"sweep_key\": \""
+       << hexKey(sweep_key) << "\", \"jobs\": " << num_jobs << "}";
+    return os.str();
+}
+
+HelloInfo
+parseHello(const std::string &payload)
+{
+    const JsonValue doc = parseJson(payload, "hello frame");
+    HelloInfo info;
+    info.role = doc.getString("role", "");
+    info.pid = doc.getInt("pid", 0);
+    info.sweepKey =
+        parseHexKey(doc.getString("sweep_key", ""), "hello frame");
+    info.jobs = static_cast<std::uint64_t>(doc.getInt("jobs", 0));
+    return info;
+}
+
+std::string
+helloAckPayload(bool ok, const std::string &error)
+{
+    std::ostringstream os;
+    os << "{\"ok\": " << (ok ? "true" : "false");
+    if (!error.empty())
+        os << ", \"error\": \"" << jsonEscapeMin(error) << "\"";
+    os << "}";
+    return os.str();
+}
+
+std::string
+parseHelloAck(const std::string &payload)
+{
+    const JsonValue doc = parseJson(payload, "hello_ack frame");
+    if (doc.getBool("ok", false))
+        return std::string();
+    std::string error = doc.getString("error", "");
+    if (error.empty())
+        error = "coordinator refused the handshake";
+    return error;
+}
+
+std::string
+leasePayload(const Shard &shard)
+{
+    std::ostringstream os;
+    os << "{\"shard\": " << shard.id << ", \"jobs\": [";
+    for (std::size_t i = 0; i < shard.jobs.size(); ++i)
+        os << (i ? ", " : "") << shard.jobs[i];
+    os << "]}";
+    return os.str();
+}
+
+Shard
+parseLease(const std::string &payload)
+{
+    const JsonValue doc = parseJson(payload, "lease frame");
+    Shard shard;
+    shard.id = static_cast<std::uint64_t>(doc.getInt("shard", 0));
+    for (const JsonValue &v : doc.get("jobs").asArray())
+        shard.jobs.push_back(static_cast<std::uint64_t>(v.asInt()));
+    return shard;
+}
+
+std::string
+shardDonePayload(std::uint64_t shard_id)
+{
+    std::ostringstream os;
+    os << "{\"shard\": " << shard_id << "}";
+    return os.str();
+}
+
+std::uint64_t
+parseShardDone(const std::string &payload)
+{
+    const JsonValue doc = parseJson(payload, "shard_done frame");
+    return static_cast<std::uint64_t>(doc.getInt("shard", 0));
+}
+
+std::string
+encodeJobDone(std::uint64_t index, const runner::SweepOutcome &out)
+{
+    ckpt::Writer inner;
+    runner::encodeOutcome(inner, out);
+    ckpt::Writer w;
+    w.u64(index);
+    w.str(inner.buffer());
+    return w.buffer();
+}
+
+JobDone
+decodeJobDone(const std::string &payload)
+{
+    ckpt::Reader r(payload, "job_done frame");
+    JobDone done;
+    done.index = r.u64();
+    const std::string inner = r.str();
+    if (!r.atEnd())
+        fatalIo("job_done frame has trailing bytes after the outcome");
+    ckpt::Reader ir(inner, "job_done frame [outcome]");
+    done.outcome = runner::decodeOutcome(ir);
+    return done;
+}
+
+std::string
+workerStatsPayload(const WorkerStatsInfo &stats)
+{
+    std::ostringstream os;
+    os << "{\"jobs_run\": " << stats.jobsRun
+       << ", \"warmup_hits\": " << stats.warmupHits
+       << ", \"warmup_misses\": " << stats.warmupMisses
+       << ", \"shared_hits\": " << stats.sharedHits
+       << ", \"shared_misses\": " << stats.sharedMisses
+       << ", \"shared_rebuilds\": " << stats.sharedRebuilds << "}";
+    return os.str();
+}
+
+WorkerStatsInfo
+parseWorkerStats(const std::string &payload)
+{
+    const JsonValue doc = parseJson(payload, "worker_stats frame");
+    WorkerStatsInfo stats;
+    stats.jobsRun = static_cast<std::uint64_t>(doc.getInt("jobs_run", 0));
+    stats.warmupHits =
+        static_cast<std::uint64_t>(doc.getInt("warmup_hits", 0));
+    stats.warmupMisses =
+        static_cast<std::uint64_t>(doc.getInt("warmup_misses", 0));
+    stats.sharedHits =
+        static_cast<std::uint64_t>(doc.getInt("shared_hits", 0));
+    stats.sharedMisses =
+        static_cast<std::uint64_t>(doc.getInt("shared_misses", 0));
+    stats.sharedRebuilds =
+        static_cast<std::uint64_t>(doc.getInt("shared_rebuilds", 0));
+    return stats;
+}
+
+std::string
+errorPayload(const std::string &message)
+{
+    return "{\"error\": \"" + jsonEscapeMin(message) + "\"}";
+}
+
+std::string
+parseErrorPayload(const std::string &payload)
+{
+    const JsonValue doc = parseJson(payload, "error frame");
+    return doc.getString("error", "unspecified service error");
+}
+
+} // namespace wsrs::svc

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Payload codecs for the coordinator/worker protocol.
+ *
+ * Control frames carry small JSON bodies (parsed strictly by json_min);
+ * JobDone carries binary journal-codec bytes so a streamed outcome and a
+ * journaled one are the same payload. Sweep keys travel as 16-digit
+ * lower-case hex strings — JSON numbers are doubles on many readers and
+ * would silently round a 64-bit hash.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/runner/sweep_runner.h"
+#include "src/svc/shard.h"
+
+namespace wsrs::svc {
+
+/** 64-bit key as a fixed-width lower-case hex string. */
+std::string hexKey(std::uint64_t key);
+/** Inverse of hexKey; throws FatalError on malformed input. */
+std::uint64_t parseHexKey(const std::string &text,
+                          const std::string &what);
+
+/** Decoded Hello frame body. */
+struct HelloInfo
+{
+    std::string role;           ///< "worker".
+    std::int64_t pid = 0;
+    std::uint64_t sweepKey = 0; ///< sweepKeyHash of the worker's job list.
+    std::uint64_t jobs = 0;     ///< Worker's job-list length.
+};
+
+std::string helloPayload(std::int64_t pid, std::uint64_t sweep_key,
+                         std::uint64_t num_jobs);
+HelloInfo parseHello(const std::string &payload);
+
+std::string helloAckPayload(bool ok, const std::string &error);
+/** @return empty string when ok, else the refusal message. */
+std::string parseHelloAck(const std::string &payload);
+
+std::string leasePayload(const Shard &shard);
+Shard parseLease(const std::string &payload);
+
+std::string shardDonePayload(std::uint64_t shard_id);
+std::uint64_t parseShardDone(const std::string &payload);
+
+/** Binary JobDone body: ckpt::Writer{u64 index, str outcomeBytes} where
+ *  outcomeBytes is the journal's encodeOutcome payload. */
+std::string encodeJobDone(std::uint64_t index,
+                          const runner::SweepOutcome &out);
+struct JobDone
+{
+    std::uint64_t index = 0;
+    runner::SweepOutcome outcome;
+};
+JobDone decodeJobDone(const std::string &payload);
+
+/** Warm-up cache counters a retiring worker reports. */
+struct WorkerStatsInfo
+{
+    std::uint64_t jobsRun = 0;
+    std::uint64_t warmupHits = 0;
+    std::uint64_t warmupMisses = 0;
+    std::uint64_t sharedHits = 0;     ///< Cross-process disk-cache hits.
+    std::uint64_t sharedMisses = 0;
+    std::uint64_t sharedRebuilds = 0; ///< Corrupt entries quarantined.
+};
+
+std::string workerStatsPayload(const WorkerStatsInfo &stats);
+WorkerStatsInfo parseWorkerStats(const std::string &payload);
+
+std::string errorPayload(const std::string &message);
+std::string parseErrorPayload(const std::string &payload);
+
+} // namespace wsrs::svc

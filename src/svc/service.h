@@ -1,0 +1,104 @@
+/**
+ * @file
+ * `wsrs-sim --serve`: a long-lived sweep daemon.
+ *
+ * The daemon accepts framed JSON sweep requests on a transport endpoint,
+ * runs each admitted request on its own isolated SweepRunner (own trace
+ * and warm-up caches — requests never share mutable state), and streams
+ * the finished wsrs-sweep-report-v1 document back on the same connection.
+ *
+ * Admission is explicitly bounded: at most queueDepth requests may be
+ * queued behind the executors. A request that would exceed the bound is
+ * rejected immediately with a SweepRejected frame carrying a
+ * retry_after_ms hint — the daemon never buffers unboundedly, which is
+ * the backpressure contract tests rely on. A StatusRequest frame gets a
+ * live wsrs-svc-status-v1 JSON snapshot (queue occupancy, per-request
+ * progress, admission counters) without ever queueing.
+ *
+ * Every control frame is optionally appended to an in-memory frame log
+ * (bounded) written as a wsrs-svc-frames-v1 JSON document on stop — the
+ * protocol's flight recorder, validated by scripts/check_stats_schema.py.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace wsrs::svc {
+
+/** Daemon configuration. */
+struct ServiceOptions
+{
+    /** Listen endpoint, e.g. "unix:/tmp/wsrs-serve.sock". */
+    std::string endpoint;
+    /** Max requests waiting behind the executors before rejects start. */
+    std::size_t queueDepth = 4;
+    /** Concurrent sweep executor threads. */
+    unsigned executors = 1;
+    /** Worker threads inside each request's SweepRunner (1 = serial). */
+    unsigned sweepThreads = 1;
+    /** Write a wsrs-svc-frames-v1 protocol log here on stop (optional). */
+    std::string frameLogPath;
+};
+
+/** The daemon. start() spawns the I/O and executor threads; stop()
+ *  drains admitted requests, joins everything and writes the frame log. */
+class SweepService
+{
+  public:
+    explicit SweepService(ServiceOptions options);
+    ~SweepService();
+
+    SweepService(const SweepService &) = delete;
+    SweepService &operator=(const SweepService &) = delete;
+
+    /** Bind the endpoint and spawn threads; returns once accepting. */
+    void start();
+
+    /** Graceful shutdown: stop accepting, finish every admitted request,
+     *  join threads, write the frame log. Idempotent. */
+    void stop();
+
+    /** Block until stop() is called from another thread or a signal
+     *  handler requests shutdown via requestStop(). */
+    void wait();
+
+    /** Async-signal-safe shutdown request (for SIGTERM handlers). */
+    void requestStop();
+
+    std::string endpoint() const;
+
+    /** Live wsrs-svc-status-v1 document (what StatusRequest returns). */
+    std::string statusJson() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/** Result of submitting one sweep request to a daemon. */
+struct SubmitResult
+{
+    bool accepted = false;
+    /** Backpressure hint when rejected (milliseconds). */
+    std::uint64_t retryAfterMs = 0;
+    /** The rejection reason when !accepted. */
+    std::string reason;
+    /** The wsrs-sweep-report-v1 document when accepted. */
+    std::string report;
+};
+
+/**
+ * Client helper: submit @p request_json to the daemon at @p endpoint and
+ * wait for the report (or the rejection).
+ * @throws wsrs::FatalError when the daemon reports a request error,
+ *         wsrs::IoError on transport failures.
+ */
+SubmitResult submitSweep(const std::string &endpoint,
+                         const std::string &request_json);
+
+/** Client helper: fetch the daemon's wsrs-svc-status-v1 document. */
+std::string queryStatus(const std::string &endpoint);
+
+} // namespace wsrs::svc

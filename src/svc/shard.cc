@@ -1,0 +1,26 @@
+#include "shard.h"
+
+namespace wsrs::svc {
+
+std::vector<Shard>
+planShards(const std::vector<std::uint64_t> &pending,
+           std::uint64_t shard_size)
+{
+    if (shard_size == 0)
+        shard_size = 1;
+    std::vector<Shard> shards;
+    Shard current;
+    for (const std::uint64_t job : pending) {
+        if (current.jobs.size() >= shard_size) {
+            shards.push_back(std::move(current));
+            current = Shard{};
+            current.id = shards.size();
+        }
+        current.jobs.push_back(job);
+    }
+    if (!current.jobs.empty())
+        shards.push_back(std::move(current));
+    return shards;
+}
+
+} // namespace wsrs::svc

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Shard planning for the distributed sweep coordinator.
+ *
+ * The coordinator treats the resume journal as a sharded work queue: the
+ * sweep's job indices that are *not* already journaled are partitioned
+ * into contiguous, disjoint shards of at most shardSize jobs, in
+ * submission order. Contiguity matters twice: jobs of one benchmark are
+ * adjacent in the Figure 4/5 matrix, so a shard's jobs usually share a
+ * trace recording and a warm-up snapshot inside the worker; and the
+ * merged report is submission-ordered, so early shards unblock the
+ * streamed-output prefix first.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace wsrs::svc {
+
+/** One leaseable unit of work: job indices in submission order. */
+struct Shard
+{
+    std::uint64_t id = 0;
+    std::vector<std::uint64_t> jobs;
+};
+
+/**
+ * Partition @p pending (submission-ordered job indices) into shards of at
+ * most @p shard_size jobs. shard_size 0 is promoted to 1.
+ */
+std::vector<Shard> planShards(const std::vector<std::uint64_t> &pending,
+                              std::uint64_t shard_size);
+
+} // namespace wsrs::svc

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Byte-stream transport abstraction for the sweep service.
+ *
+ * The coordinator/worker and serve protocols are framed byte streams (see
+ * frame.h) over a pluggable transport. The first backend is a local
+ * AF_UNIX stream socket — the deployment unit is "several worker
+ * processes on one host" — but the interface is deliberately narrow
+ * (blocking read/write, a pollable readiness fd, an acceptor) so a TCP or
+ * filesystem-spool backend slots in without touching the protocol layers.
+ *
+ * Endpoint strings select the backend: "unix:/path/sock" (bare paths are
+ * shorthand for unix). makeTransport() is the registry.
+ */
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace wsrs::svc {
+
+/** Connected, blocking, bidirectional byte stream. */
+class Stream
+{
+  public:
+    virtual ~Stream() = default;
+
+    /** Read up to @p len bytes; 0 = orderly EOF, negative = error. */
+    virtual long read(void *buf, std::size_t len) = 0;
+
+    /** Write the whole buffer; false on any error (peer gone, ...). */
+    virtual bool writeAll(const void *buf, std::size_t len) = 0;
+
+    /** Fd to poll(2) for read-readiness; -1 when unpollable. */
+    virtual int pollFd() const = 0;
+
+    /** Shut the stream down; further I/O fails. Idempotent. */
+    virtual void close() = 0;
+};
+
+/** Accepting side of a transport endpoint. */
+class Listener
+{
+  public:
+    virtual ~Listener() = default;
+
+    /** Block until a peer connects; null once closed. */
+    virtual std::unique_ptr<Stream> accept() = 0;
+
+    /** Fd to poll(2) for accept-readiness; -1 when unpollable. */
+    virtual int pollFd() const = 0;
+
+    /** The endpoint peers connect() to. */
+    virtual std::string endpoint() const = 0;
+
+    virtual void close() = 0;
+};
+
+/** A transport backend: endpoint factory for listeners and connections. */
+class Transport
+{
+  public:
+    virtual ~Transport() = default;
+
+    virtual std::unique_ptr<Listener>
+    listen(const std::string &endpoint) = 0;
+
+    virtual std::unique_ptr<Stream>
+    connect(const std::string &endpoint) = 0;
+};
+
+/** AF_UNIX stream-socket backend ("unix:<path>" endpoints). */
+class UnixSocketTransport : public Transport
+{
+  public:
+    std::unique_ptr<Listener> listen(const std::string &endpoint) override;
+    std::unique_ptr<Stream> connect(const std::string &endpoint) override;
+};
+
+/**
+ * Backend for @p endpoint ("unix:/path" or a bare filesystem path).
+ * @throws wsrs::FatalError for unknown schemes.
+ */
+std::unique_ptr<Transport> makeTransport(const std::string &endpoint);
+
+/** Strip a scheme prefix ("unix:") from an endpoint, if present. */
+std::string endpointPath(const std::string &endpoint);
+
+/**
+ * In-process connected stream pair (socketpair(2)) — the loopback
+ * "transport" used by tests and by same-process coordinator/worker
+ * wiring.
+ */
+std::pair<std::unique_ptr<Stream>, std::unique_ptr<Stream>> localPair();
+
+} // namespace wsrs::svc

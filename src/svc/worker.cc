@@ -1,0 +1,108 @@
+#include "worker.h"
+
+#include <unistd.h>
+
+#include <memory>
+
+#include "src/ckpt/shared_warmup_cache.h"
+#include "src/ckpt/warmup_cache.h"
+#include "src/common/log.h"
+#include "src/runner/job_exec.h"
+#include "src/runner/resume_journal.h"
+#include "src/runner/trace_cache.h"
+#include "src/svc/frame.h"
+#include "src/svc/transport.h"
+
+namespace wsrs::svc {
+
+WorkerStatsInfo
+runWorker(const std::vector<runner::SweepJob> &jobs,
+          const WorkerOptions &options)
+{
+    const std::uint64_t sweepKey = runner::sweepKeyHash(jobs);
+
+    std::unique_ptr<Stream> stream =
+        makeTransport(options.endpoint)->connect(options.endpoint);
+
+    if (!sendFrame(*stream, FrameType::Hello,
+                   helloPayload(::getpid(), sweepKey, jobs.size())))
+        fatalIo("worker: coordinator at %s hung up during hello",
+                options.endpoint.c_str());
+    Frame frame;
+    if (!recvFrame(*stream, frame) || frame.type != FrameType::HelloAck)
+        fatalIo("worker: expected hello_ack from %s, got %s",
+                options.endpoint.c_str(),
+                frameTypeName(frame.type));
+    if (const std::string refusal = parseHelloAck(frame.payload);
+        !refusal.empty())
+        fatalMismatch("worker: %s", refusal.c_str());
+
+    runner::TraceCache traces;
+    ckpt::WarmupCache warmups;
+    std::unique_ptr<ckpt::SharedWarmupCache> shared;
+    if (!options.warmupCacheDir.empty())
+        shared =
+            std::make_unique<ckpt::SharedWarmupCache>(options.warmupCacheDir);
+
+    runner::JobContext ctx;
+    ctx.traces = options.shareTraces ? &traces : nullptr;
+    ctx.warmups = &warmups;
+    ctx.sharedWarmups = shared.get();
+    ctx.reuseWarmup = options.reuseWarmup;
+
+    WorkerStatsInfo stats;
+    bool retired = false;
+    while (!retired) {
+        if (!sendFrame(*stream, FrameType::Claim, "{}"))
+            fatalIo("worker: coordinator hung up on claim");
+        if (!recvFrame(*stream, frame))
+            fatalIo("worker: coordinator hung up awaiting a lease");
+        switch (frame.type) {
+          case FrameType::Lease: {
+            const Shard shard = parseLease(frame.payload);
+            for (const std::uint64_t index : shard.jobs) {
+                if (index >= jobs.size())
+                    fatalIo("worker: lease names job %llu of a %zu-job "
+                            "sweep",
+                            static_cast<unsigned long long>(index),
+                            jobs.size());
+                runner::SweepOutcome out = executeJob(jobs[index], ctx);
+                ++stats.jobsRun;
+                if (!sendFrame(*stream, FrameType::JobDone,
+                               encodeJobDone(index, out)))
+                    fatalIo("worker: coordinator hung up mid-shard "
+                            "(job %llu done but unreported)",
+                            static_cast<unsigned long long>(index));
+            }
+            if (!sendFrame(*stream, FrameType::ShardDone,
+                           shardDonePayload(shard.id)))
+                fatalIo("worker: coordinator hung up on shard_done");
+            break;
+          }
+          case FrameType::NoWork:
+            retired = true;
+            break;
+          case FrameType::Error:
+            fatalIo("worker: coordinator error: %s",
+                    parseErrorPayload(frame.payload).c_str());
+          default:
+            fatalIo("worker: unexpected %s frame while awaiting a lease",
+                    frameTypeName(frame.type));
+        }
+    }
+
+    stats.warmupHits = warmups.hits();
+    stats.warmupMisses = warmups.misses();
+    if (shared) {
+        stats.sharedHits = shared->hits();
+        stats.sharedMisses = shared->misses();
+        stats.sharedRebuilds = shared->corruptRebuilds();
+    }
+    // Best-effort: the sweep result is already delivered; a hung-up
+    // coordinator here only loses telemetry.
+    sendFrame(*stream, FrameType::WorkerStats, workerStatsPayload(stats));
+    stream->close();
+    return stats;
+}
+
+} // namespace wsrs::svc

@@ -55,7 +55,7 @@ decodeRecord(const std::array<std::uint8_t, kRecordBytes> &rec,
     op.effAddr = decodeU64(&rec[8]);
     op.target = decodeU64(&rec[16]);
     if (rec[24] >= isa::kNumOpClasses)
-        fatal("trace file '%s' is corrupt: invalid op class %u at byte "
+        fatalIo("trace file '%s' is corrupt: invalid op class %u at byte "
               "offset %llu",
               path.c_str(), rec[24],
               static_cast<unsigned long long>(byte_offset + 24));
@@ -74,7 +74,7 @@ TraceWriter::TraceWriter(const std::string &path)
     : out_(path, std::ios::binary | std::ios::trunc), path_(path)
 {
     if (!out_)
-        fatal("cannot open trace file '%s' for writing", path.c_str());
+        fatalIo("cannot open trace file '%s' for writing", path.c_str());
     std::uint8_t header[kHeaderBytes] = {};
     std::memcpy(header, kMagic, sizeof(kMagic));
     encodeU64(header + 8, 0);  // patched in close()
@@ -108,7 +108,7 @@ TraceWriter::close()
     out_.write(reinterpret_cast<const char *>(buf), 8);
     out_.flush();
     if (!out_)
-        fatal("error writing trace file '%s'", path_.c_str());
+        fatalIo("error writing trace file '%s'", path_.c_str());
     out_.close();
 }
 
@@ -116,7 +116,7 @@ TraceReader::TraceReader(const std::string &path, bool wrap)
     : in_(path, std::ios::binary), path_(path), wrap_(wrap)
 {
     if (!in_)
-        fatal("cannot open trace file '%s'", path.c_str());
+        fatalIo("cannot open trace file '%s'", path.c_str());
 
     // Size the file up front so truncation is reported as an explicit
     // error (with the offending byte offset) instead of a short read
@@ -126,27 +126,27 @@ TraceReader::TraceReader(const std::string &path, bool wrap)
     in_.seekg(0);
 
     if (fileSize < kHeaderBytes)
-        fatal("trace file '%s' is truncated: %llu bytes, need %zu for the "
+        fatalIo("trace file '%s' is truncated: %llu bytes, need %zu for the "
               "header",
               path.c_str(), static_cast<unsigned long long>(fileSize),
               kHeaderBytes);
     std::uint8_t header[kHeaderBytes];
     in_.read(reinterpret_cast<char *>(header), kHeaderBytes);
     if (!in_ || std::memcmp(header, kMagic, sizeof(kMagic)) != 0)
-        fatal("'%s' is not a wsrs trace file (bad magic)", path.c_str());
+        fatalIo("'%s' is not a wsrs trace file (bad magic)", path.c_str());
     count_ = decodeU64(header + 8);
     if (count_ == 0)
-        fatal("trace file '%s' contains no records", path.c_str());
+        fatalIo("trace file '%s' contains no records", path.c_str());
 
     const std::uint64_t need = kHeaderBytes + count_ * kRecordBytes;
     if (fileSize < need)
-        fatal("trace file '%s' is truncated: header declares %llu records "
+        fatalIo("trace file '%s' is truncated: header declares %llu records "
               "(%llu bytes) but the file ends at byte offset %llu",
               path.c_str(), static_cast<unsigned long long>(count_),
               static_cast<unsigned long long>(need),
               static_cast<unsigned long long>(fileSize));
     if (fileSize > need)
-        fatal("trace file '%s' is corrupt: %llu trailing bytes after the "
+        fatalIo("trace file '%s' is corrupt: %llu trailing bytes after the "
               "last record (record region ends at byte offset %llu)",
               path.c_str(), static_cast<unsigned long long>(fileSize - need),
               static_cast<unsigned long long>(need));
@@ -157,7 +157,7 @@ TraceReader::next()
 {
     if (cursor_ >= count_) {
         if (!wrap_)
-            fatal("trace file '%s' exhausted after %llu records",
+            fatalIo("trace file '%s' exhausted after %llu records",
                   path_.c_str(), static_cast<unsigned long long>(count_));
         in_.clear();
         in_.seekg(kHeaderBytes);
@@ -166,7 +166,7 @@ TraceReader::next()
     std::array<std::uint8_t, kRecordBytes> rec;
     in_.read(reinterpret_cast<char *>(rec.data()), rec.size());
     if (!in_)
-        fatal("error reading trace file '%s': record %llu at byte offset "
+        fatalIo("error reading trace file '%s': record %llu at byte offset "
               "%llu is unreadable (truncated or I/O error)",
               path_.c_str(), static_cast<unsigned long long>(cursor_),
               static_cast<unsigned long long>(kHeaderBytes +

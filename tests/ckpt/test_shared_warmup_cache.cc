@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Cross-process warm-up cache contract: build-once sharing between
+ * instances (standing in for processes), atomic publish, and corrupt
+ * entries being diagnosed with byte offsets, quarantined and rebuilt.
+ */
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/ckpt/io.h"
+#include "src/ckpt/shared_warmup_cache.h"
+#include "src/common/log.h"
+
+namespace wsrs::ckpt {
+namespace {
+
+std::string
+cacheDir(const char *name)
+{
+    const std::string dir = testing::TempDir() + "wsrs_swc_" + name;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+/** A minimal but fully valid wsrs-ckpt-v1 container blob. */
+std::string
+containerBlob(const std::string &body)
+{
+    std::ostringstream os;
+    CheckpointWriter cw(os, "<test>", kKindWarmup, 0x1234);
+    Writer section;
+    section.str(body);
+    cw.section("warmup", section);
+    cw.finish();
+    return os.str();
+}
+
+TEST(SharedWarmupCache, BuildsOnceAndSharesAcrossInstances)
+{
+    const std::string dir = cacheDir("share");
+    const std::string blob = containerBlob("snapshot-bytes");
+
+    SharedWarmupCache first(dir);
+    int builds = 0;
+    const auto builder = [&] {
+        ++builds;
+        return blob;
+    };
+    EXPECT_EQ(first.getOrBuild(42, builder), blob);
+    EXPECT_EQ(builds, 1);
+    EXPECT_EQ(first.misses(), 1u);
+    EXPECT_TRUE(first.contains(42));
+
+    // A second instance over the same directory models another worker
+    // process: it must hit the published entry, never its builder.
+    SharedWarmupCache second(dir);
+    EXPECT_EQ(second.getOrBuild(42, [&]() -> std::string {
+        ADD_FAILURE() << "builder ran despite a published entry";
+        return blob;
+    }),
+              blob);
+    EXPECT_EQ(second.hits(), 1u);
+    EXPECT_EQ(second.misses(), 0u);
+
+    // Same instance, same key: served from disk again.
+    EXPECT_EQ(first.getOrBuild(42, builder), blob);
+    EXPECT_EQ(builds, 1);
+    EXPECT_EQ(first.hits(), 1u);
+}
+
+TEST(SharedWarmupCache, DistinctKeysGetDistinctEntries)
+{
+    SharedWarmupCache cache(cacheDir("keys"));
+    const std::string a = containerBlob("alpha");
+    const std::string b = containerBlob("beta");
+    EXPECT_EQ(cache.getOrBuild(1, [&] { return a; }), a);
+    EXPECT_EQ(cache.getOrBuild(2, [&] { return b; }), b);
+    EXPECT_NE(cache.entryPath(1), cache.entryPath(2));
+    EXPECT_TRUE(cache.contains(1));
+    EXPECT_TRUE(cache.contains(2));
+    EXPECT_FALSE(cache.contains(3));
+    EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(SharedWarmupCache, TruncatedEntryFailsWithByteOffset)
+{
+    SharedWarmupCache cache(cacheDir("trunc"));
+    const std::string blob = containerBlob("will-be-torn");
+    cache.getOrBuild(7, [&] { return blob; });
+
+    // Tear the published entry the way a crashed non-atomic writer would.
+    std::filesystem::resize_file(cache.entryPath(7), blob.size() / 2);
+    try {
+        cache.load(7);
+        FAIL() << "truncated entry loaded";
+    } catch (const IoError &e) {
+        EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(SharedWarmupCache, CorruptEntryIsQuarantinedAndRebuilt)
+{
+    SharedWarmupCache cache(cacheDir("corrupt"));
+    const std::string blob = containerBlob("poisoned-then-rebuilt");
+    cache.getOrBuild(9, [&] { return blob; });
+
+    // Flip one payload byte; the section CRC must catch it.
+    const std::string path = cache.entryPath(9);
+    {
+        std::fstream f(path, std::ios::in | std::ios::out |
+                                 std::ios::binary);
+        f.seekp(static_cast<std::streamoff>(blob.size()) - 10);
+        f.put('\xff');
+    }
+    EXPECT_THROW(cache.load(9), IoError);
+
+    int rebuilds = 0;
+    const std::string fresh = cache.getOrBuild(9, [&] {
+        ++rebuilds;
+        return blob;
+    });
+    EXPECT_EQ(fresh, blob);
+    EXPECT_EQ(rebuilds, 1);
+    EXPECT_EQ(cache.corruptRebuilds(), 1u);
+    // The damaged bytes are preserved for postmortem, and the fresh
+    // entry validates cleanly.
+    EXPECT_TRUE(std::filesystem::exists(path + ".corrupt"));
+    EXPECT_EQ(cache.load(9), blob);
+}
+
+TEST(SharedWarmupCache, LoadOfMissingEntryIsAnIoError)
+{
+    SharedWarmupCache cache(cacheDir("missing"));
+    EXPECT_THROW(cache.load(1234), IoError);
+}
+
+} // namespace
+} // namespace wsrs::ckpt

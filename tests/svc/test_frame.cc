@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Integrity contract of the WSVF frame layer: round trips over a real
+ * stream pair, and loud IoError diagnostics for every kind of damage —
+ * bad magic, oversized declared length, truncation, CRC mismatch.
+ */
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/common/log.h"
+#include "src/svc/frame.h"
+#include "src/svc/transport.h"
+
+namespace wsrs::svc {
+namespace {
+
+TEST(Frame, RoundTripsOverAStreamPair)
+{
+    auto [a, b] = localPair();
+    const std::string payload = "{\"x\": 1}";
+    ASSERT_TRUE(sendFrame(*a, FrameType::Hello, payload));
+    Frame got;
+    ASSERT_TRUE(recvFrame(*b, got));
+    EXPECT_EQ(got.type, FrameType::Hello);
+    EXPECT_EQ(got.payload, payload);
+}
+
+TEST(Frame, RoundTripsBinaryAndEmptyPayloads)
+{
+    auto [a, b] = localPair();
+    std::string binary;
+    for (int i = 0; i < 256; ++i)
+        binary.push_back(static_cast<char>(i));
+    ASSERT_TRUE(sendFrame(*a, FrameType::JobDone, binary));
+    ASSERT_TRUE(sendFrame(*a, FrameType::Claim, ""));
+    Frame got;
+    ASSERT_TRUE(recvFrame(*b, got));
+    EXPECT_EQ(got.payload, binary);
+    ASSERT_TRUE(recvFrame(*b, got));
+    EXPECT_EQ(got.type, FrameType::Claim);
+    EXPECT_TRUE(got.payload.empty());
+}
+
+TEST(Frame, CleanEofAtBoundaryIsNotAnError)
+{
+    auto [a, b] = localPair();
+    a->close();
+    Frame got;
+    EXPECT_FALSE(recvFrame(*b, got));
+}
+
+TEST(Frame, EofMidFrameIsAnIoError)
+{
+    auto [a, b] = localPair();
+    const std::string wire = encodeFrame(FrameType::Hello, "{\"k\": 1}");
+    // Send only half the frame, then hang up.
+    ASSERT_TRUE(a->writeAll(wire.data(), wire.size() / 2));
+    a->close();
+    Frame got;
+    EXPECT_THROW(recvFrame(*b, got), IoError);
+}
+
+TEST(Frame, BadMagicIsAnIoError)
+{
+    auto [a, b] = localPair();
+    std::string wire = encodeFrame(FrameType::Hello, "{}");
+    wire[0] = 'X';
+    ASSERT_TRUE(a->writeAll(wire.data(), wire.size()));
+    Frame got;
+    try {
+        recvFrame(*b, got);
+        FAIL() << "bad magic accepted";
+    } catch (const IoError &e) {
+        EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos);
+    }
+}
+
+TEST(Frame, CorruptPayloadFailsTheCrc)
+{
+    auto [a, b] = localPair();
+    std::string wire = encodeFrame(FrameType::Lease, "{\"shard\": 3}");
+    wire[4 + 4 + 8 + 2] ^= 0x40; // Flip one payload bit.
+    ASSERT_TRUE(a->writeAll(wire.data(), wire.size()));
+    Frame got;
+    try {
+        recvFrame(*b, got);
+        FAIL() << "corrupt payload accepted";
+    } catch (const IoError &e) {
+        EXPECT_NE(std::string(e.what()).find("CRC"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("lease"), std::string::npos);
+    }
+}
+
+TEST(Frame, OversizedDeclaredLengthIsRefusedBeforeBuffering)
+{
+    auto [a, b] = localPair();
+    std::string wire = encodeFrame(FrameType::Hello, "{}");
+    // Rewrite the length field to 1 TiB; the receiver must refuse the
+    // allocation instead of trusting the peer.
+    const std::uint64_t huge = 1ull << 40;
+    for (int i = 0; i < 8; ++i)
+        wire[8 + i] = static_cast<char>(huge >> (8 * i));
+    ASSERT_TRUE(a->writeAll(wire.data(), wire.size()));
+    Frame got;
+    try {
+        recvFrame(*b, got);
+        FAIL() << "oversized frame accepted";
+    } catch (const IoError &e) {
+        EXPECT_NE(std::string(e.what()).find("limit"), std::string::npos);
+    }
+}
+
+TEST(Frame, EncodeRefusesOversizedPayloadUpFront)
+{
+    // The send side enforces the same bound (FatalError: caller bug, not
+    // wire damage).
+    std::string big(kMaxFramePayload + 1, 'x');
+    EXPECT_THROW(encodeFrame(FrameType::SweepResult, big), FatalError);
+}
+
+} // namespace
+} // namespace wsrs::svc
