@@ -12,12 +12,16 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <sstream>
 #include <string>
 #include <thread>
 
 #include "src/bpred/simple_predictors.h"
 #include "src/bpred/two_bc_gskew.h"
+#include "src/core/cluster_alloc.h"
+#include "src/core/phys_regfile.h"
+#include "src/isa/micro_op.h"
 #include "src/memory/hierarchy.h"
 #include "src/obs/stage_profiler.h"
 #include "src/runner/sweep_runner.h"
@@ -96,6 +100,228 @@ BENCHMARK_CAPTURE(BM_SimulatorThroughput, wsrs_rm512_swim, "WSRS-RM-512",
     ->Unit(benchmark::kMillisecond);
 
 // ---------------------------------------------------------------------
+// Per-structure microbenchmarks for the hot-loop layouts, so a perf-smoke
+// regression is attributable below the pipeline-stage level: the ROB
+// window scan over the packed SoA metadata record vs the old
+// one-big-struct layout, the fixed-capacity recycler ring vs the
+// std::deque it replaced, and the interned WSRS placement table vs
+// re-deriving the legal (cluster, swapped) set per micro-op.
+// ---------------------------------------------------------------------
+
+/** Hot ROB metadata exactly as packed in Core's window (12 bytes). */
+struct RobMetaBench
+{
+    std::uint8_t state, waitClass, cluster, flags;
+    std::uint8_t cls;
+    std::uint16_t psrc1, psrc2, pdst;
+};
+
+/** Seed-style AoS entry: the same hot fields buried in the full record. */
+struct RobEntryAosBench
+{
+    std::uint8_t state, waitClass, cluster, flags;
+    std::uint8_t cls;
+    std::uint16_t psrc1, psrc2, pdst;
+    std::uint64_t readyCycle, completeCycle;
+    std::uint64_t pc, effAddr, memOrdinal;
+    std::uint64_t seq, value, target;  // cold commit/dataflow payload
+};
+
+template <typename Entry>
+void
+robScanBench(benchmark::State &state)
+{
+    // 64 x 512-entry windows: the metadata stream stays L2-resident under
+    // the packed 12-byte record (~384 KiB) but busts it under the full
+    // AoS record (~3.3 MiB) — the cache-footprint gap that motivated the
+    // hot/cold split, at a working set the parallel sweep actually has
+    // (one window per in-flight job).
+    constexpr std::size_t kEntries = 64 * 512;
+    std::vector<Entry> rob(kEntries);
+    std::uint64_t x = 0x2545f4914f6cdd1d;
+    for (Entry &e : rob) {
+        x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+        e.state = x & 3;
+        e.cluster = (x >> 2) & 3;
+    }
+    // The wakeup/issue-era scan shape: walk every slot, test the state
+    // byte, touch the operand fields of the matching ones.
+    for (auto _ : state) {
+        unsigned woken = 0;
+        for (Entry &e : rob) {
+            if (e.state == 1) {
+                e.psrc1 = static_cast<std::uint16_t>(woken);
+                e.state = 2;
+                ++woken;
+            } else if (e.state == 2) {
+                e.state = 1;
+            }
+        }
+        benchmark::DoNotOptimize(woken);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * kEntries));
+}
+
+void
+BM_RobScanSoa(benchmark::State &state)
+{
+    robScanBench<RobMetaBench>(state);
+}
+BENCHMARK(BM_RobScanSoa);
+
+void
+BM_RobScanAos(benchmark::State &state)
+{
+    robScanBench<RobEntryAosBench>(state);
+}
+BENCHMARK(BM_RobScanAos);
+
+void
+BM_RecyclerRing(benchmark::State &state)
+{
+    // The shipped layout: a fixed-capacity power-of-two ring with
+    // mask-and-store push/pop (mirrors PhysRegFile's recycler, minus the
+    // always-on constraint checks so both arms compare pure structure
+    // cost).
+    struct E
+    {
+        Cycle availableAt;
+        PhysReg reg;
+    };
+    std::vector<std::vector<PhysReg>> freeLists(4);
+    for (unsigned s = 0; s < 4; ++s)
+        for (unsigned i = 0; i < 128; ++i)
+            freeLists[s].push_back(static_cast<PhysReg>(s * 128 + i));
+    std::vector<E> ring(1024);
+    const std::size_t mask = ring.size() - 1;
+    std::size_t head = 0, size = 0;
+    Cycle now = 0;
+    for (auto _ : state) {
+        for (unsigned s = 0; s < 4; ++s) {
+            const PhysReg p = freeLists[s].back();
+            freeLists[s].pop_back();
+            ring[(head + size) & mask] = {now + 2, p};
+            ++size;
+        }
+        while (size > 0 && ring[head].availableAt <= now) {
+            const PhysReg p = ring[head].reg;
+            head = (head + 1) & mask;
+            --size;
+            freeLists[p / 128].push_back(p);
+        }
+        ++now;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * 4));
+}
+BENCHMARK(BM_RecyclerRing);
+
+void
+BM_RecyclerDeque(benchmark::State &state)
+{
+    // Reference: the seed's std::deque recycler over identical free-list
+    // traffic (allocator churn included — that is the point).
+    struct E
+    {
+        Cycle availableAt;
+        PhysReg reg;
+    };
+    std::vector<std::vector<PhysReg>> freeLists(4);
+    for (unsigned s = 0; s < 4; ++s)
+        for (unsigned i = 0; i < 128; ++i)
+            freeLists[s].push_back(static_cast<PhysReg>(s * 128 + i));
+    std::deque<E> recycler;
+    Cycle now = 0;
+    for (auto _ : state) {
+        for (unsigned s = 0; s < 4; ++s) {
+            const PhysReg p = freeLists[s].back();
+            freeLists[s].pop_back();
+            recycler.push_back({now + 2, p});
+        }
+        while (!recycler.empty() && recycler.front().availableAt <= now) {
+            const PhysReg p = recycler.front().reg;
+            recycler.pop_front();
+            freeLists[p / 128].push_back(p);
+        }
+        ++now;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * 4));
+}
+BENCHMARK(BM_RecyclerDeque);
+
+/** Deterministic micro-op / operand-subset stream shared by both arms. */
+std::uint64_t
+nextAllocCase(std::uint64_t x, isa::MicroOp &op, core::AllocContext &ctx)
+{
+    x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+    const unsigned arity = (x & 15) < 10 ? 2 : ((x & 15) < 14 ? 1 : 0);
+    op.src1 = arity >= 1 ? static_cast<LogReg>(1) : kNoLogReg;
+    op.src2 = arity >= 2 ? static_cast<LogReg>(2) : kNoLogReg;
+    op.commutative = (x & 16) != 0;
+    ctx.src1Subset = static_cast<SubsetId>((x >> 5) & 3);
+    ctx.src2Subset = static_cast<SubsetId>((x >> 7) & 3);
+    return x;
+}
+
+void
+BM_WsrsOptionsInterned(benchmark::State &state)
+{
+    // Shipped path: single indexed load from the 96-entry table interned
+    // at construction.
+    core::ClusterAllocator alloc(sim::findPreset("WSRS-RC-512"));
+    isa::MicroOp op;
+    core::AllocContext ctx;
+    std::uint64_t x = 0x9e3779b97f4a7c15;
+    for (auto _ : state) {
+        x = nextAllocCase(x, op, ctx);
+        unsigned count = 0;
+        const auto opts = alloc.wsrsOptions(op, ctx, count);
+        benchmark::DoNotOptimize(opts);
+        benchmark::DoNotOptimize(count);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WsrsOptionsInterned);
+
+void
+BM_WsrsOptionsRecomputed(benchmark::State &state)
+{
+    // Reference: the defining per-micro-op derivation the table replaced
+    // (mirrors ClusterAllocator::computeWsrsOptions for commutative FUs).
+    isa::MicroOp op;
+    core::AllocContext ctx;
+    std::uint64_t x = 0x9e3779b97f4a7c15;
+    for (auto _ : state) {
+        x = nextAllocCase(x, op, ctx);
+        std::array<core::AllocDecision, 4> opts{};
+        unsigned count = 0;
+        if (op.isDyadic()) {
+            opts[count++] = {core::wsrsCluster(ctx.src1Subset,
+                                               ctx.src2Subset), false};
+            if (ctx.src1Subset != ctx.src2Subset)
+                opts[count++] = {core::wsrsCluster(ctx.src2Subset,
+                                                   ctx.src1Subset), true};
+        } else if (op.isMonadic()) {
+            const SubsetId s = ctx.src1Subset;
+            opts[count++] = {static_cast<ClusterId>((s & 2) | 0), false};
+            opts[count++] = {static_cast<ClusterId>((s & 2) | 1), false};
+            const ClusterId a = static_cast<ClusterId>(0 | (s & 1));
+            const ClusterId b = static_cast<ClusterId>(2 | (s & 1));
+            const ClusterId distinct =
+                ((a >> 1) == ((s & 2) >> 1)) ? b : a;
+            opts[count++] = {distinct, true};
+        } else {
+            for (ClusterId c = 0; c < 4; ++c)
+                opts[count++] = {c, false};
+        }
+        benchmark::DoNotOptimize(opts);
+        benchmark::DoNotOptimize(count);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WsrsOptionsRecomputed);
+
+// ---------------------------------------------------------------------
 // Machine-readable throughput tracking (BENCH_sim_throughput.json).
 //
 // `microbench_components --sim-throughput-json=PATH` skips the google
@@ -127,6 +353,9 @@ emitThroughputJson(const std::string &path)
     }
 
     std::fprintf(out, "{\n  \"schema\": \"wsrs-sim-throughput-v1\",\n");
+#ifdef WSRS_BUILD_TYPE
+    std::fprintf(out, "  \"build_type\": \"%s\",\n", WSRS_BUILD_TYPE);
+#endif
     std::fprintf(out, "  \"host_threads\": %u,\n",
                  std::thread::hardware_concurrency());
 

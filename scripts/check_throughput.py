@@ -62,6 +62,17 @@ def main():
     single = data["single_run"]
 
     if args.write_baseline:
+        # Baselines define the regression floors for every future run, so
+        # refuse to derive them from an unoptimized binary. The stamp is
+        # written by the build (WSRS_BUILD_TYPE); its absence means the
+        # provenance of the numbers is unknown, which is just as bad.
+        build_type = data.get("build_type")
+        if build_type != "Release":
+            sys.exit(
+                f"refusing to write a baseline from a "
+                f"{build_type or 'unstamped'} build of "
+                f"microbench_components; re-run from a Release build "
+                f"(build_type stamp in {args.json})")
         baseline = {
             "schema": "wsrs-sim-throughput-baseline-v1",
             "note": ("conservative floors: measured uops/second x "

@@ -14,12 +14,39 @@ ClusterAllocator::ClusterAllocator(const CoreParams &params)
               params.numClusters);
     if (params.numClusters == 0 || params.numClusters > kMaxClusters)
         fatal("unsupported cluster count %u", params.numClusters);
+
+    // Intern every legal-placement set for the 4-subset WSRS geometry.
+    // Keys where can_swap disagrees with params.commutativeFus are never
+    // looked up (wsrsOptions folds the FU capability into the key), so the
+    // synthetic op's commutative flag alone drives the derivation.
+    for (unsigned arity = 0; arity <= 2; ++arity) {
+        for (unsigned swap = 0; swap <= 1; ++swap) {
+            for (SubsetId s1 = 0; s1 < 4; ++s1) {
+                for (SubsetId s2 = 0; s2 < 4; ++s2) {
+                    isa::MicroOp op;
+                    op.commutative = swap != 0;
+                    if (arity >= 1)
+                        op.src1 = 0;
+                    if (arity >= 2)
+                        op.src2 = 1;
+                    AllocContext ctx;
+                    ctx.src1Subset = s1;
+                    ctx.src2Subset = s2;
+                    OptionSet &e =
+                        wsrsTable_[tableKey(arity, swap != 0, s1, s2)];
+                    unsigned count = 0;
+                    e.opts = computeWsrsOptions(op, ctx, count);
+                    e.count = static_cast<std::uint8_t>(count);
+                }
+            }
+        }
+    }
 }
 
 std::array<AllocDecision, 4>
-ClusterAllocator::wsrsOptions(const isa::MicroOp &op,
-                              const AllocContext &ctx,
-                              unsigned &count) const
+ClusterAllocator::computeWsrsOptions(const isa::MicroOp &op,
+                                     const AllocContext &ctx,
+                                     unsigned &count) const
 {
     std::array<AllocDecision, 4> opts{};
     count = 0;

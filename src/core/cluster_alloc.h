@@ -97,10 +97,27 @@ class ClusterAllocator : public ckpt::Snapshotter
     /**
      * All (cluster, swapped) options legal for this micro-op on a WSRS
      * machine; used by the policies, the deadlock workaround and tests.
+     *
+     * The option set depends only on (arity, swap permission, operand
+     * subsets), so for the 4-subset WSRS geometry every possible set is
+     * interned into a 96-entry table at construction and this is a single
+     * indexed load instead of a per-micro-op re-derivation.
      */
     std::array<AllocDecision, 4>
     wsrsOptions(const isa::MicroOp &op, const AllocContext &ctx,
-                unsigned &count) const;
+                unsigned &count) const
+    {
+        if ((ctx.src1Subset | ctx.src2Subset) < 4) {
+            const bool can_swap = params_.commutativeFus || op.commutative;
+            const OptionSet &e =
+                wsrsTable_[tableKey(op.numSrcs(), can_swap, ctx.src1Subset,
+                                    ctx.src2Subset)];
+            count = e.count;
+            return e.opts;
+        }
+        // Exotic geometry (>4 subsets in tests): derive directly.
+        return computeWsrsOptions(op, ctx, count);
+    }
 
     void
     snapshot(ckpt::Writer &w) const override
@@ -125,9 +142,29 @@ class ClusterAllocator : public ckpt::Snapshotter
     AllocDecision allocateUnconstrained(const isa::MicroOp &op,
                                         const AllocContext &ctx);
 
+    /** The defining derivation interned by the constructor. */
+    std::array<AllocDecision, 4> computeWsrsOptions(const isa::MicroOp &op,
+                                                    const AllocContext &ctx,
+                                                    unsigned &count) const;
+
+    /** One interned legal-placement set. */
+    struct OptionSet
+    {
+        std::array<AllocDecision, 4> opts{};
+        std::uint8_t count = 0;
+    };
+
+    static constexpr std::size_t
+    tableKey(unsigned arity, bool can_swap, SubsetId s1, SubsetId s2)
+    {
+        return ((arity * 2 + (can_swap ? 1 : 0)) * 4 + (s1 & 3)) * 4 +
+               (s2 & 3);
+    }
+
     CoreParams params_;
     XorShiftRng rng_;
     unsigned rrCounter_ = 0;
+    std::array<OptionSet, 96> wsrsTable_{};  ///< arity x swap x s1 x s2.
 };
 
 } // namespace wsrs::core

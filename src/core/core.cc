@@ -31,6 +31,16 @@ validated(CoreParams p)
     return p;
 }
 
+/** Smallest power of two >= n (n >= 1). */
+std::size_t
+pow2AtLeast(std::size_t n)
+{
+    std::size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
 } // namespace
 
 Core::Core(const CoreParams &params, workload::MicroOpSource &gen,
@@ -44,12 +54,39 @@ Core::Core(const CoreParams &params, workload::MicroOpSource &gen,
       renamer_(prf_, params_.renameImpl, params_.fetchWidth,
                params_.recycleDelay),
       alloc_(params_), lsq_(params_.lsqSize), rng_(params_.seed),
-      rob_(std::size_t{params_.numClusters} * params_.clusterWindow),
       regWaiters_(params_.numPhysRegs), wakeWheel_(kWakeRing),
       prod_(params_.numPhysRegs), wbSlots_(params_.numClusters),
       obs_(statGroup_, params_.numClusters)
 {
+    windowCap_ = std::size_t{params_.numClusters} * params_.clusterWindow;
+    const std::size_t ring = pow2AtLeast(windowCap_);
+    robMask_ = ring - 1;
+    rob_.meta.assign(ring, RobMeta{0, 0, 0, 0, isa::OpClass::IntAlu,
+                                   kNoPhysReg, kNoPhysReg, kNoPhysReg});
+    rob_.readyCycle.assign(ring, kNeverCycle);
+    rob_.completeCycle.assign(ring, kNeverCycle);
+    rob_.pc.assign(ring, 0);
+    rob_.effAddr.assign(ring, 0);
+    rob_.memOrdinal.assign(ring, 0);
+    rob_.cold.assign(ring, RobCold{});
+
+    fetchMask_ = pow2AtLeast(std::max<std::size_t>(params_.fetchQueue, 1)) - 1;
+    fetchBuf_.resize(fetchMask_ + 1);
+
     renamer_.initMapping(&workload::initRegValue);
+}
+
+void
+Core::clearRobSlot(std::size_t i)
+{
+    rob_.meta[i] = RobMeta{0, 0, 0, 0, isa::OpClass::IntAlu,
+                           kNoPhysReg, kNoPhysReg, kNoPhysReg};
+    rob_.readyCycle[i] = kNeverCycle;
+    rob_.completeCycle[i] = kNeverCycle;
+    rob_.pc[i] = 0;
+    rob_.effAddr[i] = 0;
+    rob_.memOrdinal[i] = 0;
+    rob_.cold[i] = RobCold{};
 }
 
 SubsetId
@@ -87,23 +124,24 @@ Core::ffPenalty(ClusterId producer, ClusterId consumer) const
 }
 
 bool
-Core::srcReady(const DynInst &d) const
+Core::srcReady(std::size_t i) const
 {
+    const ClusterId cl = rob_.meta[i].cluster;
     const auto ready = [&](PhysReg p) {
         if (p == kNoPhysReg)
             return true;
         const Producer &info = prod_[p];
         if (info.readyBase == kNeverCycle)
             return false;
-        return now_ >= info.readyBase + ffPenalty(info.cluster, d.cluster);
+        return now_ >= info.readyBase + ffPenalty(info.cluster, cl);
     };
     // Memory ops are gated by the in-order address pipeline instead of
     // register readiness (stores capture their data lazily).
-    if (isa::isMemOp(d.op.op))
+    if (isa::isMemOp(rob_.meta[i].cls))
         return true;
-    if (!ready(d.psrc1))
+    if (!ready(rob_.meta[i].psrc1))
         return false;
-    return ready(d.psrc2);
+    return ready(rob_.meta[i].psrc2);
 }
 
 void
@@ -111,35 +149,50 @@ Core::insertReady(std::uint64_t rob_num)
 {
     // Ready lists stay sorted by ROB number so the issue stage keeps the
     // oldest-first selection order of the former full-queue scan.
-    DynInst &d = rob(rob_num);
-    auto &q = readyQ_[d.cluster];
-    const auto it = std::lower_bound(q.begin(), q.end(), rob_num);
-    if (it == q.end() || *it != rob_num) {
-        q.insert(it, rob_num);
-        if (d.readyCycle == kNeverCycle)
-            d.readyCycle = now_;
+    const std::size_t i = robIx(rob_num);
+    const ClusterId c = rob_.meta[i].cluster;
+    auto &q = readyQ_[c];
+    std::size_t &head = readyHead_[c];
+    if (head == q.size() && head != 0) {
+        // The live range is empty but a dead prefix remains; reclaim it
+        // now so back()/lower_bound below only ever see live entries.
+        q.clear();
+        head = 0;
     }
+    if (q.empty() || q.back() < rob_num) {
+        // Most wakes are for the youngest entries: append without search.
+        q.push_back(rob_num);
+    } else {
+        const auto it =
+            std::lower_bound(q.begin() + head, q.end(), rob_num);
+        if (it != q.end() && *it == rob_num)
+            return;
+        q.insert(it, rob_num);
+    }
+    if (rob_.readyCycle[i] == kNeverCycle)
+        rob_.readyCycle[i] = now_;
 }
 
 void
-Core::setWaitClass(DynInst &d, std::uint8_t cls)
+Core::setWaitClass(std::size_t i, std::uint8_t cls)
 {
-    if (d.waitClass == cls)
+    if (rob_.meta[i].waitClass == cls)
         return;
-    clearWaitClass(d);
-    d.waitClass = cls;
-    ++(cls == 2 ? waitRemote_ : waitLocal_)[d.cluster];
+    clearWaitClass(i);
+    rob_.meta[i].waitClass = cls;
+    ++(cls == 2 ? waitRemote_ : waitLocal_)[rob_.meta[i].cluster];
 }
 
 void
-Core::clearWaitClass(DynInst &d)
+Core::clearWaitClass(std::size_t i)
 {
-    if (d.waitClass == 0)
+    const std::uint8_t cls = rob_.meta[i].waitClass;
+    if (cls == 0)
         return;
-    auto &count = (d.waitClass == 2 ? waitRemote_ : waitLocal_)[d.cluster];
+    auto &count = (cls == 2 ? waitRemote_ : waitLocal_)[rob_.meta[i].cluster];
     WSRS_ASSERT(count > 0);
     --count;
-    d.waitClass = 0;
+    rob_.meta[i].waitClass = 0;
 }
 
 void
@@ -161,10 +214,13 @@ Core::scheduleWake(std::uint64_t rob_num, Cycle at)
 void
 Core::subscribeOrSchedule(std::uint64_t rob_num)
 {
-    DynInst &d = rob(rob_num);
+    const std::size_t i = robIx(rob_num);
     // Memory micro-ops are gated by the in-order address pipeline: they
     // enter the ready list when agenStage computes their address.
-    WSRS_ASSERT(!isa::isMemOp(d.op.op));
+    WSRS_ASSERT(!isa::isMemOp(rob_.meta[i].cls));
+    const PhysReg psrc1 = rob_.meta[i].psrc1;
+    const PhysReg psrc2 = rob_.meta[i].psrc2;
+    const ClusterId cl = rob_.meta[i].cluster;
     const auto pending = [&](PhysReg p) {
         return p != kNoPhysReg && prod_[p].readyBase == kNeverCycle;
     };
@@ -172,14 +228,14 @@ Core::subscribeOrSchedule(std::uint64_t rob_num)
     // re-subscribes to the other source if it is still outstanding.
     // The single pending token is classified local/remote for stall
     // attribution; classification never feeds back into timing.
-    if (pending(d.psrc1)) {
-        regWaiters_[d.psrc1].push_back(rob_num);
-        setWaitClass(d, prod_[d.psrc1].cluster != d.cluster ? 2 : 1);
+    if (pending(psrc1)) {
+        regWaiters_[psrc1].push_back(rob_num);
+        setWaitClass(i, prod_[psrc1].cluster != cl ? 2 : 1);
         return;
     }
-    if (pending(d.psrc2)) {
-        regWaiters_[d.psrc2].push_back(rob_num);
-        setWaitClass(d, prod_[d.psrc2].cluster != d.cluster ? 2 : 1);
+    if (pending(psrc2)) {
+        regWaiters_[psrc2].push_back(rob_num);
+        setWaitClass(i, prod_[psrc2].cluster != cl ? 2 : 1);
         return;
     }
     // Both producers issued: the operands become readable at a known cycle.
@@ -189,7 +245,7 @@ Core::subscribeOrSchedule(std::uint64_t rob_num)
         if (p == kNoPhysReg)
             return;
         const Producer &info = prod_[p];
-        const Cycle pen = ffPenalty(info.cluster, d.cluster);
+        const Cycle pen = ffPenalty(info.cluster, cl);
         const Cycle t = info.readyBase + pen;
         if (t > at) {
             at = t;
@@ -198,9 +254,9 @@ Core::subscribeOrSchedule(std::uint64_t rob_num)
             remote = true;
         }
     };
-    account(d.psrc1);
-    account(d.psrc2);
-    setWaitClass(d, remote ? 2 : 1);
+    account(psrc1);
+    account(psrc2);
+    setWaitClass(i, remote ? 2 : 1);
     scheduleWake(rob_num, at);
 }
 
@@ -212,12 +268,12 @@ Core::wakeDependants(PhysReg preg)
         return;
     const Producer &info = prod_[preg];
     for (const std::uint64_t n : waiters) {
-        DynInst &d = rob(n);
-        const Cycle pen = ffPenalty(info.cluster, d.cluster);
+        const std::size_t i = robIx(n);
+        const Cycle pen = ffPenalty(info.cluster, rob_.meta[i].cluster);
         scheduleWake(n, std::max(now_ + 1, info.readyBase + pen));
         // The token moves from subscription to the wheel: re-classify by
         // whether an intercluster hop delays this consumer.
-        setWaitClass(d, pen > 0 ? 2 : 1);
+        setWaitClass(i, pen > 0 ? 2 : 1);
     }
     waiters.clear();
 }
@@ -227,11 +283,11 @@ Core::wakeOne(std::uint64_t rob_num)
 {
     if (rob_num < robHead_)
         return;  // Entry already retired (defensive; tokens are unique).
-    DynInst &d = rob(rob_num);
-    if (d.state != InstState::Waiting)
+    const std::size_t i = robIx(rob_num);
+    if (rob_.meta[i].state != static_cast<std::uint8_t>(InstState::Waiting))
         return;
-    clearWaitClass(d);  // Token fired; re-wait re-classifies below.
-    if (srcReady(d))
+    clearWaitClass(i);  // Token fired; re-wait re-classifies below.
+    if (srcReady(i))
         insertReady(rob_num);
     else
         subscribeOrSchedule(rob_num);
@@ -282,40 +338,43 @@ Core::reserveWriteback(ClusterId c, Cycle nominal)
 std::uint64_t
 Core::committedMemValue(Addr a) const
 {
-    const auto it = committedMem_.find(a);
-    return it != committedMem_.end() ? it->second
-                                     : workload::memInitValue(a);
+    const std::uint64_t *v = committedMem_.find(a);
+    return v != nullptr ? *v : workload::memInitValue(a);
 }
 
 void
-Core::assertWsrsConstraints(const DynInst &d) const
+Core::assertWsrsConstraints(std::size_t i) const
 {
     // Read specialization (Figure 3): the subset feeding a cluster's first
     // operand port must share its top/bottom bit, the second port its
     // left/right bit; write specialization: results land in subset c.
-    const ClusterId c = d.cluster;
+    const ClusterId c = rob_.meta[i].cluster;
+    const bool swapped = rob_.meta[i].flags & kFlagSwapped;
+    const unsigned nsrcs = rob_.meta[i].flags >> kFlagNumSrcsShift;
     PhysReg first = kNoPhysReg, second = kNoPhysReg;
-    if (d.op.isDyadic()) {
-        first = d.swapped ? d.psrc2 : d.psrc1;
-        second = d.swapped ? d.psrc1 : d.psrc2;
-    } else if (d.op.isMonadic()) {
-        (d.swapped ? second : first) = d.psrc1;
+    if (nsrcs == 2) {
+        first = swapped ? rob_.meta[i].psrc2 : rob_.meta[i].psrc1;
+        second = swapped ? rob_.meta[i].psrc1 : rob_.meta[i].psrc2;
+    } else if (nsrcs == 1) {
+        (swapped ? second : first) = rob_.meta[i].psrc1;
     }
     if (first != kNoPhysReg)
         WSRS_ASSERT((prf_.subsetOf(first) & 2) == (c & 2));
     if (second != kNoPhysReg)
         WSRS_ASSERT((prf_.subsetOf(second) & 1) == (c & 1));
-    if (d.pdst != kNoPhysReg)
-        WSRS_ASSERT(prf_.subsetOf(d.pdst) == c);
+    if (rob_.meta[i].pdst != kNoPhysReg)
+        WSRS_ASSERT(prf_.subsetOf(rob_.meta[i].pdst) == c);
 }
 
 bool
 Core::tryIssue(std::uint64_t rob_num)
 {
-    DynInst &d = rob(rob_num);
-    WSRS_ASSERT(d.state == InstState::Waiting);
-    const ClusterId c = d.cluster;
-    const isa::OpClass cls = d.op.op;
+    const std::size_t i = robIx(rob_num);
+    WSRS_ASSERT(rob_.meta[i].state ==
+                static_cast<std::uint8_t>(InstState::Waiting));
+    const ClusterId c = rob_.meta[i].cluster;
+    const isa::OpClass cls = rob_.meta[i].cls;
+    const std::uint8_t flags = rob_.meta[i].flags;
 
     // Issue-bandwidth and functional-unit availability.
     if (cycTotal_[c] >= params_.issuePerCluster)
@@ -339,22 +398,28 @@ Core::tryIssue(std::uint64_t rob_num)
         }
     }
 
-    if (!srcReady(d))
-        return false;
+    // Operand readiness needs no re-check here: entries reach a ready
+    // list either through wakeOne (which verifies srcReady) or through
+    // agenStage (memory ops, whose srcReady is definitionally true), and
+    // readiness is monotone — producers' ready cycles are fixed at issue
+    // and a source's physical register cannot be reallocated before this
+    // consumer commits.
 
     // Memory access waits for the in-order address pipeline (agenStage).
-    if (isa::isMemOp(cls) && !lsq_.addrComputed(d.memOrdinal))
+    if (isa::isMemOp(cls) && !lsq_.addrComputed(rob_.memOrdinal[i]))
         return false;
 
-    const std::uint64_t s1 =
-        d.psrc1 != kNoPhysReg ? prf_.value(d.psrc1) : 0;
+    const PhysReg psrc1 = rob_.meta[i].psrc1;
+    const PhysReg psrc2 = rob_.meta[i].psrc2;
+    const std::uint64_t s1 = psrc1 != kNoPhysReg ? prf_.value(psrc1) : 0;
 
-    Cycle eff_lat = d.op.latency();
+    Cycle eff_lat = isa::opLatency(cls);
     std::uint64_t result = 0;
 
-    if (d.op.isLoad()) {
+    if (cls == isa::OpClass::Load) {
+        const Addr effAddr = rob_.effAddr[i];
         const ForwardProbe probe =
-            lsq_.probeForward(d.memOrdinal, d.op.effAddr);
+            lsq_.probeForward(rob_.memOrdinal[i], effAddr);
         std::uint64_t mem_val;
         if (probe.conflict) {
             if (!probe.dataReady)
@@ -362,31 +427,31 @@ Core::tryIssue(std::uint64_t rob_num)
             mem_val = probe.value;
             eff_lat = mem_.params().l1Latency;
             ++stats_.loadForwards;
-            mem_.access(d.op.effAddr, false, now_);  // Keep tags warm.
+            mem_.access(effAddr, false, now_);  // Keep tags warm.
         } else {
-            const memory::TimedAccess ta =
-                mem_.access(d.op.effAddr, false, now_);
+            const memory::TimedAccess ta = mem_.access(effAddr, false, now_);
             eff_lat = ta.latency;
-            mem_val = committedMemValue(d.op.effAddr);
+            mem_val = committedMemValue(effAddr);
         }
-        result = workload::execValue(d.op, s1, 0, mem_val);
-    } else if (d.op.isStore()) {
-        mem_.access(d.op.effAddr, true, now_);
-        if (d.psrc2 == kNoPhysReg ||
-            prod_[d.psrc2].readyBase != kNeverCycle) {
+        result = workload::execValue(cls, rob_.pc[i],
+                                     flags & kFlagCommutative, s1, 0,
+                                     mem_val);
+    } else if (cls == isa::OpClass::Store) {
+        mem_.access(rob_.effAddr[i], true, now_);
+        if (psrc2 == kNoPhysReg || prod_[psrc2].readyBase != kNeverCycle) {
             const std::uint64_t s2 =
-                d.psrc2 != kNoPhysReg ? prf_.value(d.psrc2) : 0;
-            lsq_.setStoreData(d.memOrdinal,
-                              workload::storeValue(d.op, s1, s2));
+                psrc2 != kNoPhysReg ? prf_.value(psrc2) : 0;
+            lsq_.setStoreData(rob_.memOrdinal[i],
+                              workload::storeValue(rob_.pc[i], s1, s2));
         } else {
             pendingStoreData_.push_back(rob_num);
         }
-    } else if (d.injectedMove) {
+    } else if (flags & kFlagInjectedMove) {
         result = s1;
-    } else if (d.op.hasDest()) {
-        const std::uint64_t s2 =
-            d.psrc2 != kNoPhysReg ? prf_.value(d.psrc2) : 0;
-        result = workload::execValue(d.op, s1, s2, 0);
+    } else if (flags & kFlagHasDest) {
+        const std::uint64_t s2 = psrc2 != kNoPhysReg ? prf_.value(psrc2) : 0;
+        result = workload::execValue(cls, rob_.pc[i],
+                                     flags & kFlagCommutative, s1, s2, 0);
     }
 
     // Non-pipelined long-latency units.
@@ -397,29 +462,30 @@ Core::tryIssue(std::uint64_t rob_num)
         complexBusyUntil_[unit] = now_ + eff_lat;
     }
 
-    if (d.op.hasDest()) {
+    if (flags & kFlagHasDest) {
         // Write-back port arbitration may push the result later.
         const Cycle nominal = now_ + params_.regReadStages + eff_lat;
         const Cycle actual = reserveWriteback(c, nominal);
         eff_lat += actual - nominal;
-        d.result = result;
-        prf_.setValue(d.pdst, result);
-        prod_[d.pdst].readyBase = now_ + eff_lat;
-        prod_[d.pdst].cluster = c;
+        rob_.cold[i].result = result;
+        const PhysReg pdst = rob_.meta[i].pdst;
+        prf_.setValue(pdst, result);
+        prod_[pdst].readyBase = now_ + eff_lat;
+        prod_[pdst].cluster = c;
         // Result broadcast: move exact dependants onto the wake wheel at
         // the cycle the value becomes readable from their cluster.
-        wakeDependants(d.pdst);
+        wakeDependants(pdst);
     }
 
-    d.state = InstState::Issued;
-    d.issueCycle = now_;
-    d.completeCycle = now_ + params_.regReadStages + eff_lat;
-    if (d.readyCycle != kNeverCycle)
-        obs_.recordWakeupLatency(now_ - d.readyCycle);
+    rob_.meta[i].state = static_cast<std::uint8_t>(InstState::Issued);
+    rob_.cold[i].issueCycle = now_;
+    rob_.completeCycle[i] = now_ + params_.regReadStages + eff_lat;
+    if (rob_.readyCycle[i] != kNeverCycle)
+        obs_.recordWakeupLatency(now_ - rob_.readyCycle[i]);
     if (params_.mode == RegFileMode::Wsrs)
-        assertWsrsConstraints(d);
+        assertWsrsConstraints(i);
 
-    if (d.op.isBranch() && d.mispredicted) {
+    if (cls == isa::OpClass::Branch && (flags & kFlagMispredicted)) {
         // Redirect: fetch restarts the cycle after resolution.
         fetchStalled_ = false;
         fetchResumeAt_ = now_ + params_.regReadStages + eff_lat;
@@ -450,14 +516,40 @@ Core::issueStage()
     drainWakes();
     for (ClusterId c = 0; c < params_.numClusters; ++c) {
         auto &q = readyQ_[c];
-        std::size_t w = 0;
-        for (std::size_t i = 0; i < q.size(); ++i) {
-            if (rob(q[i]).state == InstState::Issued)
+        std::size_t &head = readyHead_[c];
+        std::size_t w = head, i = head;
+        for (; i < q.size(); ++i) {
+            // Every failure path in tryIssue is side-effect-free, so once
+            // the cluster's issue bandwidth is consumed the rest of the
+            // list can be kept wholesale instead of probed entry by entry.
+            if (cycTotal_[c] >= params_.issuePerCluster)
+                break;
+            if (rob_.meta[robIx(q[i])].state ==
+                static_cast<std::uint8_t>(InstState::Issued))
                 continue;
             if (!tryIssue(q[i]))
                 q[w++] = q[i];
         }
-        q.resize(w);
+        if (i < q.size()) {
+            // Entries kept within the scanned prefix slide right to abut
+            // the unscanned tail; the head advances past the gap. Only the
+            // short prefix moves — the tail stays in place.
+            const std::size_t kept = w - head;
+            if (w != i)
+                std::move_backward(q.begin() + head, q.begin() + w,
+                                   q.begin() + i);
+            head = i - kept;
+        } else {
+            q.resize(w);
+            if (head == w) {
+                q.clear();
+                head = 0;
+            }
+        }
+        if (head >= kReadyTrim) {
+            q.erase(q.begin(), q.begin() + head);
+            head = 0;
+        }
     }
     recordIssueStalls();
 
@@ -481,7 +573,7 @@ Core::recordIssueStalls()
             cause = obs::IssueStall::Issued;
         else if (inflight_[c] == 0)
             cause = obs::IssueStall::EmptyCluster;
-        else if (!readyQ_[c].empty())
+        else if (readyQ_[c].size() > readyHead_[c])
             cause = obs::IssueStall::ResourceBusy;
         else if (waitRemote_[c] > 0)
             cause = obs::IssueStall::ForwardWait;
@@ -502,13 +594,14 @@ Core::agenStage()
     unsigned done = 0;
     std::uint64_t rn = 0;
     while (done < params_.agenWidth && lsq_.nextAgen(rn)) {
-        DynInst &d = rob(rn);
-        if (d.psrc1 != kNoPhysReg) {
-            const Producer &info = prod_[d.psrc1];
+        const std::size_t i = robIx(rn);
+        const PhysReg psrc1 = rob_.meta[i].psrc1;
+        if (psrc1 != kNoPhysReg) {
+            const Producer &info = prod_[psrc1];
             if (info.readyBase == kNeverCycle || now_ < info.readyBase)
                 break;
         }
-        lsq_.markAddrComputed(d.memOrdinal);
+        lsq_.markAddrComputed(rob_.memOrdinal[i]);
         // Address known: the memory op becomes eligible for issue (this
         // stage runs after issueStage, so the earliest attempt is next
         // cycle, exactly as under the former every-cycle scan).
@@ -521,21 +614,21 @@ void
 Core::captureStoreData()
 {
     std::size_t w = 0;
-    for (std::size_t i = 0; i < pendingStoreData_.size(); ++i) {
-        const std::uint64_t n = pendingStoreData_[i];
+    for (std::size_t k = 0; k < pendingStoreData_.size(); ++k) {
+        const std::uint64_t n = pendingStoreData_[k];
         if (n < robHead_)
             continue;  // Already captured at commit.
-        DynInst &d = rob(n);
-        if (d.psrc2 != kNoPhysReg &&
-            prod_[d.psrc2].readyBase == kNeverCycle) {
+        const std::size_t i = robIx(n);
+        const PhysReg psrc1 = rob_.meta[i].psrc1;
+        const PhysReg psrc2 = rob_.meta[i].psrc2;
+        if (psrc2 != kNoPhysReg && prod_[psrc2].readyBase == kNeverCycle) {
             pendingStoreData_[w++] = n;
             continue;
         }
-        const std::uint64_t s1 =
-            d.psrc1 != kNoPhysReg ? prf_.value(d.psrc1) : 0;
-        const std::uint64_t s2 =
-            d.psrc2 != kNoPhysReg ? prf_.value(d.psrc2) : 0;
-        lsq_.setStoreData(d.memOrdinal, workload::storeValue(d.op, s1, s2));
+        const std::uint64_t s1 = psrc1 != kNoPhysReg ? prf_.value(psrc1) : 0;
+        const std::uint64_t s2 = psrc2 != kNoPhysReg ? prf_.value(psrc2) : 0;
+        lsq_.setStoreData(rob_.memOrdinal[i],
+                          workload::storeValue(rob_.pc[i], s1, s2));
     }
     pendingStoreData_.resize(w);
 }
@@ -563,7 +656,7 @@ Core::tryInjectMove(SubsetId blocked_subset)
 {
     if (params_.mode == RegFileMode::Conventional)
         return false;  // Single subset: moves cannot help.
-    if (robTail_ - robHead_ >= rob_.size())
+    if (robTail_ - robHead_ >= windowCap_)
         return false;
 
     // Victim: any logical register currently mapped into the full subset.
@@ -630,20 +723,23 @@ Core::tryInjectMove(SubsetId blocked_subset)
         return false;
 
     const RenamedRegs rr = renamer_.rename(m, destSubset(m, chosen.cluster));
-    DynInst d;
-    d.op = m;
-    d.fetchCycle = now_;
-    d.renameCycle = now_;
-    d.psrc1 = rr.psrc1;
-    d.pdst = rr.pdst;
-    d.oldPdst = rr.oldPdst;
-    d.cluster = chosen.cluster;
-    d.swapped = chosen.swapped;
-    d.injectedMove = true;
+    const std::uint64_t n = robTail_++;
+    const std::size_t i = robIx(n);
+    clearRobSlot(i);
+    RobCold &cold = rob_.cold[i];
+    cold.op = m;
+    cold.fetchCycle = now_;
+    cold.renameCycle = now_;
+    cold.oldPdst = rr.oldPdst;
+    rob_.meta[i].cluster = chosen.cluster;
+    rob_.meta[i].flags = static_cast<std::uint8_t>(
+        (chosen.swapped ? kFlagSwapped : 0) | kFlagInjectedMove |
+        kFlagHasDest | (1u << kFlagNumSrcsShift));
+    rob_.meta[i].cls = m.op;
+    rob_.meta[i].psrc1 = rr.psrc1;
+    rob_.meta[i].pdst = rr.pdst;
     prod_[rr.pdst] = {kNeverCycle, chosen.cluster};
 
-    const std::uint64_t n = robTail_++;
-    rob(n) = d;
     subscribeOrSchedule(n);
     ++inflight_[chosen.cluster];
     ++stats_.injectedMoves;
@@ -657,19 +753,19 @@ Core::renameStage()
     unsigned renamed = 0;
     obs::RenameStall cause = obs::RenameStall::FullWidth;
     while (renamed < params_.fetchWidth) {
-        if (fetchQ_.empty() || fetchQ_.front().readyAt > now_) {
-            cause = fetchQ_.empty() &&
+        if (fetchCount_ == 0 || fetchBuf_[fetchHead_].readyAt > now_) {
+            cause = fetchCount_ == 0 &&
                             (fetchStalled_ || now_ < fetchResumeAt_)
                         ? obs::RenameStall::BranchRedirect
                         : obs::RenameStall::FrontendEmpty;
             break;
         }
-        if (robTail_ - robHead_ >= rob_.size()) {
+        if (robTail_ - robHead_ >= windowCap_) {
             ++stats_.renameStallRob;
             cause = obs::RenameStall::RobFull;
             break;
         }
-        const Fetched &f = fetchQ_.front();
+        const Fetched &f = fetchBuf_[fetchHead_];
         const isa::MicroOp &op = f.op;
         if (isa::isMemOp(op.op) && lsq_.full()) {
             ++stats_.renameStallLsq;
@@ -743,31 +839,48 @@ Core::renameStage()
         }
 
         const RenamedRegs rr = renamer_.rename(op, tgt);
-        DynInst d;
-        d.op = op;
-        d.expected = f.expected;
-        d.fetchCycle = f.fetchCycle;
-        d.renameCycle = now_;
-        d.psrc1 = rr.psrc1;
-        d.psrc2 = rr.psrc2;
-        d.pdst = rr.pdst;
-        d.oldPdst = rr.oldPdst;
-        d.cluster = dec.cluster;
-        d.swapped = dec.swapped;
-        d.mispredicted = f.mispredicted;
-        if (isa::isMemOp(op.op))
-            d.memOrdinal = lsq_.allocate(op.isStore(), op.effAddr, robTail_);
+        const std::uint64_t n = robTail_++;
+        const std::size_t i = robIx(n);
+        // Every field of the recycled slot is (re)written right here, so
+        // the full clearRobSlot double-touch is unnecessary on this path.
+        rob_.meta[i].state = static_cast<std::uint8_t>(InstState::Waiting);
+        rob_.meta[i].waitClass = 0;
+        rob_.readyCycle[i] = kNeverCycle;
+        rob_.completeCycle[i] = kNeverCycle;
+        RobCold &cold = rob_.cold[i];
+        cold.op = op;
+        cold.expected = f.expected;
+        cold.result = 0;
+        cold.fetchCycle = f.fetchCycle;
+        cold.renameCycle = now_;
+        cold.issueCycle = kNeverCycle;
+        cold.oldPdst = rr.oldPdst;
+        rob_.meta[i].cluster = dec.cluster;
+        rob_.meta[i].flags = static_cast<std::uint8_t>(
+            (dec.swapped ? kFlagSwapped : 0) |
+            (f.mispredicted ? kFlagMispredicted : 0) |
+            (op.hasDest() ? kFlagHasDest : 0) |
+            (op.commutative ? kFlagCommutative : 0) |
+            (op.numSrcs() << kFlagNumSrcsShift));
+        rob_.meta[i].cls = op.op;
+        rob_.meta[i].psrc1 = rr.psrc1;
+        rob_.meta[i].psrc2 = rr.psrc2;
+        rob_.meta[i].pdst = rr.pdst;
+        rob_.pc[i] = op.pc;
+        rob_.effAddr[i] = op.effAddr;
+        rob_.memOrdinal[i] =
+            isa::isMemOp(op.op) ? lsq_.allocate(op.isStore(), op.effAddr, n)
+                                : 0;
         if (op.hasDest())
             prod_[rr.pdst] = {kNeverCycle, dec.cluster};
 
-        const std::uint64_t n = robTail_++;
-        rob(n) = d;
         if (!isa::isMemOp(op.op))
             subscribeOrSchedule(n);
         ++inflight_[dec.cluster];
         recordAllocation(dec.cluster);
 
-        fetchQ_.pop_front();
+        fetchHead_ = (fetchHead_ + 1) & fetchMask_;
+        --fetchCount_;
         ++renamed;
     }
     obs_.recordRename(renamed == params_.fetchWidth
@@ -783,9 +896,9 @@ Core::fetchStage()
         return;
     unsigned fetched = 0;
     while (fetched < params_.fetchWidth &&
-           fetchQ_.size() < params_.fetchQueue) {
+           fetchCount_ < params_.fetchQueue) {
         const isa::MicroOp op = gen_.next();
-        Fetched f;
+        Fetched &f = fetchBuf_[(fetchHead_ + fetchCount_) & fetchMask_];
         f.op = op;
         f.expected =
             params_.verifyDataflow ? oracle_.execute(op) : 0;
@@ -797,7 +910,7 @@ Core::fetchStage()
             bp_.update(op.pc, op.taken);
             f.mispredicted = !bp_.isPerfect() && pred != op.taken;
         }
-        fetchQ_.push_back(f);
+        ++fetchCount_;
         ++fetched;
         if (f.mispredicted) {
             fetchStalled_ = true;
@@ -813,55 +926,69 @@ Core::commitStage()
 {
     unsigned width = 0;
     while (width < params_.commitWidth && robHead_ != robTail_) {
-        DynInst &d = rob(robHead_);
-        if (d.state != InstState::Issued || now_ < d.completeCycle)
+        const std::size_t i = robIx(robHead_);
+        if (rob_.meta[i].state != static_cast<std::uint8_t>(InstState::Issued) ||
+            now_ < rob_.completeCycle[i])
             break;
+        const isa::OpClass cls = rob_.meta[i].cls;
+        const std::uint8_t flags = rob_.meta[i].flags;
+        RobCold &cold = rob_.cold[i];
 
-        if (d.op.isStore()) {
-            if (!lsq_.storeDataReady(d.memOrdinal)) {
+        if (cls == isa::OpClass::Store) {
+            const std::uint64_t mo = rob_.memOrdinal[i];
+            if (!lsq_.storeDataReady(mo)) {
                 // Producer committed earlier, so the value is available.
+                const PhysReg psrc1 = rob_.meta[i].psrc1;
+                const PhysReg psrc2 = rob_.meta[i].psrc2;
                 const std::uint64_t s1 =
-                    d.psrc1 != kNoPhysReg ? prf_.value(d.psrc1) : 0;
+                    psrc1 != kNoPhysReg ? prf_.value(psrc1) : 0;
                 const std::uint64_t s2 =
-                    d.psrc2 != kNoPhysReg ? prf_.value(d.psrc2) : 0;
-                lsq_.setStoreData(d.memOrdinal,
-                                  workload::storeValue(d.op, s1, s2));
+                    psrc2 != kNoPhysReg ? prf_.value(psrc2) : 0;
+                lsq_.setStoreData(mo,
+                                  workload::storeValue(rob_.pc[i], s1, s2));
             }
-            committedMem_[d.op.effAddr] = lsq_.storeData(d.memOrdinal);
+            committedMem_[rob_.effAddr[i]] = lsq_.storeData(mo);
             lsq_.popFront();
-        } else if (d.op.isLoad()) {
+        } else if (cls == isa::OpClass::Load) {
             lsq_.popFront();
         }
 
-        if (d.op.hasDest()) {
-            if (params_.verifyDataflow && !d.injectedMove &&
-                d.result != d.expected) {
+        if (flags & kFlagHasDest) {
+            if (params_.verifyDataflow && !(flags & kFlagInjectedMove) &&
+                cold.result != cold.expected) {
                 ++stats_.valueMismatches;
             }
-            renamer_.commitFree(d.oldPdst, now_);
+            renamer_.commitFree(cold.oldPdst, now_);
         }
 
-        if (d.op.isBranch()) {
+        if (cls == isa::OpClass::Branch) {
             ++stats_.branches;
-            if (d.mispredicted)
+            if (flags & kFlagMispredicted)
                 ++stats_.mispredicts;
         }
 
         if (timelineCapacity_ > 0) {
-            timeline_.push_back(TimelineEntry{
-                d.op.seq, d.op.pc, d.op.op, d.cluster, d.mispredicted,
-                d.renameCycle, d.issueCycle, d.completeCycle, now_});
-            if (timeline_.size() > timelineCapacity_)
-                timeline_.pop_front();
+            TimelineEntry &e =
+                timeline_[(timelineHead_ + timelineSize_) %
+                          timelineCapacity_];
+            e = TimelineEntry{cold.op.seq, cold.op.pc, cls,
+                              rob_.meta[i].cluster,
+                              (flags & kFlagMispredicted) != 0,
+                              cold.renameCycle, cold.issueCycle,
+                              rob_.completeCycle[i], now_};
+            if (timelineSize_ < timelineCapacity_)
+                ++timelineSize_;
+            else
+                timelineHead_ = (timelineHead_ + 1) % timelineCapacity_;
         }
         if (traceSink_)
-            emitTrace(d);
+            emitTrace(i);
 
-        WSRS_ASSERT(inflight_[d.cluster] > 0);
-        --inflight_[d.cluster];
+        WSRS_ASSERT(inflight_[rob_.meta[i].cluster] > 0);
+        --inflight_[rob_.meta[i].cluster];
         ++robHead_;
         ++width;
-        if (!d.injectedMove)
+        if (!(flags & kFlagInjectedMove))
             ++stats_.committed;
     }
 
@@ -870,7 +997,8 @@ Core::commitStage()
         cause = obs::CommitStall::Committed;
     else if (robHead_ == robTail_)
         cause = obs::CommitStall::RobEmpty;
-    else if (rob(robHead_).state != InstState::Issued)
+    else if (rob_.meta[robIx(robHead_)].state !=
+             static_cast<std::uint8_t>(InstState::Issued))
         cause = obs::CommitStall::HeadNotIssued;
     else
         cause = obs::CommitStall::HeadExecuting;
@@ -878,23 +1006,25 @@ Core::commitStage()
 }
 
 void
-Core::emitTrace(const DynInst &d)
+Core::emitTrace(std::size_t i)
 {
+    const RobCold &cold = rob_.cold[i];
+    const std::uint8_t flags = rob_.meta[i].flags;
     obs::UopTrace t;
-    t.seq = d.op.seq;
-    t.pc = d.op.pc;
-    t.op = d.op.op;
-    t.cluster = d.cluster;
-    t.dstSubset = d.pdst != kNoPhysReg ? prf_.subsetOf(d.pdst)
-                                       : SubsetId{0xff};
-    t.flags = (d.mispredicted ? obs::kUopMispredicted : 0) |
-              (d.injectedMove ? obs::kUopInjectedMove : 0);
-    t.fetchCycle = d.fetchCycle;
-    t.renameCycle = d.renameCycle;
-    t.readyCycle =
-        d.readyCycle != kNeverCycle ? d.readyCycle : d.issueCycle;
-    t.issueCycle = d.issueCycle;
-    t.completeCycle = d.completeCycle;
+    t.seq = cold.op.seq;
+    t.pc = cold.op.pc;
+    t.op = rob_.meta[i].cls;
+    t.cluster = rob_.meta[i].cluster;
+    t.dstSubset = rob_.meta[i].pdst != kNoPhysReg ? prf_.subsetOf(rob_.meta[i].pdst)
+                                             : SubsetId{0xff};
+    t.flags = ((flags & kFlagMispredicted) ? obs::kUopMispredicted : 0) |
+              ((flags & kFlagInjectedMove) ? obs::kUopInjectedMove : 0);
+    t.fetchCycle = cold.fetchCycle;
+    t.renameCycle = cold.renameCycle;
+    t.readyCycle = rob_.readyCycle[i] != kNeverCycle ? rob_.readyCycle[i]
+                                                     : cold.issueCycle;
+    t.issueCycle = cold.issueCycle;
+    t.completeCycle = rob_.completeCycle[i];
     t.commitCycle = now_;
     traceSink_->record(t);
 }
@@ -963,7 +1093,7 @@ Core::regAccounting() const
     // mapping is counted as architectural (it is in the map table, or
     // appears as a younger op's oldPdst).
     for (std::uint64_t n = robHead_; n != robTail_; ++n)
-        if (rob(n).oldPdst != kNoPhysReg)
+        if (rob_.cold[robIx(n)].oldPdst != kNoPhysReg)
             ++acc.inFlight;
     return acc;
 }
@@ -972,24 +1102,36 @@ void
 Core::enableTimeline(std::size_t capacity)
 {
     timelineCapacity_ = capacity;
-    timeline_.clear();
+    timeline_.assign(capacity, TimelineEntry{});
+    timelineHead_ = 0;
+    timelineSize_ = 0;
+}
+
+std::vector<TimelineEntry>
+Core::timeline() const
+{
+    std::vector<TimelineEntry> out;
+    out.reserve(timelineSize_);
+    for (std::size_t k = 0; k < timelineSize_; ++k)
+        out.push_back(timeline_[(timelineHead_ + k) % timelineCapacity_]);
+    return out;
 }
 
 void
 Core::dumpTimeline(std::ostream &os, std::size_t max_rows) const
 {
-    if (timeline_.empty()) {
+    if (timelineSize_ == 0) {
         os << "(timeline empty; call enableTimeline first)\n";
         return;
     }
-    const std::size_t first =
-        timeline_.size() > max_rows ? timeline_.size() - max_rows : 0;
-    const Cycle base = timeline_[first].renameCycle;
+    const std::vector<TimelineEntry> tl = timeline();
+    const std::size_t first = tl.size() > max_rows ? tl.size() - max_rows : 0;
+    const Cycle base = tl[first].renameCycle;
     os << "seq        cluster op       "
           "R=rename I=issue C=complete X=commit (cycle - "
        << base << ")\n";
-    for (std::size_t i = first; i < timeline_.size(); ++i) {
-        const TimelineEntry &e = timeline_[i];
+    for (std::size_t i = first; i < tl.size(); ++i) {
+        const TimelineEntry &e = tl[i];
         char line[96];
         std::snprintf(line, sizeof(line), "%-10llu C%u      %-8s ",
                       (unsigned long long)e.seq, unsigned(e.cluster),
@@ -1089,68 +1231,17 @@ restoreMicroOp(ckpt::Reader &r)
     return op;
 }
 
-void
-snapshotDynInst(ckpt::Writer &w, const DynInst &d)
-{
-    snapshotMicroOp(w, d.op);
-    w.u64(d.expected);
-    w.u64(d.result);
-    w.u64(d.memOrdinal);
-    w.u64(d.fetchCycle);
-    w.u64(d.renameCycle);
-    w.u64(d.readyCycle);
-    w.u64(d.issueCycle);
-    w.u64(d.completeCycle);
-    w.u16(d.psrc1);
-    w.u16(d.psrc2);
-    w.u16(d.pdst);
-    w.u16(d.oldPdst);
-    w.u8(d.cluster);
-    w.b(d.swapped);
-    w.b(d.injectedMove);
-    w.b(d.mispredicted);
-    w.u8(static_cast<std::uint8_t>(d.state));
-    w.u8(d.waitClass);
-}
-
-void
-restoreDynInst(ckpt::Reader &r, DynInst &d, unsigned num_clusters)
-{
-    d.op = restoreMicroOp(r);
-    d.expected = r.u64();
-    d.result = r.u64();
-    d.memOrdinal = r.u64();
-    d.fetchCycle = r.u64();
-    d.renameCycle = r.u64();
-    d.readyCycle = r.u64();
-    d.issueCycle = r.u64();
-    d.completeCycle = r.u64();
-    d.psrc1 = r.u16();
-    d.psrc2 = r.u16();
-    d.pdst = r.u16();
-    d.oldPdst = r.u16();
-    d.cluster = r.u8();
-    if (d.cluster >= num_clusters)
-        r.fail("in-flight micro-op cluster out of range");
-    d.swapped = r.b();
-    d.injectedMove = r.b();
-    d.mispredicted = r.b();
-    const std::uint8_t st = r.u8();
-    if (st > 1)
-        r.fail("invalid in-flight micro-op state");
-    d.state = static_cast<InstState>(st);
-    d.waitClass = r.u8();
-}
-
 } // namespace
 
 void
 Core::snapshot(ckpt::Writer &w) const
 {
     // Geometry guard: restore targets must be configured identically.
+    // The window capacity (not the power-of-two ring size) is what defines
+    // the machine, and matches the pre-SoA stream bytes.
     w.u32(params_.numClusters);
     w.u32(params_.numPhysRegs);
-    w.u64(rob_.size());
+    w.u64(windowCap_);
     w.u64(now_);
 
     prf_.snapshot(w);
@@ -1161,14 +1252,44 @@ Core::snapshot(ckpt::Writer &w) const
     w.u64(rng_.stateWord(1));
     oracle_.snapshot(w);
 
-    // ROB: live window only; the ring's stale slots are never read.
+    // ROB: live window only, re-assembled per entry in the original
+    // (array-of-structs) wsrs-ckpt-v1 field order.
     w.u64(robHead_);
     w.u64(robTail_);
-    for (std::uint64_t n = robHead_; n != robTail_; ++n)
-        snapshotDynInst(w, rob(n));
+    for (std::uint64_t n = robHead_; n != robTail_; ++n) {
+        const std::size_t i = robIx(n);
+        const RobCold &cold = rob_.cold[i];
+        snapshotMicroOp(w, cold.op);
+        w.u64(cold.expected);
+        w.u64(cold.result);
+        w.u64(rob_.memOrdinal[i]);
+        w.u64(cold.fetchCycle);
+        w.u64(cold.renameCycle);
+        w.u64(rob_.readyCycle[i]);
+        w.u64(cold.issueCycle);
+        w.u64(rob_.completeCycle[i]);
+        w.u16(rob_.meta[i].psrc1);
+        w.u16(rob_.meta[i].psrc2);
+        w.u16(rob_.meta[i].pdst);
+        w.u16(cold.oldPdst);
+        w.u8(rob_.meta[i].cluster);
+        w.b(rob_.meta[i].flags & kFlagSwapped);
+        w.b(rob_.meta[i].flags & kFlagInjectedMove);
+        w.b(rob_.meta[i].flags & kFlagMispredicted);
+        w.u8(rob_.meta[i].state);
+        w.u8(rob_.meta[i].waitClass);
+    }
 
-    for (const auto &q : readyQ_)
-        ckpt::writeVec(w, q);
+    // Only the live range [head, end) of each ready list is state; the
+    // dead prefix is a transient compaction artifact. The byte layout
+    // matches writeVec over a head-free list.
+    for (ClusterId c = 0; c < kMaxClusters; ++c) {
+        const auto &q = readyQ_[c];
+        const std::size_t head = readyHead_[c];
+        w.u64(q.size() - head);
+        for (std::size_t k = head; k < q.size(); ++k)
+            w.u64(q[k]);
+    }
     for (const unsigned v : inflight_)
         w.u32(v);
     w.u64(regWaiters_.size());
@@ -1221,8 +1342,9 @@ Core::snapshot(ckpt::Writer &w) const
         }
     }
 
-    w.u64(fetchQ_.size());
-    for (const Fetched &f : fetchQ_) {
+    w.u64(fetchCount_);
+    for (std::size_t k = 0; k < fetchCount_; ++k) {
+        const Fetched &f = fetchBuf_[(fetchHead_ + k) & fetchMask_];
         snapshotMicroOp(w, f.op);
         w.u64(f.expected);
         w.u64(f.readyAt);
@@ -1235,8 +1357,10 @@ Core::snapshot(ckpt::Writer &w) const
     ckpt::writeVec(w, pendingStoreData_);
 
     // Committed memory image, sorted for deterministic snapshot bytes.
-    std::vector<std::pair<Addr, std::uint64_t>> img(committedMem_.begin(),
-                                                    committedMem_.end());
+    std::vector<std::pair<Addr, std::uint64_t>> img;
+    img.reserve(committedMem_.size());
+    committedMem_.forEach(
+        [&](Addr a, std::uint64_t v) { img.emplace_back(a, v); });
     std::sort(img.begin(), img.end());
     w.u64(img.size());
     for (const auto &[a, v] : img) {
@@ -1249,8 +1373,10 @@ Core::snapshot(ckpt::Writer &w) const
     w.u32(groupFill_);
 
     w.u64(timelineCapacity_);
-    w.u64(timeline_.size());
-    for (const TimelineEntry &e : timeline_) {
+    w.u64(timelineSize_);
+    for (std::size_t k = 0; k < timelineSize_; ++k) {
+        const TimelineEntry &e =
+            timeline_[(timelineHead_ + k) % timelineCapacity_];
         w.u64(e.seq);
         w.u64(e.pc);
         w.u8(static_cast<std::uint8_t>(e.op));
@@ -1293,7 +1419,7 @@ void
 Core::restore(ckpt::Reader &r)
 {
     if (r.u32() != params_.numClusters || r.u32() != params_.numPhysRegs ||
-        r.u64() != rob_.size())
+        r.u64() != windowCap_)
         r.fail("core geometry mismatch: checkpoint was taken on a "
                "differently configured machine");
     now_ = r.u64();
@@ -1309,15 +1435,52 @@ Core::restore(ckpt::Reader &r)
 
     robHead_ = r.u64();
     robTail_ = r.u64();
-    if (robTail_ < robHead_ || robTail_ - robHead_ > rob_.size())
+    if (robTail_ < robHead_ || robTail_ - robHead_ > windowCap_)
         r.fail("ROB window out of range");
-    for (DynInst &d : rob_)
-        d = DynInst{};
-    for (std::uint64_t n = robHead_; n != robTail_; ++n)
-        restoreDynInst(r, rob(n), params_.numClusters);
+    for (std::size_t i = 0; i <= robMask_; ++i)
+        clearRobSlot(i);
+    for (std::uint64_t n = robHead_; n != robTail_; ++n) {
+        const std::size_t i = robIx(n);
+        RobCold &cold = rob_.cold[i];
+        cold.op = restoreMicroOp(r);
+        cold.expected = r.u64();
+        cold.result = r.u64();
+        rob_.memOrdinal[i] = r.u64();
+        cold.fetchCycle = r.u64();
+        cold.renameCycle = r.u64();
+        rob_.readyCycle[i] = r.u64();
+        cold.issueCycle = r.u64();
+        rob_.completeCycle[i] = r.u64();
+        rob_.meta[i].psrc1 = r.u16();
+        rob_.meta[i].psrc2 = r.u16();
+        rob_.meta[i].pdst = r.u16();
+        cold.oldPdst = r.u16();
+        rob_.meta[i].cluster = r.u8();
+        if (rob_.meta[i].cluster >= params_.numClusters)
+            r.fail("in-flight micro-op cluster out of range");
+        const bool swapped = r.b();
+        const bool injected = r.b();
+        const bool mispredicted = r.b();
+        const std::uint8_t st = r.u8();
+        if (st > 1)
+            r.fail("invalid in-flight micro-op state");
+        rob_.meta[i].state = st;
+        rob_.meta[i].waitClass = r.u8();
+        rob_.meta[i].cls = cold.op.op;
+        rob_.pc[i] = cold.op.pc;
+        rob_.effAddr[i] = cold.op.effAddr;
+        rob_.meta[i].flags = static_cast<std::uint8_t>(
+            (swapped ? kFlagSwapped : 0) |
+            (injected ? kFlagInjectedMove : 0) |
+            (mispredicted ? kFlagMispredicted : 0) |
+            (cold.op.hasDest() ? kFlagHasDest : 0) |
+            (cold.op.commutative ? kFlagCommutative : 0) |
+            (cold.op.numSrcs() << kFlagNumSrcsShift));
+    }
 
     for (auto &q : readyQ_)
         ckpt::readVec(r, q);
+    readyHead_.fill(0);
     for (unsigned &v : inflight_)
         v = r.u32();
     if (r.u64() != regWaiters_.size())
@@ -1374,16 +1537,18 @@ Core::restore(ckpt::Reader &r)
         }
     }
 
-    fetchQ_.clear();
+    fetchHead_ = 0;
     const std::uint64_t fq = r.u64();
-    for (std::uint64_t i = 0; i < fq; ++i) {
-        Fetched f;
+    if (fq > fetchBuf_.size())
+        r.fail("fetch queue occupancy out of range");
+    fetchCount_ = static_cast<std::size_t>(fq);
+    for (std::size_t k = 0; k < fetchCount_; ++k) {
+        Fetched &f = fetchBuf_[k];
         f.op = restoreMicroOp(r);
         f.expected = r.u64();
         f.readyAt = r.u64();
         f.fetchCycle = r.u64();
         f.mispredicted = r.b();
-        fetchQ_.push_back(f);
     }
     fetchStalled_ = r.b();
     fetchResumeAt_ = r.u64();
@@ -1403,10 +1568,14 @@ Core::restore(ckpt::Reader &r)
     groupFill_ = r.u32();
 
     timelineCapacity_ = static_cast<std::size_t>(r.u64());
-    timeline_.clear();
+    timeline_.assign(timelineCapacity_, TimelineEntry{});
+    timelineHead_ = 0;
     const std::uint64_t tl = r.u64();
-    for (std::uint64_t i = 0; i < tl; ++i) {
-        TimelineEntry e;
+    if (tl > timelineCapacity_)
+        r.fail("timeline occupancy out of range");
+    timelineSize_ = static_cast<std::size_t>(tl);
+    for (std::size_t k = 0; k < timelineSize_; ++k) {
+        TimelineEntry &e = timeline_[k];
         e.seq = r.u64();
         e.pc = r.u64();
         e.op = static_cast<isa::OpClass>(r.u8());
@@ -1416,7 +1585,6 @@ Core::restore(ckpt::Reader &r)
         e.issueCycle = r.u64();
         e.completeCycle = r.u64();
         e.commitCycle = r.u64();
-        timeline_.push_back(e);
     }
 
     stats_.cycles = r.u64();

@@ -15,15 +15,24 @@
  * Branch mispredictions are modeled trace-driven: fetch stalls at the
  * mispredicted branch and resumes when it resolves, giving the paper's
  * configured minimum penalties (CoreParams::minMispredictPenalty).
+ *
+ * In-flight micro-op state is kept structure-of-arrays (RobStore): the
+ * fields the wake/issue/commit scans touch every cycle — scheduling state,
+ * cluster, operand/destination physical tags, op class, ready/complete
+ * cycles — are parallel arrays over a power-of-two ring, while everything
+ * needed at most once per micro-op (the full decoded MicroOp, oracle
+ * values, trace timestamps, the previous mapping) lives in a parallel cold
+ * array. The issue loop thereby walks a few dense bytes per entry instead
+ * of dragging whole 120-byte records through the cache.
  */
 #pragma once
 
 #include <array>
-#include <deque>
 #include <memory>
-#include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "src/common/flat_map64.h"
 
 #include "src/bpred/predictor.h"
 #include "src/ckpt/snapshotter.h"
@@ -46,33 +55,6 @@ namespace wsrs::core {
 
 /** Scheduling state of an in-flight micro-op. */
 enum class InstState : std::uint8_t { Waiting, Issued };
-
-/** One in-flight micro-op. */
-struct DynInst
-{
-    isa::MicroOp op;
-    std::uint64_t expected = 0;      ///< Oracle value (verify mode).
-    std::uint64_t result = 0;        ///< Dataflow value produced.
-    std::uint64_t memOrdinal = 0;    ///< LSQ ordinal (memory ops).
-    Cycle fetchCycle = 0;            ///< Cycle the op left the generator.
-    Cycle renameCycle = 0;           ///< Cycle the op entered the window.
-    Cycle readyCycle = kNeverCycle;  ///< First cycle on a ready list.
-    Cycle issueCycle = kNeverCycle;
-    Cycle completeCycle = kNeverCycle;
-    PhysReg psrc1 = kNoPhysReg;
-    PhysReg psrc2 = kNoPhysReg;
-    PhysReg pdst = kNoPhysReg;
-    PhysReg oldPdst = kNoPhysReg;
-    ClusterId cluster = 0;
-    bool swapped = false;            ///< Operand ports exchanged.
-    bool injectedMove = false;       ///< Deadlock-workaround move.
-    bool mispredicted = false;       ///< Mispredicted branch.
-    InstState state = InstState::Waiting;
-    /** Wait-token classification for stall attribution: 0 = no pending
-     *  wake-up token, 1 = waiting on a same-cluster producer, 2 = waiting
-     *  on a cross-cluster forward. */
-    std::uint8_t waitClass = 0;
-};
 
 /** Aggregate results of a simulation phase. */
 struct CoreStats
@@ -164,15 +146,29 @@ class Core
 
     /**
      * Keep a ring of the last @p capacity committed micro-ops' pipeline
-     * timestamps (0 disables recording).
+     * timestamps (0 disables recording). The ring storage is allocated
+     * here, once, so the commit hot path never allocates; when disabled
+     * (the default) commit pays a single predictable branch.
      */
     void enableTimeline(std::size_t capacity);
 
     /** The recorded timeline, oldest first. */
-    const std::deque<TimelineEntry> &timeline() const { return timeline_; }
+    std::vector<TimelineEntry> timeline() const;
 
     /** Render the recorded timeline as a gem5-pipeview-style text chart. */
     void dumpTimeline(std::ostream &os, std::size_t max_rows = 64) const;
+
+    /**
+     * Pre-size the committed-memory oracle map for a workload expected to
+     * touch roughly @p working_set_bytes of distinct data, so the map never
+     * rehashes mid-run. Purely a host-side optimization; the image is
+     * keyed by 8-byte double-words.
+     */
+    void
+    reserveMemoryFootprint(std::size_t working_set_bytes)
+    {
+        committedMem_.reserve(working_set_bytes / 8);
+    }
 
     /** Physical-register accounting snapshot (conservation checking). */
     struct RegAccounting
@@ -227,6 +223,10 @@ class Core
      * Must be called at a cycle boundary (between run() calls). The
      * attached micro-op source, predictor and memory hierarchy are NOT
      * included; the caller checkpoints those separately.
+     *
+     * The stream stays in the original per-entry wsrs-ckpt-v1 field order:
+     * the structure-of-arrays window is re-assembled entry-by-entry on the
+     * way out, so checkpoints are byte-compatible across the layout change.
      */
     void snapshot(ckpt::Writer &w) const;
     void restore(ckpt::Reader &r);
@@ -241,11 +241,11 @@ class Core
     void renameStage();
     void fetchStage();
 
-    // ---- helpers ----
-    bool srcReady(const DynInst &d) const;
+    // ---- helpers (ring-slot index arguments are robIx() values) ----
+    bool srcReady(std::size_t i) const;
     Cycle ffPenalty(ClusterId producer, ClusterId consumer) const;
     bool tryIssue(std::uint64_t rob_num);
-    void assertWsrsConstraints(const DynInst &d) const;
+    void assertWsrsConstraints(std::size_t i) const;
 
     // ---- event-driven wake-up ----
     void subscribeOrSchedule(std::uint64_t rob_num);
@@ -256,10 +256,10 @@ class Core
     void drainWakes();
 
     // ---- observability helpers ----
-    void setWaitClass(DynInst &d, std::uint8_t cls);
-    void clearWaitClass(DynInst &d);
+    void setWaitClass(std::size_t i, std::uint8_t cls);
+    void clearWaitClass(std::size_t i);
     void recordIssueStalls();
-    void emitTrace(const DynInst &d);
+    void emitTrace(std::size_t i);
     void runStages();
 
     // Per-cycle issue budgets (reset by issueStage).
@@ -273,12 +273,67 @@ class Core
     SubsetId targetSubset(ClusterId cluster) const;
     SubsetId destSubset(const isa::MicroOp &op, ClusterId cluster) const;
 
-    DynInst &rob(std::uint64_t n) { return rob_[n % rob_.size()]; }
-    const DynInst &
-    rob(std::uint64_t n) const
+    // ---- structure-of-arrays in-flight window ----
+
+    /** Per-entry flag bits in RobStore::flags. */
+    static constexpr std::uint8_t kFlagSwapped = 1u << 0;
+    static constexpr std::uint8_t kFlagInjectedMove = 1u << 1;
+    static constexpr std::uint8_t kFlagMispredicted = 1u << 2;
+    static constexpr std::uint8_t kFlagHasDest = 1u << 3;
+    static constexpr std::uint8_t kFlagCommutative = 1u << 4;
+    /** Register-source arity (0..2) in bits 5..6. */
+    static constexpr unsigned kFlagNumSrcsShift = 5;
+
+    /** Cold per-entry fields: touched once at rename/issue/commit each. */
+    struct RobCold
     {
-        return rob_[n % rob_.size()];
-    }
+        std::uint64_t expected = 0;      ///< Oracle value (verify mode).
+        std::uint64_t result = 0;        ///< Dataflow value produced.
+        Cycle fetchCycle = 0;            ///< Cycle the op left the generator.
+        Cycle renameCycle = 0;           ///< Cycle the op entered the window.
+        Cycle issueCycle = kNeverCycle;
+        PhysReg oldPdst = kNoPhysReg;
+        isa::MicroOp op;                 ///< Full decoded micro-op.
+    };
+
+    /** The ROB as parallel arrays over a power-of-two ring. */
+    /**
+     * Byte-sized pipeline fields and renamed registers of one window
+     * entry, packed into a single 12-byte record so renaming, issuing and
+     * committing an entry touch one cache line for all of them instead of
+     * one line per parallel array (no pipeline loop scans a single field
+     * linearly anymore — the ready lists and the wake wheel replaced the
+     * former full-window scans, so the fine-grained split stopped paying
+     * for itself).
+     */
+    struct RobMeta
+    {
+        std::uint8_t state;      ///< InstState values.
+        std::uint8_t waitClass;  ///< See setWaitClass().
+        std::uint8_t cluster;
+        std::uint8_t flags;      ///< kFlag* bits + arity.
+        isa::OpClass cls;
+        PhysReg psrc1;
+        PhysReg psrc2;
+        PhysReg pdst;
+    };
+
+    struct RobStore
+    {
+        std::vector<RobMeta> meta;
+        std::vector<Cycle> readyCycle;       ///< First cycle on a ready list.
+        std::vector<Cycle> completeCycle;
+        std::vector<Addr> pc;
+        std::vector<Addr> effAddr;
+        std::vector<std::uint64_t> memOrdinal;
+        std::vector<RobCold> cold;
+    };
+
+    /** Ring slot of an absolute ROB number (power-of-two mask, no divide). */
+    std::size_t robIx(std::uint64_t n) const { return n & robMask_; }
+
+    /** Reset slot @p i to freshly-constructed defaults. */
+    void clearRobSlot(std::size_t i);
 
     CoreParams params_;
     workload::MicroOpSource &gen_;
@@ -292,8 +347,11 @@ class Core
     XorShiftRng rng_;
     workload::OracleExecutor oracle_;   ///< Used in verify mode.
 
-    // ROB as a ring: absolute numbers [robHead_, robTail_).
-    std::vector<DynInst> rob_;
+    // ROB window: absolute numbers [robHead_, robTail_), at most
+    // windowCap_ in flight, stored in a ring of robMask_ + 1 slots.
+    RobStore rob_;
+    std::size_t windowCap_ = 0;   ///< numClusters * clusterWindow.
+    std::size_t robMask_ = 0;     ///< Ring capacity (pow2) minus one.
     std::uint64_t robHead_ = 0;
     std::uint64_t robTail_ = 0;
 
@@ -304,6 +362,11 @@ class Core
     // micro-ops sit in regWaiters_ / the wake wheel until their producers
     // broadcast.
     std::array<std::vector<std::uint64_t>, kMaxClusters> readyQ_;
+    // First live index into each ready list. Issued entries advance the
+    // head instead of shifting the (potentially long) resource-blocked
+    // tail left every cycle; the dead prefix is trimmed in bulk once it
+    // grows past a threshold, keeping the per-issue cost O(1) amortized.
+    std::array<std::size_t, kMaxClusters> readyHead_{};
     std::array<unsigned, kMaxClusters> inflight_{};
 
     // Producer-subscription wake-up: per physical register, the waiting
@@ -320,6 +383,8 @@ class Core
         std::vector<std::uint64_t> robs;
     };
     static constexpr std::size_t kWakeRing = 4096;
+    /** Dead ready-list prefix length that triggers a bulk trim. */
+    static constexpr std::size_t kReadyTrim = 1024;
     std::vector<WakeBucket> wakeWheel_;
     /** Wakes beyond the wheel horizon (virtually never used). */
     std::vector<std::pair<Cycle, std::uint64_t>> farWakes_;
@@ -346,7 +411,7 @@ class Core
     std::vector<std::array<WbSlot, kWbRing>> wbSlots_;
     Cycle reserveWriteback(ClusterId c, Cycle nominal);
 
-    // Front end.
+    // Front end: fixed-capacity FIFO ring sized from params.fetchQueue.
     struct Fetched
     {
         isa::MicroOp op;
@@ -355,7 +420,10 @@ class Core
         Cycle fetchCycle;     ///< Cycle the op left the generator.
         bool mispredicted;
     };
-    std::deque<Fetched> fetchQ_;
+    std::vector<Fetched> fetchBuf_;
+    std::size_t fetchMask_ = 0;
+    std::size_t fetchHead_ = 0;
+    std::size_t fetchCount_ = 0;
     bool fetchStalled_ = false;     ///< Waiting on a mispredicted branch.
     Cycle fetchResumeAt_ = 0;
 
@@ -363,16 +431,19 @@ class Core
     // producer had not issued yet.
     std::vector<std::uint64_t> pendingStoreData_;
 
-    // Committed memory image (dataflow values).
-    std::unordered_map<Addr, std::uint64_t> committedMem_;
+    // Committed memory image (dataflow values); probed once per load.
+    FlatMap64 committedMem_;
 
     // Figure-5 unbalancing metric state.
     std::array<std::uint64_t, kMaxClusters> groupCount_{};
     unsigned groupFill_ = 0;
 
-    // Committed-instruction timeline ring (enabled on demand).
-    std::deque<TimelineEntry> timeline_;
+    // Committed-instruction timeline ring (storage allocated only by
+    // enableTimeline; empty and branch-only on the default path).
+    std::vector<TimelineEntry> timeline_;
     std::size_t timelineCapacity_ = 0;
+    std::size_t timelineHead_ = 0;   ///< Oldest recorded entry.
+    std::size_t timelineSize_ = 0;
 
     Cycle now_ = 0;
     CoreStats stats_;

@@ -15,13 +15,18 @@
  *    exactly — a conflicting load forwards the store's value (stalling
  *    until the store's data has been captured), a conflict-free load
  *    bypasses all older stores (stores update memory at commit).
+ *
+ * Entries live in a fixed-capacity power-of-two ring indexed by the
+ * monotonically increasing mem-op ordinal, so allocation, lookup and the
+ * forwarding scan are mask-and-index with no allocator traffic.
  */
 #pragma once
 
 #include <cstdint>
-#include <deque>
+#include <vector>
 
 #include "src/ckpt/snapshotter.h"
+#include "src/common/flat_map64.h"
 #include "src/common/log.h"
 #include "src/common/types.h"
 
@@ -39,10 +44,17 @@ struct ForwardProbe
 class LoadStoreQueue : public ckpt::Snapshotter
 {
   public:
-    explicit LoadStoreQueue(unsigned capacity) : capacity_(capacity) {}
+    explicit LoadStoreQueue(unsigned capacity) : capacity_(capacity)
+    {
+        std::size_t ring = 1;
+        while (ring < capacity_)
+            ring <<= 1;
+        entries_.resize(ring == 0 ? 1 : ring);
+        mask_ = entries_.size() - 1;
+    }
 
-    bool full() const { return entries_.size() >= capacity_; }
-    std::size_t size() const { return entries_.size(); }
+    bool full() const { return size_ >= capacity_; }
+    std::size_t size() const { return size_; }
 
     /**
      * Allocate an entry at rename time.
@@ -54,8 +66,13 @@ class LoadStoreQueue : public ckpt::Snapshotter
     allocate(bool is_store, Addr addr, std::uint64_t rob_num)
     {
         WSRS_ASSERT(!full());
-        entries_.push_back(Entry{addr, 0, rob_num, is_store, false, false});
-        return frontOrdinal_ + entries_.size() - 1;
+        const std::uint64_t ordinal = frontOrdinal_ + size_;
+        Entry &e = entries_[ordinal & mask_];
+        e = Entry{addr, 0, rob_num, 0, is_store, false, false};
+        if (is_store)
+            linkStore(e, ordinal);
+        ++size_;
+        return ordinal;
     }
 
     /**
@@ -65,9 +82,9 @@ class LoadStoreQueue : public ckpt::Snapshotter
     bool
     nextAgen(std::uint64_t &rob_num) const
     {
-        if (agenCount_ >= entries_.size())
+        if (agenCount_ >= size_)
             return false;
-        rob_num = entries_[static_cast<std::size_t>(agenCount_)].robNum;
+        rob_num = entries_[(frontOrdinal_ + agenCount_) & mask_].robNum;
         return true;
     }
 
@@ -119,12 +136,21 @@ class LoadStoreQueue : public ckpt::Snapshotter
     probeForward(std::uint64_t load_ordinal, Addr addr) const
     {
         WSRS_ASSERT(addrComputed(load_ordinal));
-        const std::size_t pos =
-            static_cast<std::size_t>(load_ordinal - frontOrdinal_);
-        for (std::size_t i = pos; i-- > 0;) {
-            const Entry &e = entries_[i];
-            if (e.isStore && e.addr == addr)
+        // Same-address stores form a per-address chain (youngest first),
+        // so the probe walks only aliasing stores instead of every older
+        // entry. Chain links below frontOrdinal_ point at retired (and
+        // possibly recycled) slots and terminate the walk: no live older
+        // store aliases.
+        const std::uint64_t *head = lastStore_.find(addr);
+        std::uint64_t link = head ? *head : 0;
+        while (link > frontOrdinal_) {
+            const std::uint64_t o = link - 1;
+            const Entry &e = entries_[o & mask_];
+            if (o < load_ordinal) {
+                WSRS_ASSERT(e.isStore && e.addr == addr);
                 return {true, e.dataReady, e.storeValue};
+            }
+            link = e.prevStore;
         }
         return {};
     }
@@ -133,10 +159,10 @@ class LoadStoreQueue : public ckpt::Snapshotter
     void
     popFront()
     {
-        WSRS_ASSERT(!entries_.empty());
+        WSRS_ASSERT(size_ > 0);
         WSRS_ASSERT(agenCount_ > 0);
-        entries_.pop_front();
         ++frontOrdinal_;
+        --size_;
         --agenCount_;
     }
 
@@ -146,8 +172,10 @@ class LoadStoreQueue : public ckpt::Snapshotter
         w.u32(capacity_);
         w.u64(frontOrdinal_);
         w.u64(agenCount_);
-        w.u64(entries_.size());
-        for (const Entry &e : entries_) {
+        w.u64(size_);
+        for (std::uint64_t o = frontOrdinal_; o != frontOrdinal_ + size_;
+             ++o) {
+            const Entry &e = entries_[o & mask_];
             w.u64(e.addr);
             w.u64(e.storeValue);
             w.u64(e.robNum);
@@ -167,16 +195,22 @@ class LoadStoreQueue : public ckpt::Snapshotter
         const std::uint64_t n = r.u64();
         if (n > capacity_ || agenCount_ > n)
             r.fail("LSQ occupancy out of range");
-        entries_.clear();
+        size_ = n;
+        lastStore_.clear();
         for (std::uint64_t i = 0; i < n; ++i) {
-            Entry e;
+            const std::uint64_t ordinal = frontOrdinal_ + i;
+            Entry &e = entries_[ordinal & mask_];
             e.addr = r.u64();
             e.storeValue = r.u64();
             e.robNum = r.u64();
             e.isStore = r.b();
             e.dataReady = r.b();
             e.addrComputedFlag = r.b();
-            entries_.push_back(e);
+            e.prevStore = 0;
+            // The forwarding chains are derived state: rebuild them in
+            // ordinal order rather than serializing them.
+            if (e.isStore)
+                linkStore(e, ordinal);
         }
     }
 
@@ -186,17 +220,29 @@ class LoadStoreQueue : public ckpt::Snapshotter
         Addr addr;
         std::uint64_t storeValue;
         std::uint64_t robNum;
+        std::uint64_t prevStore;  // 1 + ordinal of next-older same-addr
+                                  // store; 0 or a retired ordinal ends
+                                  // the chain.
         bool isStore;
         bool dataReady;
         bool addrComputedFlag;  // Implicit via agenCount_; kept for dumps.
     };
 
+    /** Push store @p e (at @p ordinal) onto its address's chain. */
+    void
+    linkStore(Entry &e, std::uint64_t ordinal)
+    {
+        std::uint64_t &head = lastStore_[e.addr];
+        e.prevStore = head;
+        head = ordinal + 1;
+    }
+
     Entry &
     at(std::uint64_t ordinal)
     {
         WSRS_ASSERT(ordinal >= frontOrdinal_ &&
-                    ordinal - frontOrdinal_ < entries_.size());
-        return entries_[static_cast<std::size_t>(ordinal - frontOrdinal_)];
+                    ordinal - frontOrdinal_ < size_);
+        return entries_[ordinal & mask_];
     }
 
     const Entry &
@@ -205,9 +251,15 @@ class LoadStoreQueue : public ckpt::Snapshotter
         return const_cast<LoadStoreQueue *>(this)->at(ordinal);
     }
 
-    unsigned capacity_;
-    std::deque<Entry> entries_;
-    std::uint64_t frontOrdinal_ = 0;  ///< Ordinal of entries_.front().
+    unsigned capacity_;               ///< Configured architectural limit.
+    std::vector<Entry> entries_;      ///< Pow2 ring, ordinal & mask_ slots.
+    /// Youngest in-flight store per address (1 + ordinal; entries whose
+    /// ordinal retired are treated as absent). Derived state — rebuilt on
+    /// restore, never serialized.
+    FlatMap64 lastStore_;
+    std::size_t mask_ = 0;
+    std::uint64_t size_ = 0;          ///< Live entries.
+    std::uint64_t frontOrdinal_ = 0;  ///< Ordinal of the oldest entry.
     std::uint64_t agenCount_ = 0;     ///< Computed addresses at the front.
 };
 

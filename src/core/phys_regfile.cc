@@ -10,6 +10,9 @@ PhysRegFile::PhysRegFile(unsigned num_regs, unsigned num_subsets)
               num_regs, num_subsets);
     subsetSize_ = num_regs / num_subsets;
     values_.assign(num_regs, 0);
+    subsetOf_.resize(num_regs);
+    for (unsigned p = 0; p < num_regs; ++p)
+        subsetOf_[p] = static_cast<SubsetId>(p / subsetSize_);
     freeLists_.resize(num_subsets);
     for (unsigned s = 0; s < num_subsets; ++s) {
         // Populate in descending order so allocation starts from the
@@ -19,6 +22,11 @@ PhysRegFile::PhysRegFile(unsigned num_regs, unsigned num_subsets)
         for (unsigned i = subsetSize_; i-- > 0;)
             list.push_back(static_cast<PhysReg>(s * subsetSize_ + i));
     }
+    std::size_t cap = 1;
+    while (cap < num_regs + 1u)
+        cap <<= 1;
+    recycler_.resize(cap);
+    recyclerMask_ = cap - 1;
 }
 
 PhysReg
@@ -40,17 +48,22 @@ PhysRegFile::release(PhysReg p)
 void
 PhysRegFile::releaseDeferred(PhysReg p, Cycle available_at)
 {
-    WSRS_ASSERT(recycler_.empty() ||
-                recycler_.back().availableAt <= available_at);
-    recycler_.push_back({available_at, p});
+    WSRS_ASSERT(recyclerSize_ == 0 ||
+                recycler_[(recyclerHead_ + recyclerSize_ - 1) & recyclerMask_]
+                        .availableAt <= available_at);
+    WSRS_ASSERT(recyclerSize_ <= recyclerMask_);
+    recycler_[(recyclerHead_ + recyclerSize_) & recyclerMask_] = {available_at,
+                                                                 p};
+    ++recyclerSize_;
 }
 
 void
 PhysRegFile::drainRecycler(Cycle now)
 {
-    while (!recycler_.empty() && recycler_.front().availableAt <= now) {
-        release(recycler_.front().reg);
-        recycler_.pop_front();
+    while (recyclerSize_ > 0 && recycler_[recyclerHead_].availableAt <= now) {
+        release(recycler_[recyclerHead_].reg);
+        recyclerHead_ = (recyclerHead_ + 1) & recyclerMask_;
+        --recyclerSize_;
     }
 }
 
@@ -63,8 +76,9 @@ PhysRegFile::snapshot(ckpt::Writer &w) const
         w.u64(v);
     for (const auto &list : freeLists_)
         ckpt::writeVec(w, list);
-    w.u64(recycler_.size());
-    for (const RecycleEntry &e : recycler_) {
+    w.u64(recyclerSize_);
+    for (std::size_t k = 0; k < recyclerSize_; ++k) {
+        const RecycleEntry &e = recycler_[(recyclerHead_ + k) & recyclerMask_];
         w.u64(e.availableAt);
         w.u32(e.reg);
     }
@@ -82,13 +96,15 @@ PhysRegFile::restore(ckpt::Reader &r)
         if (list.size() > subsetSize_)
             r.fail("free list larger than its subset");
     }
-    recycler_.clear();
+    recyclerHead_ = 0;
     const std::uint64_t n = r.u64();
+    if (n > recyclerMask_)
+        r.fail("recycler occupancy exceeds register count");
+    recyclerSize_ = static_cast<std::size_t>(n);
     for (std::uint64_t i = 0; i < n; ++i) {
-        RecycleEntry e;
+        RecycleEntry &e = recycler_[i];
         e.availableAt = r.u64();
         e.reg = static_cast<PhysReg>(r.u32());
-        recycler_.push_back(e);
     }
 }
 

@@ -10,7 +10,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "src/ckpt/snapshotter.h"
@@ -33,12 +32,17 @@ class PhysRegFile : public ckpt::Snapshotter
     unsigned numSubsets() const { return numSubsets_; }
     unsigned subsetSize() const { return subsetSize_; }
 
-    /** Subset owning a register. */
+    /**
+     * Subset owning a register. A precomputed per-register table: this is
+     * queried for every operand of every renamed and issued micro-op, and
+     * (unlike the defining division) a byte load stays cheap even inside
+     * the always-on WSRS_ASSERT constraint checks.
+     */
     SubsetId
     subsetOf(PhysReg p) const
     {
         WSRS_ASSERT(p < values_.size());
-        return static_cast<SubsetId>(p / subsetSize_);
+        return subsetOf_[p];
     }
 
     /// @name Free-list operations.
@@ -69,7 +73,7 @@ class PhysRegFile : public ckpt::Snapshotter
     unsigned
     inRecycler() const
     {
-        return static_cast<unsigned>(recycler_.size());
+        return static_cast<unsigned>(recyclerSize_);
     }
     /// @}
 
@@ -98,6 +102,7 @@ class PhysRegFile : public ckpt::Snapshotter
     unsigned numSubsets_;
     unsigned subsetSize_;
     std::vector<std::uint64_t> values_;
+    std::vector<SubsetId> subsetOf_;    ///< p -> p / subsetSize_, interned.
     std::vector<std::vector<PhysReg>> freeLists_;
 
     struct RecycleEntry
@@ -105,7 +110,13 @@ class PhysRegFile : public ckpt::Snapshotter
         Cycle availableAt;
         PhysReg reg;
     };
-    std::deque<RecycleEntry> recycler_;  ///< Ordered by availableAt.
+    // Fixed-capacity FIFO ring ordered by availableAt. A register is in
+    // the pipeline at most once, so a power-of-two capacity >= numRegs + 1
+    // can never overflow and push/pop are mask-and-store.
+    std::vector<RecycleEntry> recycler_;
+    std::size_t recyclerMask_ = 0;
+    std::size_t recyclerHead_ = 0;
+    std::size_t recyclerSize_ = 0;
 };
 
 } // namespace wsrs::core

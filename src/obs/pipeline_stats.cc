@@ -80,8 +80,43 @@ PipelineStats::enableIntervals(Cycle period)
 }
 
 void
+PipelineStats::flush() const
+{
+    for (unsigned c = 0; c < numClusters_; ++c) {
+        auto &pending = pendingIssue_[c];
+        for (std::size_t v = 0; v < pending.size(); ++v) {
+            if (pending[v]) {
+                issueStall_[c]->sample(v, pending[v]);
+                pending[v] = 0;
+            }
+        }
+        occupancySum_[c] += pendingOccupancy_[c];
+        pendingOccupancy_[c] = 0;
+    }
+    for (std::size_t v = 0; v < pendingRename_.size(); ++v) {
+        if (pendingRename_[v]) {
+            renameStall_->sample(v, pendingRename_[v]);
+            pendingRename_[v] = 0;
+        }
+    }
+    for (std::size_t v = 0; v < pendingCommit_.size(); ++v) {
+        if (pendingCommit_[v]) {
+            commitStall_->sample(v, pendingCommit_[v]);
+            pendingCommit_[v] = 0;
+        }
+    }
+    for (std::size_t v = 0; v < pendingWakeup_.size(); ++v) {
+        if (pendingWakeup_[v]) {
+            wakeupLatency_->sample(v, pendingWakeup_[v]);
+            pendingWakeup_[v] = 0;
+        }
+    }
+}
+
+void
 PipelineStats::reset()
 {
+    discardPending();
     for (auto &h : issueStall_)
         h->reset();
     renameStall_->reset();
@@ -124,6 +159,7 @@ dumpHistBody(std::ostream &os, const Histogram &h)
 void
 PipelineStats::dumpJson(std::ostream &os) const
 {
+    flush();
     os << "{\"stall_causes\": {\"issue\": ";
     dumpLegend<IssueStall>(os, issueStallName);
     os << ", \"rename\": ";
@@ -187,6 +223,7 @@ restoreHist(ckpt::Reader &r, Histogram &h)
 void
 PipelineStats::snapshot(ckpt::Writer &w) const
 {
+    flush();
     w.u32(numClusters_);
     for (const auto &h : issueStall_)
         snapshotHist(w, *h);
@@ -208,6 +245,7 @@ PipelineStats::snapshot(ckpt::Writer &w) const
 void
 PipelineStats::restore(ckpt::Reader &r)
 {
+    discardPending();
     if (r.u32() != numClusters_)
         r.fail("pipeline-stats cluster count mismatch");
     for (auto &h : issueStall_)

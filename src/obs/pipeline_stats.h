@@ -99,29 +99,39 @@ class PipelineStats : public ckpt::Snapshotter
 
     unsigned numClusters() const { return numClusters_; }
 
+    // The record* hooks run several times per simulated cycle, so they
+    // only bump flat in-object counters; flush() folds the batch into the
+    // Histogram stats on the (cold) read side. Histogram contents are
+    // additive integer counts — and the running sums stay integer-valued,
+    // hence exact in double — so batched application is bit-identical to
+    // per-cycle sample() calls.
+
     void
     recordIssue(ClusterId c, IssueStall cause, unsigned occupancy)
     {
-        issueStall_[c]->sample(static_cast<std::uint64_t>(cause));
-        occupancySum_[c] += occupancy;
+        ++pendingIssue_[c][static_cast<std::size_t>(cause)];
+        pendingOccupancy_[c] += occupancy;
     }
 
     void
     recordRename(RenameStall cause)
     {
-        renameStall_->sample(static_cast<std::uint64_t>(cause));
+        ++pendingRename_[static_cast<std::size_t>(cause)];
     }
 
     void
     recordCommit(CommitStall cause)
     {
-        commitStall_->sample(static_cast<std::uint64_t>(cause));
+        ++pendingCommit_[static_cast<std::size_t>(cause)];
     }
 
     void
     recordWakeupLatency(Cycle lat)
     {
-        wakeupLatency_->sample(lat);
+        if (lat < kWakeupBuckets)
+            ++pendingWakeup_[static_cast<std::size_t>(lat)];
+        else
+            wakeupLatency_->sample(lat);  // Rare; value feeds the mean.
     }
 
     /**
@@ -153,11 +163,36 @@ class PipelineStats : public ckpt::Snapshotter
         return intervals_;
     }
 
-    const Histogram &issueStall(unsigned c) const { return *issueStall_[c]; }
-    const Histogram &renameStall() const { return *renameStall_; }
-    const Histogram &commitStall() const { return *commitStall_; }
-    const Histogram &wakeupLatency() const { return *wakeupLatency_; }
-    std::uint64_t occupancySum(unsigned c) const { return occupancySum_[c]; }
+    const Histogram &
+    issueStall(unsigned c) const
+    {
+        flush();
+        return *issueStall_[c];
+    }
+    const Histogram &
+    renameStall() const
+    {
+        flush();
+        return *renameStall_;
+    }
+    const Histogram &
+    commitStall() const
+    {
+        flush();
+        return *commitStall_;
+    }
+    const Histogram &
+    wakeupLatency() const
+    {
+        flush();
+        return *wakeupLatency_;
+    }
+    std::uint64_t
+    occupancySum(unsigned c) const
+    {
+        flush();
+        return occupancySum_[c];
+    }
 
     /** Zero all measurements, keeping configuration (interval period). */
     void reset();
@@ -173,12 +208,43 @@ class PipelineStats : public ckpt::Snapshotter
     void restore(ckpt::Reader &r) override;
 
   private:
+    /** Fold the batched attribution counters into the histograms. */
+    void flush() const;
+
+    /** Discard any batched attribution not yet flushed. */
+    void
+    discardPending()
+    {
+        for (auto &p : pendingIssue_)
+            p.fill(0);
+        pendingOccupancy_.fill(0);
+        pendingRename_.fill(0);
+        pendingCommit_.fill(0);
+        pendingWakeup_.fill(0);
+    }
+
     unsigned numClusters_;
     std::vector<std::unique_ptr<Histogram>> issueStall_;  ///< Per cluster.
     std::unique_ptr<Histogram> renameStall_;
     std::unique_ptr<Histogram> commitStall_;
     std::unique_ptr<Histogram> wakeupLatency_;
-    std::array<std::uint64_t, kClusterCap> occupancySum_{};
+    mutable std::array<std::uint64_t, kClusterCap> occupancySum_{};
+
+    // Batched record* counts awaiting flush() (mutable: flushing from the
+    // const read-side accessors is not an observable mutation).
+    mutable std::array<std::array<std::uint64_t,
+                                  static_cast<std::size_t>(
+                                      IssueStall::kCount)>,
+                       kClusterCap>
+        pendingIssue_{};
+    mutable std::array<std::uint64_t, kClusterCap> pendingOccupancy_{};
+    mutable std::array<std::uint64_t,
+                       static_cast<std::size_t>(RenameStall::kCount)>
+        pendingRename_{};
+    mutable std::array<std::uint64_t,
+                       static_cast<std::size_t>(CommitStall::kCount)>
+        pendingCommit_{};
+    mutable std::array<std::uint64_t, kWakeupBuckets> pendingWakeup_{};
 
     Cycle intervalPeriod_ = 0;
     Cycle intervalCountdown_ = 0;

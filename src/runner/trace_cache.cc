@@ -1,10 +1,20 @@
 #include "trace_cache.h"
 
+#include <algorithm>
+
 #include "src/common/log.h"
 
 namespace wsrs::runner {
 
-/** Replay source over a CachedTrace; one per simulation. */
+/**
+ * Replay source over a CachedTrace; one per simulation.
+ *
+ * Reads are batched per chunk: one atomic acquire load per refill fixes a
+ * [cur_, lim_) span inside a published chunk, and every next() inside the
+ * span is a plain pointer dereference. Chunk storage never moves (the
+ * chunk-pointer table is pre-sized) and published micro-ops are immutable,
+ * so the borrowed span stays valid for the cursor's lifetime.
+ */
 class CachedTrace::Cursor : public workload::MicroOpSource
 {
   public:
@@ -13,15 +23,37 @@ class CachedTrace::Cursor : public workload::MicroOpSource
     isa::MicroOp
     next() override
     {
-        const std::uint64_t index = pos_++;
-        if (index >= trace_.available_.load(std::memory_order_acquire))
-            trace_.ensure(index + 1);
-        return trace_.at(index);
+        if (cur_ == lim_)
+            refill();
+        return *cur_++;
     }
 
   private:
+    void
+    refill()
+    {
+        const std::uint64_t pos = nextPos_;
+        std::uint64_t avail = trace_.available_.load(std::memory_order_acquire);
+        if (pos >= avail) {
+            trace_.ensure(pos + 1);
+            avail = trace_.available_.load(std::memory_order_acquire);
+        }
+        const std::size_t ci = static_cast<std::size_t>(pos / kChunkOps);
+        const std::size_t off = static_cast<std::size_t>(pos % kChunkOps);
+        const std::uint64_t chunk_end =
+            std::min<std::uint64_t>(std::uint64_t{ci + 1} * kChunkOps, avail);
+        const Chunk &chunk = *trace_.chunks_[ci];
+        cur_ = chunk.data() + off;
+        lim_ = chunk.data() +
+               static_cast<std::size_t>(chunk_end - std::uint64_t{ci} *
+                                                        kChunkOps);
+        nextPos_ = chunk_end;
+    }
+
     CachedTrace &trace_;
-    std::uint64_t pos_ = 0;
+    const isa::MicroOp *cur_ = nullptr;
+    const isa::MicroOp *lim_ = nullptr;
+    std::uint64_t nextPos_ = 0;  ///< Absolute index one past lim_.
 };
 
 CachedTrace::CachedTrace(const workload::BenchmarkProfile &profile,

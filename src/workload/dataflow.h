@@ -32,37 +32,59 @@ memInitValue(Addr addr)
     return mix64(addr * 0x9e3779b97f4a7c15ull + 0x7f4a7c15ull);
 }
 
-/** Value stored to memory by a store micro-op with the given operands. */
+/**
+ * Value stored to memory by a store micro-op with the given operands.
+ * The field form exists so callers holding decomposed (structure-of-arrays)
+ * micro-op state need not materialize a MicroOp.
+ */
+inline std::uint64_t
+storeValue(Addr pc, std::uint64_t addr_val, std::uint64_t data_val)
+{
+    return executeHash(mix64(pc ^ 0x57075707ull), addr_val, data_val);
+}
+
 inline std::uint64_t
 storeValue(const isa::MicroOp &op, std::uint64_t addr_val,
            std::uint64_t data_val)
 {
-    return executeHash(mix64(op.pc ^ 0x57075707ull), addr_val, data_val);
+    return storeValue(op.pc, addr_val, data_val);
 }
 
 /**
- * Register result of a micro-op.
+ * Register result of a micro-op, from its semantic fields.
  *
- * @param op       the micro-op (must have a destination).
- * @param src1_val value of the first register operand (0 if absent).
- * @param src2_val value of the second register operand (0 if absent).
- * @param mem_val  for loads, the memory value read at op.effAddr.
+ * @param cls         the op class.
+ * @param pc          the micro-op's PC.
+ * @param commutative the micro-op's commutativity flag.
+ * @param src1_val    value of the first register operand (0 if absent).
+ * @param src2_val    value of the second register operand (0 if absent).
+ * @param mem_val     for loads, the memory value read at the effective
+ *                    address.
  */
 inline std::uint64_t
-execValue(const isa::MicroOp &op, std::uint64_t src1_val,
+execValue(isa::OpClass cls, Addr pc, bool commutative, std::uint64_t src1_val,
           std::uint64_t src2_val, std::uint64_t mem_val = 0)
 {
-    if (op.isLoad())
-        return mix64(mem_val + (op.pc << 1) + 1);
+    if (cls == isa::OpClass::Load)
+        return mix64(mem_val + (pc << 1) + 1);
     const std::uint64_t salt =
-        mix64((static_cast<std::uint64_t>(op.op) << 56) ^ op.pc);
-    if (op.commutative) {
+        mix64((static_cast<std::uint64_t>(cls) << 56) ^ pc);
+    if (commutative) {
         // Symmetric in (src1, src2) so physically swapped operand order
         // yields the same architectural result.
         return executeHash(salt, src1_val + src2_val,
                            mix64(src1_val) ^ mix64(src2_val));
     }
     return executeHash(salt, src1_val, src2_val);
+}
+
+/** Register result of a micro-op (must have a destination). */
+inline std::uint64_t
+execValue(const isa::MicroOp &op, std::uint64_t src1_val,
+          std::uint64_t src2_val, std::uint64_t mem_val = 0)
+{
+    return execValue(op.op, op.pc, op.commutative, src1_val, src2_val,
+                     mem_val);
 }
 
 } // namespace wsrs::workload

@@ -3,6 +3,14 @@
 #include <array>
 #include <cstring>
 
+#if defined(__unix__) || defined(__APPLE__)
+#define WSRS_TRACE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
 #include "src/common/log.h"
 
 namespace wsrs::workload {
@@ -125,6 +133,24 @@ TraceReader::TraceReader(const std::string &path, bool wrap)
     const auto fileSize = static_cast<std::uint64_t>(in_.tellg());
     in_.seekg(0);
 
+#ifdef WSRS_TRACE_MMAP
+    // Map the whole file read-only; every validity check below runs
+    // against the mapped bytes exactly as it would against stream reads.
+    // A mapping failure (exotic filesystem, size 0) falls back silently.
+    if (fileSize > 0) {
+        const int fd = ::open(path.c_str(), O_RDONLY);
+        if (fd >= 0) {
+            void *m = ::mmap(nullptr, static_cast<std::size_t>(fileSize),
+                             PROT_READ, MAP_PRIVATE, fd, 0);
+            ::close(fd);
+            if (m != MAP_FAILED) {
+                map_ = static_cast<const std::uint8_t *>(m);
+                mapLen_ = static_cast<std::size_t>(fileSize);
+            }
+        }
+    }
+#endif
+
     if (fileSize < kHeaderBytes)
         fatalIo("trace file '%s' is truncated: %llu bytes, need %zu for the "
               "header",
@@ -152,6 +178,14 @@ TraceReader::TraceReader(const std::string &path, bool wrap)
               static_cast<unsigned long long>(need));
 }
 
+TraceReader::~TraceReader()
+{
+#ifdef WSRS_TRACE_MMAP
+    if (map_ != nullptr)
+        ::munmap(const_cast<std::uint8_t *>(map_), mapLen_);
+#endif
+}
+
 isa::MicroOp
 TraceReader::next()
 {
@@ -159,21 +193,27 @@ TraceReader::next()
         if (!wrap_)
             fatalIo("trace file '%s' exhausted after %llu records",
                   path_.c_str(), static_cast<unsigned long long>(count_));
-        in_.clear();
-        in_.seekg(kHeaderBytes);
+        if (map_ == nullptr) {
+            in_.clear();
+            in_.seekg(kHeaderBytes);
+        }
         cursor_ = 0;
     }
+    const std::uint64_t offset = kHeaderBytes + cursor_ * kRecordBytes;
     std::array<std::uint8_t, kRecordBytes> rec;
-    in_.read(reinterpret_cast<char *>(rec.data()), rec.size());
-    if (!in_)
-        fatalIo("error reading trace file '%s': record %llu at byte offset "
-              "%llu is unreadable (truncated or I/O error)",
-              path_.c_str(), static_cast<unsigned long long>(cursor_),
-              static_cast<unsigned long long>(kHeaderBytes +
-                                              cursor_ * kRecordBytes));
+    if (map_ != nullptr) {
+        // Constructor-validated geometry guarantees the record is in range.
+        std::memcpy(rec.data(), map_ + offset, kRecordBytes);
+    } else {
+        in_.read(reinterpret_cast<char *>(rec.data()), rec.size());
+        if (!in_)
+            fatalIo("error reading trace file '%s': record %llu at byte "
+                  "offset %llu is unreadable (truncated or I/O error)",
+                  path_.c_str(), static_cast<unsigned long long>(cursor_),
+                  static_cast<unsigned long long>(offset));
+    }
     ++cursor_;
-    isa::MicroOp op =
-        decodeRecord(rec, path_, kHeaderBytes + (cursor_ - 1) * kRecordBytes);
+    isa::MicroOp op = decodeRecord(rec, path_, offset);
     op.seq = produced_++;
     return op;
 }

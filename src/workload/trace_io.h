@@ -51,7 +51,15 @@ class TraceWriter
     bool closed_ = false;
 };
 
-/** MicroOpSource reading a binary trace file. */
+/**
+ * MicroOpSource reading a binary trace file.
+ *
+ * On POSIX hosts the file is mapped read-only and records are decoded
+ * straight out of the page cache — no per-record read() round trip, and
+ * rewinding a wrapping trace is a cursor reset instead of a seek. When
+ * mapping is unavailable (or fails) the reader falls back to buffered
+ * stream reads with identical behavior and diagnostics.
+ */
 class TraceReader : public MicroOpSource
 {
   public:
@@ -60,11 +68,18 @@ class TraceReader : public MicroOpSource
      * @param wrap rewind at end of file (default) instead of failing.
      */
     explicit TraceReader(const std::string &path, bool wrap = true);
+    ~TraceReader() override;
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
 
     isa::MicroOp next() override;
 
     std::uint64_t records() const { return count_; }
     std::uint64_t produced() const { return produced_; }
+
+    /** Whether the zero-copy mapped path is active (telemetry/tests). */
+    bool mapped() const { return map_ != nullptr; }
 
   private:
     std::ifstream in_;
@@ -73,6 +88,8 @@ class TraceReader : public MicroOpSource
     std::uint64_t cursor_ = 0;    ///< Record index of the next read.
     std::uint64_t produced_ = 0;  ///< Micro-ops handed out (seq numbers).
     bool wrap_;
+    const std::uint8_t *map_ = nullptr;  ///< Mapped file, or nullptr.
+    std::size_t mapLen_ = 0;
 };
 
 } // namespace wsrs::workload

@@ -14,6 +14,7 @@
 #include "src/bpred/two_bc_gskew.h"
 #include "src/ckpt/io.h"
 #include "src/common/log.h"
+#include "src/core/lsq.h"
 #include "src/core/phys_regfile.h"
 #include "src/memory/cache.h"
 #include "src/memory/hierarchy.h"
@@ -247,6 +248,152 @@ TEST(ComponentRoundTrip, PhysRegFileWithPendingRecycles)
         const SubsetId s = static_cast<SubsetId>(i % 4);
         ASSERT_EQ(a.allocate(s), b.allocate(s)) << "alloc " << i;
     }
+}
+
+TEST(ComponentRoundTrip, PhysRegFileWithWrappedRecyclerRing)
+{
+    // The recycler is a fixed-capacity power-of-two ring; drive enough
+    // release/drain cycles through it that the head wraps several times,
+    // then snapshot with live entries straddling the wrap point.
+    core::PhysRegFile a(64, 4);
+    Cycle now = 0;
+    for (int i = 0; i < 60; ++i) {
+        for (SubsetId s = 0; s < 4; ++s) {
+            const PhysReg p = a.allocate(s);
+            a.releaseDeferred(p, now + 3);
+        }
+        a.drainRecycler(now);
+        ++now;
+    }
+    EXPECT_GT(a.inRecycler(), 0u);  // the last few cycles' entries pend
+
+    core::PhysRegFile b(64, 4);
+    roundTrip(a, b);
+    EXPECT_EQ(b.inRecycler(), a.inRecycler());
+    for (SubsetId s = 0; s < 4; ++s)
+        ASSERT_EQ(b.numFree(s), a.numFree(s)) << "subset " << int(s);
+
+    // Drain and re-recycle for a while: maturity timing, free-list order
+    // and ring position must all have survived the round trip.
+    for (int i = 0; i < 10; ++i) {
+        a.drainRecycler(now);
+        b.drainRecycler(now);
+        for (SubsetId s = 0; s < 4; ++s) {
+            ASSERT_EQ(a.numFree(s), b.numFree(s))
+                << "cycle " << i << " subset " << int(s);
+            while (a.numFree(s) > 0) {
+                const PhysReg p = a.allocate(s);
+                ASSERT_EQ(p, b.allocate(s)) << "cycle " << i;
+                a.releaseDeferred(p, now + 2);
+                b.releaseDeferred(p, now + 2);
+            }
+        }
+        ++now;
+    }
+    EXPECT_EQ(b.inRecycler(), a.inRecycler());
+}
+
+TEST(ComponentRoundTrip, LsqWithWrappedRingAndForwardChains)
+{
+    // Retire enough mem-ops that the ordinal ring wraps (capacity 8 ->
+    // ring 8), so the snapshotted live window straddles slot reuse.
+    core::LoadStoreQueue a(8);
+    for (int i = 0; i < 12; ++i) {
+        const std::uint64_t o =
+            a.allocate(/*is_store=*/i % 3 == 0, 0x40 + i * 8, i);
+        a.markAddrComputed(o);
+        a.popFront();
+    }
+
+    // Live window with two same-address stores (a forwarding chain the
+    // restore path must rebuild) and a younger store the probe for the
+    // middle load has to walk past.
+    const std::uint64_t s1 = a.allocate(true, 0x100, 100);   // ordinal 12
+    const std::uint64_t s2 = a.allocate(true, 0x200, 101);   // ordinal 13
+    const std::uint64_t ld1 = a.allocate(false, 0x100, 102); // ordinal 14
+    const std::uint64_t s3 = a.allocate(true, 0x100, 103);   // ordinal 15
+    const std::uint64_t ld2 = a.allocate(false, 0x100, 104); // ordinal 16
+    const std::uint64_t ld3 = a.allocate(false, 0x300, 105); // ordinal 17
+    a.markAddrComputed(s1);
+    a.markAddrComputed(s2);
+    a.markAddrComputed(ld1);
+    a.markAddrComputed(s3);
+    a.setStoreData(s1, 0xab);
+
+    // ld1 must forward from s1 (skipping the younger s3 on the chain).
+    const core::ForwardProbe before = a.probeForward(ld1, 0x100);
+    EXPECT_TRUE(before.conflict);
+    EXPECT_TRUE(before.dataReady);
+    EXPECT_EQ(before.value, 0xabu);
+
+    core::LoadStoreQueue b(8);
+    roundTrip(a, b);
+    EXPECT_EQ(b.size(), a.size());
+    std::uint64_t ra = 0, rb = 0;
+    ASSERT_EQ(a.nextAgen(ra), b.nextAgen(rb));
+    EXPECT_EQ(ra, rb);
+    EXPECT_EQ(b.storeDataReady(s1), a.storeDataReady(s1));
+    EXPECT_EQ(b.storeDataReady(s2), a.storeDataReady(s2));
+    const core::ForwardProbe after = b.probeForward(ld1, 0x100);
+    EXPECT_EQ(after.conflict, before.conflict);
+    EXPECT_EQ(after.dataReady, before.dataReady);
+    EXPECT_EQ(after.value, before.value);
+
+    // Drive both queues identically through the rest of the window: the
+    // rebuilt chains must give the same probe results at every step.
+    for (core::LoadStoreQueue *q : {&a, &b}) {
+        q->markAddrComputed(ld2);
+        q->markAddrComputed(ld3);
+    }
+    core::ForwardProbe pa = a.probeForward(ld2, 0x100);
+    core::ForwardProbe pb = b.probeForward(ld2, 0x100);
+    EXPECT_TRUE(pa.conflict);
+    EXPECT_FALSE(pa.dataReady);  // s3's data not captured yet
+    EXPECT_EQ(pb.conflict, pa.conflict);
+    EXPECT_EQ(pb.dataReady, pa.dataReady);
+    a.setStoreData(s3, 0xcd);
+    b.setStoreData(s3, 0xcd);
+    pa = a.probeForward(ld2, 0x100);
+    pb = b.probeForward(ld2, 0x100);
+    EXPECT_TRUE(pa.dataReady);
+    EXPECT_EQ(pa.value, 0xcdu);
+    EXPECT_EQ(pb.dataReady, pa.dataReady);
+    EXPECT_EQ(pb.value, pa.value);
+    pa = a.probeForward(ld3, 0x300);
+    pb = b.probeForward(ld3, 0x300);
+    EXPECT_FALSE(pa.conflict);
+    EXPECT_EQ(pb.conflict, pa.conflict);
+
+    // Retire the whole window, then keep allocating past it: ordinals and
+    // chain state must continue identically after further ring wraps.
+    for (int i = 0; i < 6; ++i) {
+        a.popFront();
+        b.popFront();
+    }
+    EXPECT_EQ(a.size(), 0u);
+    EXPECT_EQ(b.size(), 0u);
+    for (int i = 0; i < 10; ++i) {
+        const std::uint64_t oa = a.allocate(true, 0x100, 200 + i);
+        const std::uint64_t ob = b.allocate(true, 0x100, 200 + i);
+        ASSERT_EQ(oa, ob);
+        a.markAddrComputed(oa);
+        b.markAddrComputed(ob);
+        if (i >= 4) {
+            a.popFront();
+            b.popFront();
+        }
+    }
+    // A probe from a fresh load sees the same youngest live store in both.
+    const std::uint64_t la = a.allocate(false, 0x100, 300);
+    const std::uint64_t lb = b.allocate(false, 0x100, 300);
+    ASSERT_EQ(la, lb);
+    a.markAddrComputed(la);
+    b.markAddrComputed(lb);
+    pa = a.probeForward(la, 0x100);
+    pb = b.probeForward(lb, 0x100);
+    EXPECT_TRUE(pa.conflict);
+    EXPECT_EQ(pb.conflict, pa.conflict);
+    EXPECT_EQ(pb.dataReady, pa.dataReady);
 }
 
 } // namespace
