@@ -16,6 +16,7 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "src/bpred/simple_predictors.h"
 #include "src/bpred/two_bc_gskew.h"
@@ -23,6 +24,8 @@
 #include "src/core/phys_regfile.h"
 #include "src/isa/micro_op.h"
 #include "src/memory/hierarchy.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/span_log.h"
 #include "src/obs/stage_profiler.h"
 #include "src/runner/sweep_runner.h"
 #include "src/sim/presets.h"
@@ -340,6 +343,24 @@ secondsSince(std::chrono::steady_clock::time_point start)
         .count();
 }
 
+/**
+ * Median of per-round arm/reference throughput ratios. The A/B gates
+ * compare arms measured back-to-back within each round, so a host
+ * noise spike inflates or deflates both sides of a round's ratio
+ * roughly equally and cancels; the median then discards the rounds
+ * where it didn't. Far more stable on shared hosts than comparing
+ * each arm's independent best-of, where one lucky reference round
+ * fails the gate.
+ */
+double
+medianPairedRatio(std::vector<double> ratios)
+{
+    std::sort(ratios.begin(), ratios.end());
+    const std::size_t n = ratios.size();
+    return n % 2 ? ratios[n / 2]
+                 : 0.5 * (ratios[n / 2 - 1] + ratios[n / 2]);
+}
+
 int
 emitThroughputJson(const std::string &path)
 {
@@ -399,13 +420,26 @@ emitThroughputJson(const std::string &path)
         };
         TraceCfg cfgs[4] = {
             {"", ""}, {"", ""}, {"/dev/null", ""}, {"", "/dev/null"}};
-        // Longer slices and more rounds than the single_run section:
-        // ref and off are identical code paths, so the best-of gap is the
-        // measurement noise floor, which must sit well under the 2%
-        // assertion threshold.
-        const std::uint64_t kAbMeasure = 400000;
-        for (int rep = 0; rep < 7; ++rep) {
-            for (TraceCfg &tc : cfgs) {
+        // Longer slices than the single_run section: ref and off are
+        // identical code paths, so their measured gap is pure noise,
+        // which must sit well under the 2% assertion threshold. The
+        // gate compares the median of within-round off/ref ratios
+        // (medianPairedRatio) rather than each arm's independent
+        // best-of; best_of throughputs are still emitted for the
+        // human-readable report.
+        const std::uint64_t kAbMeasure = 800000;
+        std::vector<double> offRatios;
+        for (int rep = 0; rep < 8; ++rep) {
+            double roundTput[4] = {};
+            for (int slot = 0; slot < 4; ++slot) {
+                // Alternate which of ref/off runs first: the first arm
+                // after the slow I/O-bound sinks of the previous round
+                // sees a measurably friendlier machine (turbo/thermal
+                // recovery), a position bias the paired ratio would
+                // otherwise report as systematic overhead.
+                const int i =
+                    slot < 2 ? (rep % 2 ? 1 - slot : slot) : slot;
+                TraceCfg &tc = cfgs[i];
                 sim::SimConfig cfg;
                 cfg.core = sim::findPreset(preset);
                 cfg.warmupUops = kWarmup;
@@ -415,23 +449,27 @@ emitThroughputJson(const std::string &path)
                 const auto t0 = std::chrono::steady_clock::now();
                 const sim::SimResults r = sim::runSimulation(profile, cfg);
                 benchmark::DoNotOptimize(r.ipc);
-                tc.best = std::max(
-                    tc.best, (double(kWarmup) + double(kAbMeasure)) /
-                                 secondsSince(t0));
+                roundTput[i] = (double(kWarmup) + double(kAbMeasure)) /
+                               secondsSince(t0);
+                tc.best = std::max(tc.best, roundTput[i]);
             }
+            offRatios.push_back(roundTput[1] / roundTput[0]);
         }
+
         const double ref = cfgs[0].best, off = cfgs[1].best;
         const double text = cfgs[2].best, bin = cfgs[3].best;
         std::fprintf(out,
                      "  \"trace_overhead\": {\"preset\": \"%s\", "
-                     "\"best_of\": 7,\n"
+                     "\"best_of\": 8,\n"
                      "    \"ref_uops_per_second\": %.0f, "
-                     "\"off_uops_per_second\": %.0f,\n"
+                     "\"off_uops_per_second\": %.0f, "
+                     "\"off_paired_ratio\": %.4f,\n"
                      "    \"text_uops_per_second\": %.0f, "
                      "\"binary_uops_per_second\": %.0f,\n"
                      "    \"text_slowdown\": %.4f, "
                      "\"binary_slowdown\": %.4f},\n",
-                     preset, ref, off, text, bin,
+                     preset, ref, off, medianPairedRatio(offRatios),
+                     text, bin,
                      text > 0 ? ref / text : 0.0,
                      bin > 0 ? ref / bin : 0.0);
 
@@ -447,6 +485,75 @@ emitThroughputJson(const std::string &path)
         std::ostringstream os;
         prof.dumpJson(os);
         std::fprintf(out, "  \"stage_profile\": %s,\n", os.str().c_str());
+    }
+
+    // (b') Sweep telemetry overhead A/B. Three arms over an identical
+    // small sweep, round-robin interleaved: reference and "off" are
+    // deliberately identical (null metrics/span pointers in the runner
+    // options — the shipped default), so their gap is the noise floor;
+    // "on" wires a MetricsRegistry and SpanLog in.
+    // scripts/check_throughput.py --metrics-tolerance asserts both off
+    // AND on stay within tolerance of ref via the same paired-median
+    // estimator as the trace gate: the disabled hooks (one null-pointer
+    // test per job stage) must be free, and even enabled telemetry (a
+    // handful of relaxed atomics and span records per job, nothing per
+    // micro-op) must stay under 2%. The arms run the *serial* runner:
+    // the hooks under test fire identically per job regardless of
+    // thread count, and the parallel runner's scheduling jitter
+    // (several percent between identical arms on a shared host) would
+    // drown the effect being gated.
+    {
+        sim::SimConfig abBase;
+        abBase.warmupUops = 5000;
+        abBase.measureUops = 45000;
+        const auto abJobs = runner::SweepRunner::crossProduct(
+            workload::allProfiles(), {"RR-256", "WSRS-RC-512"}, abBase);
+        const double abUops =
+            double(abJobs.size()) * double(abBase.warmupUops +
+                                           abBase.measureUops);
+        obs::MetricsRegistry registry;
+        struct TelemetryArm
+        {
+            bool enabled;
+            double best = 0;
+        };
+        TelemetryArm arms[3] = {{false}, {false}, {true}};
+        std::vector<double> offRatios, onRatios;
+        for (int rep = 0; rep < 9; ++rep) {
+            double roundTput[3] = {};
+            for (int slot = 0; slot < 3; ++slot) {
+                // Rotate the arm order per round (9 reps = each arm in
+                // each position 3 times) so run-position bias cancels
+                // out of the paired ratios, as in the trace A/B above.
+                const int i = (slot + rep) % 3;
+                obs::SpanLog spanLog;
+                runner::SweepRunner::Options opt;
+                opt.threads = 1;
+                if (arms[i].enabled) {
+                    opt.metrics = &registry;
+                    opt.spans = &spanLog;
+                }
+                const auto t0 = std::chrono::steady_clock::now();
+                runner::SweepRunner(opt).run(abJobs);
+                roundTput[i] = abUops / secondsSince(t0);
+                arms[i].best = std::max(arms[i].best, roundTput[i]);
+            }
+            offRatios.push_back(roundTput[1] / roundTput[0]);
+            onRatios.push_back(roundTput[2] / roundTput[0]);
+        }
+        const double ref = arms[0].best, off = arms[1].best;
+        const double on = arms[2].best;
+        std::fprintf(out,
+                     "  \"metrics_overhead\": {\"jobs\": %zu, "
+                     "\"best_of\": 9,\n"
+                     "    \"ref_uops_per_second\": %.0f, "
+                     "\"off_uops_per_second\": %.0f, "
+                     "\"on_uops_per_second\": %.0f,\n"
+                     "    \"off_paired_ratio\": %.4f, "
+                     "\"on_paired_ratio\": %.4f},\n",
+                     abJobs.size(), ref, off, on,
+                     medianPairedRatio(offRatios),
+                     medianPairedRatio(onRatios));
     }
 
     // (c) Full-matrix sweep wall-clock, serial versus parallel runner.

@@ -21,13 +21,23 @@ and then structurally checked:
   - sweep reports merged by a coordinator carry a complete `svc` object
     (sharding/lease/worker counters plus the worker liveness array);
   - wsrs-svc-status-v1 daemon status replies and wsrs-svc-frames-v1
-    frame logs (wsrs-sim --serve) are structurally sound.
+    frame logs (wsrs-sim --serve) are structurally sound; JSONL frame
+    logs tolerate a torn final line (the daemon flushes on queue drain,
+    so a SIGKILL can cut the last record mid-write);
+  - wsrs-metrics-v1 registry snapshots (wsrs-sim --metrics-out, the
+    daemon's /metrics.json) follow the metric naming scheme and their
+    histogram bucket counts fold up to the sample count;
+  - wsrs-spans-v1 span timelines (wsrs-sim --spans-out) are valid Chrome
+    trace-event JSON with exactly one "job" root span per job, no
+    negative durations, and every child event nested inside its parent
+    window (attempts inside the job, stage spans inside their attempt).
 
 Exit status is non-zero on the first file that fails; used by the `obs`
 and `svc` labelled ctests.
 """
 
 import json
+import re
 import sys
 
 
@@ -223,6 +233,170 @@ def check_frames_doc(doc, where):
     return len(frames)
 
 
+def check_frames_jsonl(lines, where):
+    """Validate a JSONL wsrs-svc-frames-v1 log (streaming daemon log).
+
+    The final line may be torn (daemon killed between flushes): a parse
+    failure there is tolerated, anywhere else it is a hard failure. The
+    trailer line ({"frames": N, ...}) is likewise optional.
+    """
+    frames = 0
+    trailer = None
+    last_t = 0
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError:
+            expect(i == len(lines) - 1,
+                   f"{where}:{i + 2}: unparseable line before the tail")
+            break
+        if "dir" not in rec:
+            expect(trailer is None,
+                   f"{where}:{i + 2}: more than one trailer line")
+            trailer = (i, rec)
+            continue
+        expect(trailer is None,
+               f"{where}:{i + 2}: frame record after the trailer")
+        fwhere = f"{where}:{i + 2}"
+        expect(rec.get("dir") in ("rx", "tx"),
+               f"{fwhere}: dir {rec.get('dir')!r} must be 'rx' or 'tx'")
+        expect(isinstance(rec.get("type"), str) and rec["type"],
+               f"{fwhere}: 'type' must be a non-empty string")
+        for key in ("t_ms", "conn", "payload_bytes"):
+            expect(isinstance(rec.get(key), int) and rec[key] >= 0,
+                   f"{fwhere}: '{key}' must be a non-negative int")
+        expect(rec["t_ms"] >= last_t,
+               f"{fwhere}: t_ms went backwards ({rec['t_ms']} after "
+               f"{last_t})")
+        last_t = rec["t_ms"]
+        expect("body" in rec, f"{fwhere}: missing 'body'")
+        expect(rec["body"] is None
+               or isinstance(rec["body"], (dict, list)),
+               f"{fwhere}: 'body' must be embedded JSON or null")
+        frames += 1
+    if trailer is not None:
+        i, rec = trailer
+        expect(rec.get("frames") == frames,
+               f"{where}:{i + 2}: trailer counts {rec.get('frames')} "
+               f"frames, log holds {frames}")
+        expect(isinstance(rec.get("dropped_frames"), int)
+               and rec["dropped_frames"] >= 0,
+               f"{where}:{i + 2}: 'dropped_frames' must be a "
+               "non-negative int")
+    return frames
+
+
+METRIC_NAME_RE = re.compile(r"^wsrs_[a-z0-9_]+$")
+
+
+def check_metrics_doc(doc, where):
+    """Validate a wsrs-metrics-v1 registry snapshot."""
+    metrics = doc["metrics"]
+    expect(isinstance(metrics, list), f"{where}: 'metrics' must be a list")
+    seen = set()
+    for i, m in enumerate(metrics):
+        mwhere = f"{where}.metrics[{i}]"
+        name = m.get("name")
+        expect(isinstance(name, str) and METRIC_NAME_RE.match(name),
+               f"{mwhere}: name {name!r} breaks the wsrs_* scheme")
+        expect(name not in seen, f"{mwhere}: duplicate metric {name!r}")
+        seen.add(name)
+        expect(isinstance(m.get("help"), str) and m["help"],
+               f"{mwhere}: 'help' must be a non-empty string")
+        kind = m.get("type")
+        if kind == "counter":
+            expect(name.endswith("_total"),
+                   f"{mwhere}: counter {name!r} must end in '_total'")
+            expect(isinstance(m.get("value"), int) and m["value"] >= 0,
+                   f"{mwhere}: counter value must be a non-negative int")
+        elif kind == "gauge":
+            expect(isinstance(m.get("value"), int),
+                   f"{mwhere}: gauge value must be an int")
+        elif kind == "histogram":
+            for key in ("count", "sum", "overflow"):
+                expect(isinstance(m.get(key), int) and m[key] >= 0,
+                       f"{mwhere}: '{key}' must be a non-negative int")
+            buckets = m.get("buckets")
+            expect(isinstance(buckets, list) and buckets,
+                   f"{mwhere}: 'buckets' must be a non-empty list")
+            prev_le = None
+            in_buckets = 0
+            for j, b in enumerate(buckets):
+                le = b.get("le")
+                expect(isinstance(le, int),
+                       f"{mwhere}.buckets[{j}]: 'le' must be an int")
+                expect(prev_le is None or le > prev_le,
+                       f"{mwhere}.buckets[{j}]: bounds not increasing")
+                prev_le = le
+                expect(isinstance(b.get("count"), int)
+                       and b["count"] >= 0,
+                       f"{mwhere}.buckets[{j}]: bad count")
+                in_buckets += b["count"]
+            expect(in_buckets + m["overflow"] == m["count"],
+                   f"{mwhere}: buckets+overflow = "
+                   f"{in_buckets + m['overflow']} != count {m['count']}")
+        else:
+            raise Fail(f"{mwhere}: unknown type {kind!r}")
+    return len(metrics)
+
+
+def check_spans_doc(doc, where):
+    """Validate a wsrs-spans-v1 Chrome trace-event timeline."""
+    events = doc["traceEvents"]
+    expect(isinstance(events, list), f"{where}: 'traceEvents' must be "
+                                     "a list")
+    roots = {}     # tid -> (ts, ts+dur) of its "job" root span.
+    attempts = {}  # (tid, attempt) -> window of the "attempt" span.
+    children = []
+    for i, e in enumerate(events):
+        ewhere = f"{where}.traceEvents[{i}]"
+        ph = e.get("ph")
+        expect(ph in ("X", "i", "M"),
+               f"{ewhere}: unknown phase {ph!r}")
+        if ph == "M":
+            expect(e.get("name") in ("process_name", "thread_name"),
+                   f"{ewhere}: unknown metadata {e.get('name')!r}")
+            continue
+        for key in ("ts", "pid", "tid"):
+            expect(isinstance(e.get(key), int),
+                   f"{ewhere}: '{key}' must be an int")
+        expect(e["ts"] >= 0, f"{ewhere}: negative timestamp {e['ts']}")
+        if ph == "X":
+            expect(isinstance(e.get("dur"), int) and e["dur"] >= 0,
+                   f"{ewhere}: negative/missing duration")
+            if e["name"] == "job":
+                expect(e["tid"] not in roots,
+                       f"{ewhere}: second 'job' root for job {e['tid']}")
+                roots[e["tid"]] = (e["ts"], e["ts"] + e["dur"])
+                continue
+            if e["name"] == "attempt":
+                att = e.get("args", {}).get("attempt")
+                expect(isinstance(att, int) and att >= 1,
+                       f"{ewhere}: attempt span without an attempt arg")
+                attempts[(e["tid"], att)] = (e["ts"], e["ts"] + e["dur"])
+        else:
+            expect(e.get("s") == "t",
+                   f"{ewhere}: instants must be thread-scoped")
+        children.append((i, e))
+    for i, e in children:
+        ewhere = f"{where}.traceEvents[{i}]"
+        start, end = e["ts"], e["ts"] + e.get("dur", 0)
+        root = roots.get(e["tid"])
+        expect(root is not None,
+               f"{ewhere}: event for job {e['tid']} without a 'job' root")
+        parent = root
+        att = e.get("args", {}).get("attempt")
+        if e["name"] != "attempt" and (e["tid"], att) in attempts:
+            parent = attempts[(e["tid"], att)]
+        expect(parent[0] <= start and end <= parent[1],
+               f"{ewhere}: '{e['name']}' [{start}, {end}] escapes its "
+               f"parent window [{parent[0]}, {parent[1]}]")
+    expect(roots, f"{where}: no 'job' root spans at all")
+    return len(roots)
+
+
 def check_sweep_report(doc, where):
     expect(doc.get("schema") == "wsrs-sweep-report-v1",
            f"{where}: schema is {doc.get('schema')!r}")
@@ -250,7 +424,19 @@ def check_sweep_report(doc, where):
 
 def check_file(path):
     with open(path) as f:
-        doc = json.load(f)  # strict: rejects NaN-producing output
+        text = f.read()
+    first_line = text.split("\n", 1)[0]
+    try:
+        header = json.loads(first_line)
+    except json.JSONDecodeError:
+        header = None
+    if (isinstance(header, dict)
+            and header.get("schema") == "wsrs-svc-frames-v1"
+            and header.get("format") == "jsonl"):
+        n = check_frames_jsonl(text.split("\n")[1:], path)
+        print(f"{path}: ok (jsonl frame log, {n} frames)")
+        return
+    doc = json.loads(text)  # strict: rejects NaN-producing output
     schema = doc.get("schema")
     if schema == "wsrs-sweep-report-v1":
         n = check_sweep_report(doc, path)
@@ -261,6 +447,12 @@ def check_file(path):
     elif schema == "wsrs-svc-frames-v1":
         n = check_frames_doc(doc, path)
         print(f"{path}: ok (frame log, {n} frames)")
+    elif schema == "wsrs-metrics-v1":
+        n = check_metrics_doc(doc, path)
+        print(f"{path}: ok (metrics snapshot, {n} instruments)")
+    elif schema == "wsrs-spans-v1":
+        n = check_spans_doc(doc, path)
+        print(f"{path}: ok (span timeline, {n} job spans)")
     else:
         check_stats_doc(doc, path)
         print(f"{path}: ok (single-run stats, "

@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Smoke-test the --serve HTTP endpoints and the dashboard generator.
+
+Usage: dashboard_smoke_test.py /path/to/wsrs-sim /path/to/svc_dashboard.py
+
+Starts a real daemon, drives one sweep through it, then:
+
+  1. polls GET /metrics over the unix socket and checks the Prometheus
+     text exposition is well formed: every sample is preceded by its
+     # HELP and # TYPE lines, names match wsrs_[a-z0-9_]+, counters end
+     in _total, histogram bucket `le` labels are strictly increasing
+     and end with +Inf, and the post-sweep snapshot shows the request
+     was counted;
+  2. checks GET /status returns the wsrs-svc-status-v1 document and an
+     unknown path returns 404;
+  3. runs scripts/svc_dashboard.py --connect against the live daemon
+     and sanity-checks the generated HTML.
+
+Exit status 0 on success. Used by the `obs` labelled ctest.
+"""
+
+import json
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+METRIC_NAME_RE = re.compile(r"^wsrs_[a-z0-9_]+$")
+
+
+def http_get(sockpath, path):
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as s:
+        s.settimeout(10.0)
+        s.connect(sockpath)
+        s.sendall(f"GET {path} HTTP/1.0\r\n\r\n".encode())
+        raw = b""
+        while chunk := s.recv(65536):
+            raw += chunk
+    head, _, body = raw.partition(b"\r\n\r\n")
+    headers = head.decode("latin-1").split("\r\n")
+    return headers[0], headers[1:], body.decode()
+
+
+def check_prometheus(text):
+    """Validate the exposition format; returns {metric name: type}."""
+    types = {}
+    helped = set()
+    hist_les = {}  # base name -> [le values so far]
+    for line in text.splitlines():
+        if not line:
+            sys.exit("FAIL: blank line in exposition")
+        if line.startswith("# HELP "):
+            helped.add(line.split()[2])
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, mtype = line.split()
+            if name not in helped:
+                sys.exit(f"FAIL: TYPE before HELP for {name}")
+            if mtype not in ("counter", "gauge", "histogram"):
+                sys.exit(f"FAIL: unknown type {mtype} for {name}")
+            types[name] = mtype
+            continue
+        # Sample line: name{labels} value
+        m = re.match(r"^([a-zA-Z0-9_]+)(\{[^}]*\})? (\S+)$", line)
+        if not m:
+            sys.exit(f"FAIL: unparseable sample line {line!r}")
+        name, labels, value = m.groups()
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        if base not in types and name not in types:
+            sys.exit(f"FAIL: sample {name} has no TYPE line")
+        mtype = types.get(base, types.get(name))
+        if mtype == "histogram":
+            if not METRIC_NAME_RE.match(base):
+                sys.exit(f"FAIL: bad metric name {base}")
+            if name.endswith("_bucket"):
+                le = m = re.search(r'le="([^"]+)"', labels or "")
+                if not le:
+                    sys.exit(f"FAIL: bucket without le: {line!r}")
+                val = float("inf") if le.group(1) == "+Inf" \
+                    else float(le.group(1))
+                prev = hist_les.setdefault(base, [])
+                if prev and val <= prev[-1]:
+                    sys.exit(f"FAIL: le not increasing for {base}")
+                prev.append(val)
+        else:
+            if not METRIC_NAME_RE.match(name):
+                sys.exit(f"FAIL: bad metric name {name}")
+            if mtype == "counter":
+                if not name.endswith("_total"):
+                    sys.exit(f"FAIL: counter {name} lacks _total")
+                if float(value) < 0:
+                    sys.exit(f"FAIL: negative counter {name}")
+    for base, les in hist_les.items():
+        if les[-1] != float("inf"):
+            sys.exit(f"FAIL: {base} buckets do not end with +Inf")
+    return types
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    binary, dashboard = sys.argv[1], sys.argv[2]
+
+    with tempfile.TemporaryDirectory(prefix="wsrs_dash_") as tmp:
+        sockpath = os.path.join(tmp, "daemon.sock")
+        endpoint = "unix:" + sockpath
+        daemon = subprocess.Popen([binary, f"--serve={endpoint}"],
+                                  stdout=subprocess.DEVNULL,
+                                  stderr=subprocess.PIPE, text=True)
+        try:
+            line = daemon.stderr.readline()
+            if "serving on" not in line:
+                sys.exit(f"FAIL: daemon did not come up: {line!r}")
+
+            # Metrics are live before any traffic...
+            status_line, headers, body = http_get(sockpath, "/metrics")
+            if "200" not in status_line:
+                sys.exit(f"FAIL: /metrics -> {status_line!r}")
+            ctype = [h for h in headers
+                     if h.lower().startswith("content-type:")]
+            if not ctype or "text/plain" not in ctype[0]:
+                sys.exit(f"FAIL: bad /metrics content type {ctype!r}")
+            check_prometheus(body)
+            print("ok: /metrics serves well-formed Prometheus text")
+
+            # ...and count traffic once a sweep has run.
+            req = json.dumps({"benchmarks": ["gzip"],
+                              "machines": ["RR-256"],
+                              "uops": 2000, "warmup": 500})
+            r = subprocess.run([binary, f"--connect={endpoint}",
+                                "--request=-"], input=req,
+                               capture_output=True, text=True)
+            if r.returncode != 0:
+                sys.exit(f"FAIL: sweep request exited {r.returncode}: "
+                         f"{r.stderr.strip()}")
+            deadline = time.monotonic() + 10
+            while True:
+                _, _, body = http_get(sockpath, "/metrics")
+                types = check_prometheus(body)
+                if "wsrs_svc_requests_completed_total 1" in body:
+                    break
+                if time.monotonic() > deadline:
+                    sys.exit("FAIL: completed counter never reached 1")
+                time.sleep(0.1)
+            for want in ("wsrs_svc_requests_admitted_total",
+                         "wsrs_runner_jobs_total",
+                         "wsrs_svc_request_duration_ms",
+                         "wsrs_runner_simulate_duration_ms"):
+                if want not in types:
+                    sys.exit(f"FAIL: /metrics lacks {want} "
+                             f"(has {sorted(types)})")
+            print("ok: post-sweep /metrics counts the request and "
+                  "exposes runner instruments")
+
+            status_line, _, body = http_get(sockpath, "/status")
+            if "200" not in status_line or \
+                    json.loads(body).get("schema") != "wsrs-svc-status-v1":
+                sys.exit("FAIL: /status is not a status document")
+            status_line, _, _ = http_get(sockpath, "/nonesuch")
+            if "404" not in status_line:
+                sys.exit(f"FAIL: /nonesuch -> {status_line!r}")
+            print("ok: /status serves the status document, unknown "
+                  "paths 404")
+
+            out = os.path.join(tmp, "dash.html")
+            subprocess.run([sys.executable, dashboard,
+                            "--connect", endpoint, "--out", out],
+                           check=True, stdout=subprocess.DEVNULL)
+            html = open(out).read()
+            for want in ("<title>wsrs sweep service</title>", "<svg",
+                         "requests admitted",
+                         "wsrs_svc_request_duration_ms"):
+                if want not in html:
+                    sys.exit(f"FAIL: dashboard HTML lacks {want!r}")
+            print("ok: svc_dashboard.py renders the live daemon")
+        finally:
+            daemon.send_signal(signal.SIGTERM)
+            if daemon.wait(timeout=60) != 0:
+                sys.exit("FAIL: daemon exited nonzero on SIGTERM")
+
+    print("dashboard smoke: all checks passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Summarize a wsrs-svc-frames-v1 JSONL frame log (wsrs-sim --serve).
+
+Usage: frame_log_report.py FRAMES.jsonl
+
+Pairs each connection's request frame (rx) with the daemon's terminal
+reply on the same connection (tx sweep_result / sweep_rejected / error /
+status_reply / http_reply) and reports per-RPC latency percentiles from
+the records' t_ms stamps, plus traffic totals by frame type. Tolerates a
+torn final line, like every reader of the streaming log.
+
+Output is a small plain-text table:
+
+    rpc               count   p50_ms   p90_ms   p99_ms   max_ms
+    sweep_request         3        9       15       15       15
+    status_request        1        0        0        0        0
+    ...
+
+Exit status 0 unless the file is missing or has no parseable header.
+"""
+
+import json
+import sys
+
+# Terminal daemon replies: seeing one of these closes the connection's
+# open RPC. sweep_accepted is an intermediate ack and does not.
+TERMINAL_TX = {"sweep_result", "sweep_rejected", "status_reply",
+               "error", "http_reply"}
+
+
+def percentile(sorted_vals, p):
+    if not sorted_vals:
+        return 0
+    k = min(len(sorted_vals) - 1, int(p * len(sorted_vals)))
+    return sorted_vals[k]
+
+
+def load_records(path):
+    with open(path) as f:
+        lines = f.read().splitlines()
+    if not lines:
+        sys.exit(f"FAIL {path}: empty file")
+    header = json.loads(lines[0])
+    if header.get("schema") != "wsrs-svc-frames-v1":
+        sys.exit(f"FAIL {path}: not a wsrs-svc-frames-v1 log")
+    if header.get("format") != "jsonl":
+        sys.exit(f"FAIL {path}: expected the streaming jsonl format")
+    records = []
+    for i, line in enumerate(lines[1:]):
+        if not line.strip():
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError:
+            if i == len(lines) - 2:
+                break  # torn tail: the daemon died between flushes.
+            raise
+        if "dir" in rec:
+            records.append(rec)
+    return records
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(__doc__)
+    records = load_records(sys.argv[1])
+
+    by_type = {}
+    open_rpc = {}   # conn -> (request type, t_ms)
+    latencies = {}  # request type -> [ms, ...]
+    bytes_rx = bytes_tx = 0
+    for rec in records:
+        by_type[rec["type"]] = by_type.get(rec["type"], 0) + 1
+        if rec["dir"] == "rx":
+            bytes_rx += rec["payload_bytes"]
+            # A second request on one connection would be a protocol
+            # violation; last-writer-wins keeps the report sane anyway.
+            open_rpc[rec["conn"]] = (rec["type"], rec["t_ms"])
+        else:
+            bytes_tx += rec["payload_bytes"]
+            if rec["type"] in TERMINAL_TX and rec["conn"] in open_rpc:
+                req_type, t0 = open_rpc.pop(rec["conn"])
+                latencies.setdefault(req_type, []).append(
+                    rec["t_ms"] - t0)
+
+    print(f"frames: {len(records)}  rx_bytes: {bytes_rx}  "
+          f"tx_bytes: {bytes_tx}")
+    print("\ntraffic by frame type:")
+    for t in sorted(by_type):
+        print(f"  {t:<18} {by_type[t]:>6}")
+
+    print(f"\n{'rpc':<18} {'count':>6} {'p50_ms':>8} {'p90_ms':>8} "
+          f"{'p99_ms':>8} {'max_ms':>8}")
+    for req_type in sorted(latencies):
+        vals = sorted(latencies[req_type])
+        print(f"{req_type:<18} {len(vals):>6} "
+              f"{percentile(vals, 0.50):>8} "
+              f"{percentile(vals, 0.90):>8} "
+              f"{percentile(vals, 0.99):>8} "
+              f"{vals[-1]:>8}")
+    if open_rpc:
+        print(f"\nunanswered requests: {len(open_rpc)} "
+              "(in flight at the tail, or the reply frame was dropped)")
+
+
+if __name__ == "__main__":
+    main()

@@ -14,8 +14,9 @@ client surface:
      client exits 75 (EX_TEMPFAIL) and stderr carries the retry hint;
   4. --status: a wsrs-svc-status-v1 document that passes the schema
      checker and records the admitted/rejected traffic;
-  5. SIGTERM: the daemon drains, exits 0, and writes a
-     wsrs-svc-frames-v1 frame log that also passes the schema checker.
+  5. SIGTERM: the daemon drains, exits 0, and the streaming JSONL
+     wsrs-svc-frames-v1 frame log passes the schema checker and holds
+     the request/result/status traffic.
 
 Exit status 0 on success. Used by the `svc` labelled ctest.
 """
@@ -64,7 +65,7 @@ def main():
 
     with tempfile.TemporaryDirectory(prefix="wsrs_serve_") as tmp:
         endpoint = "unix:" + os.path.join(tmp, "daemon.sock")
-        frame_log = os.path.join(tmp, "frames.json")
+        frame_log = os.path.join(tmp, "frames.jsonl")
         daemon = start_daemon(binary, endpoint,
                               ["--queue-depth=2",
                                f"--frame-log={frame_log}"])
@@ -109,13 +110,17 @@ def main():
             sys.exit("FAIL: daemon wrote no frame log on SIGTERM")
         subprocess.run([sys.executable, schema_checker, frame_log],
                        check=True, stdout=subprocess.DEVNULL)
+        types = set()
         with open(frame_log) as f:
-            types = {e["type"] for e in json.load(f)["frames"]}
+            for line in f.read().splitlines()[1:]:  # skip the header
+                rec = json.loads(line)
+                if "type" in rec:
+                    types.add(rec["type"])
         for expected in ("sweep_request", "sweep_result", "status_reply"):
             if expected not in types:
                 sys.exit(f"FAIL: frame log lacks a {expected} frame "
                          f"(saw {sorted(types)})")
-        print("ok: frame log written on shutdown and passes the checker")
+        print("ok: JSONL frame log streamed and passes the checker")
 
         # 3: a zero-depth queue refuses every admission with a hint.
         endpoint2 = "unix:" + os.path.join(tmp, "tiny.sock")

@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""Render a static HTML dashboard for a wsrs-sim --serve daemon.
+
+Usage:
+  svc_dashboard.py --connect unix:/path/daemon.sock --out dash.html
+  svc_dashboard.py --status status.json --metrics metrics.json \\
+                   --out dash.html
+
+With --connect the script speaks the daemon's plain-HTTP mode over the
+unix socket (GET /status, GET /metrics.json) and snapshots both; with
+--status/--metrics it renders previously captured documents, so the
+dashboard also works on artifacts collected from a dead daemon.
+
+The output is one self-contained HTML file (inline CSS + SVG, no
+scripts, no external assets): daemon identity and queue occupancy,
+admission counters, per-request progress, worker liveness when the
+status reply carries any, and an SVG bar chart per latency histogram in
+the metrics snapshot (request, job, warm-up and simulate stage
+latencies). Re-run it to refresh; cron + a file URL is a dashboard.
+"""
+
+import argparse
+import html
+import json
+import socket
+import sys
+
+
+def http_get(endpoint, path):
+    """One-shot GET over the daemon's unix socket; returns the body."""
+    sockpath = endpoint[len("unix:"):] if endpoint.startswith("unix:") \
+        else endpoint
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as s:
+        s.settimeout(10.0)
+        s.connect(sockpath)
+        s.sendall(f"GET {path} HTTP/1.0\r\n\r\n".encode())
+        raw = b""
+        while chunk := s.recv(65536):
+            raw += chunk
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status_line = head.split(b"\r\n", 1)[0].decode("latin-1")
+    if " 200 " not in status_line + " ":
+        sys.exit(f"FAIL: GET {path} -> {status_line!r}")
+    return body.decode()
+
+
+def esc(v):
+    return html.escape(str(v))
+
+
+def counter_rows(svc):
+    names = [
+        ("requests admitted", "requests_admitted"),
+        ("requests completed", "requests_completed"),
+        ("requests failed", "requests_failed"),
+        ("backpressure rejects", "backpressure_rejects"),
+        ("leases granted", "leases_granted"),
+        ("lease retries", "lease_retries"),
+        ("lease timeouts", "lease_timeouts"),
+        ("shards failed", "shards_failed"),
+        ("duplicate results", "duplicate_results"),
+        ("workers seen", "workers_seen"),
+        ("workers lost", "workers_lost"),
+    ]
+    out = []
+    for label, key in names:
+        val = svc.get(key, 0)
+        hot = key in ("requests_failed", "backpressure_rejects",
+                      "lease_timeouts", "shards_failed",
+                      "workers_lost") and val > 0
+        cls = ' class="hot"' if hot else ""
+        out.append(f"<tr><td>{esc(label)}</td>"
+                   f"<td{cls}>{esc(val)}</td></tr>")
+    return "\n".join(out)
+
+
+def hist_svg(m, width=460, height=120):
+    """Inline SVG bar chart of one wsrs-metrics-v1 histogram."""
+    buckets = m["buckets"] + [{"le": None, "count": m["overflow"]}]
+    peak = max((b["count"] for b in buckets), default=0) or 1
+    n = len(buckets)
+    bw = width / n
+    bars = []
+    for i, b in enumerate(buckets):
+        h = round((height - 18) * b["count"] / peak, 1)
+        x = round(i * bw + 1, 1)
+        label = "inf" if b["le"] is None else str(b["le"])
+        bars.append(
+            f'<rect x="{x}" y="{height - 14 - h}" '
+            f'width="{round(bw - 2, 1)}" height="{h}" class="bar">'
+            f"<title>le {label} ms: {b['count']}</title></rect>")
+        if n <= 16 or i % 2 == 0:
+            bars.append(
+                f'<text x="{round(x + bw / 2, 1)}" y="{height - 2}" '
+                f'class="tick">{label}</text>')
+    mean = m["sum"] / m["count"] if m["count"] else 0
+    return (
+        f'<figure><figcaption>{esc(m["name"])} &mdash; '
+        f'{m["count"]} samples, mean {mean:.1f} ms</figcaption>'
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img">{"".join(bars)}</svg></figure>')
+
+
+def gauge_bar(used, limit, width=220):
+    limit = max(limit, 1)
+    frac = min(used / limit, 1.0)
+    fill = round(width * frac)
+    cls = "warn" if frac >= 1.0 else "ok"
+    return (f'<svg viewBox="0 0 {width} 16" width="{width}" height="16">'
+            f'<rect x="0" y="2" width="{width}" height="12" '
+            f'class="track"/>'
+            f'<rect x="0" y="2" width="{fill}" height="12" '
+            f'class="{cls}"/></svg> {used}/{limit}')
+
+
+CSS = """
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2em auto;
+       max-width: 62em; color: #1c2733; }
+h1 { font-size: 1.3em; } h2 { font-size: 1.05em; margin-top: 1.6em; }
+table { border-collapse: collapse; }
+td, th { padding: .2em .8em .2em 0; text-align: left; }
+td + td, th + th { text-align: right; }
+td.hot { color: #b3261e; font-weight: 600; }
+.state-done { color: #1b6e3a; } .state-failed { color: #b3261e; }
+.state-running { color: #8a5800; }
+.dead { color: #b3261e; } .alive { color: #1b6e3a; }
+figure { margin: 1em 0; } figcaption { font-size: .85em; color: #555; }
+svg .bar { fill: #4472a8; } svg .tick { font-size: 8px; fill: #777;
+           text-anchor: middle; }
+svg .track { fill: #e3e7ec; } svg .ok { fill: #4472a8; }
+svg .warn { fill: #b3261e; }
+footer { margin-top: 2.5em; font-size: .8em; color: #777; }
+"""
+
+
+def render(status, metrics):
+    svc = status.get("svc", {})
+    parts = [
+        "<!doctype html><html><head><meta charset='utf-8'>",
+        "<title>wsrs sweep service</title>",
+        f"<style>{CSS}</style></head><body>",
+        f"<h1>wsrs sweep service &mdash; "
+        f"{esc(status.get('endpoint', '?'))}</h1>",
+        f"<p>executors: {esc(status.get('executors', '?'))} &middot; "
+        f"running: {esc(status.get('running', 0))} &middot; "
+        f"admission queue: "
+        f"{gauge_bar(status.get('queued', 0), status.get('queue_depth', 1))}"
+        "</p>",
+        "<h2>Admission and lease counters</h2>",
+        f"<table>{counter_rows(svc)}</table>",
+    ]
+
+    requests = status.get("requests", [])
+    if requests:
+        parts.append("<h2>Requests</h2><table><tr><th>id</th>"
+                     "<th>state</th><th>jobs</th></tr>")
+        for r in requests:
+            parts.append(
+                f"<tr><td>{esc(r['id'])}</td>"
+                f"<td class='state-{esc(r['state'])}'>"
+                f"{esc(r['state'])}</td>"
+                f"<td>{esc(r['jobs_done'])}/{esc(r['jobs_total'])}"
+                "</td></tr>")
+        parts.append("</table>")
+
+    workers = svc.get("workers", [])
+    if workers:
+        parts.append("<h2>Workers</h2><table><tr><th>id</th><th>pid</th>"
+                     "<th>jobs done</th><th>liveness</th></tr>")
+        for w in workers:
+            cls = "alive" if w.get("alive") else "dead"
+            parts.append(
+                f"<tr><td>{esc(w['id'])}</td><td>{esc(w['pid'])}</td>"
+                f"<td>{esc(w['jobs_done'])}</td>"
+                f"<td class='{cls}'>{cls}</td></tr>")
+        parts.append("</table>")
+
+    hists = [m for m in metrics.get("metrics", [])
+             if m.get("type") == "histogram"]
+    if hists:
+        parts.append("<h2>Latency histograms (ms)</h2>")
+        parts.extend(hist_svg(m) for m in hists)
+
+    parts.append("<footer>generated by scripts/svc_dashboard.py &mdash; "
+                 "re-run to refresh</footer></body></html>")
+    return "\n".join(parts)
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Render the sweep-service dashboard.")
+    ap.add_argument("--connect", help="daemon endpoint (unix:/path.sock)")
+    ap.add_argument("--status", help="captured wsrs-svc-status-v1 file")
+    ap.add_argument("--metrics", help="captured wsrs-metrics-v1 file")
+    ap.add_argument("--out", required=True, help="output HTML path")
+    args = ap.parse_args()
+
+    if args.connect:
+        status = json.loads(http_get(args.connect, "/status"))
+        metrics = json.loads(http_get(args.connect, "/metrics.json"))
+    elif args.status:
+        with open(args.status) as f:
+            status = json.load(f)
+        metrics = {"metrics": []}
+        if args.metrics:
+            with open(args.metrics) as f:
+                metrics = json.load(f)
+    else:
+        ap.error("need --connect or --status/--metrics")
+
+    if status.get("schema") != "wsrs-svc-status-v1":
+        sys.exit(f"FAIL: not a status document: {status.get('schema')!r}")
+    with open(args.out, "w") as f:
+        f.write(render(status, metrics))
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

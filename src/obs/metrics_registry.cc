@@ -1,0 +1,186 @@
+#include "metrics_registry.h"
+
+#include <algorithm>
+#include <cctype>
+#include <ostream>
+
+#include "src/common/log.h"
+#include "src/common/stats.h"
+
+namespace wsrs::obs {
+
+namespace {
+
+bool
+validMetricName(const std::string &name)
+{
+    if (name.empty())
+        return false;
+    if (!std::isalpha(static_cast<unsigned char>(name[0])) && name[0] != '_')
+        return false;
+    return std::all_of(name.begin(), name.end(), [](char c) {
+        return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+    });
+}
+
+const char *
+kindName(int kind)
+{
+    switch (kind) {
+      case 0: return "counter";
+      case 1: return "gauge";
+      default: return "histogram";
+    }
+}
+
+} // namespace
+
+MetricHistogram::MetricHistogram(std::vector<std::uint64_t> bounds)
+    : bounds_(std::move(bounds)),
+      counts_(new std::atomic<std::uint64_t>[bounds_.size() + 1])
+{
+    WSRS_ASSERT(!bounds_.empty());
+    WSRS_ASSERT(std::is_sorted(bounds_.begin(), bounds_.end()));
+    for (std::size_t i = 0; i <= bounds_.size(); ++i)
+        counts_[i].store(0, std::memory_order_relaxed);
+}
+
+void
+MetricHistogram::observe(std::uint64_t v)
+{
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+    const std::size_t idx =
+        static_cast<std::size_t>(it - bounds_.begin()); // +Inf if past end
+    counts_[idx].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+MetricsRegistry::Entry &
+MetricsRegistry::findOrCreate(const std::string &name,
+                              const std::string &help, Kind kind)
+{
+    WSRS_ASSERT(validMetricName(name));
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = byName_.find(name);
+    if (it != byName_.end()) {
+        if (it->second->kind != kind)
+            WSRS_PANIC("metric '%s' re-registered as %s (was %s)",
+                       name.c_str(), kindName(static_cast<int>(kind)),
+                       kindName(static_cast<int>(it->second->kind)));
+        return *it->second;
+    }
+    auto entry = std::make_unique<Entry>();
+    entry->name = name;
+    entry->help = help;
+    entry->kind = kind;
+    Entry &ref = *entry;
+    byName_[name] = entry.get();
+    entries_.push_back(std::move(entry));
+    return ref;
+}
+
+MetricCounter &
+MetricsRegistry::counter(const std::string &name, const std::string &help)
+{
+    return findOrCreate(name, help, Kind::Counter).counter;
+}
+
+MetricGauge &
+MetricsRegistry::gauge(const std::string &name, const std::string &help)
+{
+    return findOrCreate(name, help, Kind::Gauge).gauge;
+}
+
+MetricHistogram &
+MetricsRegistry::histogram(const std::string &name, const std::string &help,
+                           std::vector<std::uint64_t> bounds)
+{
+    Entry &e = findOrCreate(name, help, Kind::Histogram);
+    if (!e.hist)
+        e.hist = std::make_unique<MetricHistogram>(std::move(bounds));
+    return *e.hist;
+}
+
+std::vector<std::uint64_t>
+MetricsRegistry::latencyBucketsMs()
+{
+    return {1, 2, 5, 10, 20, 50, 100, 200, 500,
+            1000, 2000, 5000, 10000, 30000, 60000};
+}
+
+void
+MetricsRegistry::writeJson(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    os << "{\"schema\": \"" << kMetricsJsonSchema << "\", \"metrics\": [";
+    bool first = true;
+    for (const auto &e : entries_) {
+        os << (first ? "" : ", ") << "{\"name\": \"" << e->name
+           << "\", \"type\": " << '"' << kindName(static_cast<int>(e->kind))
+           << '"' << ", \"help\": \"" << jsonEscape(e->help) << "\"";
+        switch (e->kind) {
+          case Kind::Counter:
+            os << ", \"value\": " << e->counter.value();
+            break;
+          case Kind::Gauge:
+            os << ", \"value\": " << e->gauge.value();
+            break;
+          case Kind::Histogram: {
+            const MetricHistogram &h = *e->hist;
+            os << ", \"count\": " << h.count() << ", \"sum\": " << h.sum()
+               << ", \"buckets\": [";
+            for (std::size_t i = 0; i < h.bounds().size(); ++i)
+                os << (i ? ", " : "") << "{\"le\": " << h.bounds()[i]
+                   << ", \"count\": " << h.bucketCount(i) << "}";
+            os << "], \"overflow\": " << h.bucketCount(h.bounds().size());
+            break;
+          }
+        }
+        os << "}";
+        first = false;
+    }
+    os << "]}\n";
+}
+
+void
+MetricsRegistry::writePrometheus(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &e : entries_) {
+        if (!e->help.empty())
+            os << "# HELP " << e->name << ' ' << e->help << '\n';
+        os << "# TYPE " << e->name << ' '
+           << kindName(static_cast<int>(e->kind)) << '\n';
+        switch (e->kind) {
+          case Kind::Counter:
+            os << e->name << ' ' << e->counter.value() << '\n';
+            break;
+          case Kind::Gauge:
+            os << e->name << ' ' << e->gauge.value() << '\n';
+            break;
+          case Kind::Histogram: {
+            const MetricHistogram &h = *e->hist;
+            std::uint64_t cum = 0;
+            for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+                cum += h.bucketCount(i);
+                os << e->name << "_bucket{le=\"" << h.bounds()[i]
+                   << "\"} " << cum << '\n';
+            }
+            os << e->name << "_bucket{le=\"+Inf\"} " << h.count() << '\n'
+               << e->name << "_sum " << h.sum() << '\n'
+               << e->name << "_count " << h.count() << '\n';
+            break;
+          }
+        }
+    }
+}
+
+MetricsRegistry &
+MetricsRegistry::process()
+{
+    static MetricsRegistry instance;
+    return instance;
+}
+
+} // namespace wsrs::obs

@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/metrics_registry.h"
+
 namespace wsrs::obs {
 
 /** Liveness snapshot of one worker connection, as the coordinator saw
@@ -55,5 +57,36 @@ struct SvcCounters
  */
 void writeSvcJson(std::ostream &os, const SvcCounters &counters,
                   const std::vector<WorkerLiveness> &workers);
+
+/**
+ * The service counters as registry instruments. The coordinator and the
+ * daemon bump these handles instead of ad-hoc struct fields, which makes
+ * every count visible through the registry exporters (`/metrics`,
+ * `--metrics-out`) for free; snapshot() rebuilds the SvcCounters struct
+ * that writeSvcJson and the status reply serialize, so the report bytes
+ * are unchanged. Construct one per registry; re-construction re-binds to
+ * the same instruments.
+ */
+struct SvcMetrics
+{
+    explicit SvcMetrics(MetricsRegistry &registry);
+
+    MetricGauge &shards;
+    MetricGauge &shardSize;
+    MetricCounter &leasesGranted;
+    MetricCounter &leaseRetries;
+    MetricCounter &leaseTimeouts;
+    MetricCounter &shardsFailed;
+    MetricCounter &duplicateResults;
+    MetricCounter &workersSeen;
+    MetricCounter &workersLost;
+    MetricCounter &requestsAdmitted;
+    MetricCounter &requestsCompleted;
+    MetricCounter &requestsFailed;
+    MetricCounter &backpressureRejects;
+
+    /** Rebuild the report/status struct from the live instruments. */
+    SvcCounters snapshot() const;
+};
 
 } // namespace wsrs::obs

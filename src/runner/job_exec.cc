@@ -10,10 +10,34 @@
 
 namespace wsrs::runner {
 
+RunnerMetrics::RunnerMetrics(obs::MetricsRegistry &r)
+    : jobsExecuted(r.counter("wsrs_runner_jobs_total",
+                             "Sweep jobs executed to completion")),
+      jobFailures(r.counter("wsrs_runner_job_failures_total",
+                            "Jobs whose outcome captured an error")),
+      warmupHits(r.counter("wsrs_runner_warmup_hits_total",
+                           "Warm-up snapshots restored from a cache")),
+      warmupBuilds(r.counter("wsrs_runner_warmup_builds_total",
+                             "Warm-up snapshots built from scratch")),
+      jobMs(r.histogram("wsrs_runner_job_duration_ms",
+                        "Wall time of one executeJob call",
+                        obs::MetricsRegistry::latencyBucketsMs())),
+      warmupMs(r.histogram("wsrs_runner_warmup_duration_ms",
+                           "Warm-up snapshot acquire (hit or build)",
+                           obs::MetricsRegistry::latencyBucketsMs())),
+      simulateMs(r.histogram("wsrs_runner_simulate_duration_ms",
+                             "Measured-slice simulation wall time",
+                             obs::MetricsRegistry::latencyBucketsMs()))
+{
+}
+
 SweepOutcome
-executeJob(const SweepJob &job, const JobContext &ctx)
+executeJob(const SweepJob &job, const JobContext &ctx,
+           const JobTelemetry &tele)
 {
     SweepOutcome out;
+    const std::int64_t jobStartUs =
+        (ctx.metrics || ctx.spans) ? obs::monotonicMicros() : 0;
     try {
         sim::SimConfig cfg = job.config;
         std::shared_ptr<const std::string> blob;
@@ -25,16 +49,44 @@ executeJob(const SweepJob &job, const JobContext &ctx)
             // this run. With a shared disk layer, the first process to
             // need a key builds and publishes it for every other worker.
             const std::uint64_t key = sim::warmupKeyHash(job.profile, cfg);
+            bool builderRan = false;
+            bool builtLocally = false;
             const auto build = [&] {
+                builtLocally = true;
                 return sim::buildWarmupSnapshot(job.profile, cfg);
             };
+            const std::int64_t warmupStartUs =
+                jobStartUs ? obs::monotonicMicros() : 0;
             blob = ctx.warmups->getOrBuild(key, [&]() -> std::string {
+                builderRan = true;
                 if (ctx.sharedWarmups)
                     return ctx.sharedWarmups->getOrBuild(key, build);
                 return build();
             });
             cfg.warmupBlob = blob.get();
+            if (jobStartUs) {
+                const std::int64_t warmupEndUs = obs::monotonicMicros();
+                // In-memory hit: the outer builder never ran. Disk hit:
+                // it ran but the shared layer satisfied it.
+                const char *outcome = !builderRan ? "hit"
+                                      : builtLocally ? "build"
+                                                     : "shared-hit";
+                if (ctx.metrics) {
+                    (builderRan && builtLocally ? ctx.metrics->warmupBuilds
+                                                : ctx.metrics->warmupHits)
+                        .add();
+                    ctx.metrics->warmupMs.observe(static_cast<std::uint64_t>(
+                        (warmupEndUs - warmupStartUs) / 1000));
+                }
+                if (ctx.spans)
+                    ctx.spans->complete("warmup", tele.job, tele.attempt,
+                                        tele.worker, warmupStartUs,
+                                        warmupEndUs - warmupStartUs,
+                                        outcome);
+            }
         }
+        const std::int64_t simStartUs =
+            jobStartUs ? obs::monotonicMicros() : 0;
         if (ctx.traces) {
             // Hold the shared trace only for the duration of the run: it
             // stays recorded while any sibling job needs it and is
@@ -47,9 +99,32 @@ executeJob(const SweepJob &job, const JobContext &ctx)
             out.results = sim::runSimulation(job.profile, cfg);
         }
         out.ok = true;
+        if (jobStartUs) {
+            const std::int64_t simEndUs = obs::monotonicMicros();
+            if (ctx.metrics)
+                ctx.metrics->simulateMs.observe(static_cast<std::uint64_t>(
+                    (simEndUs - simStartUs) / 1000));
+            if (ctx.spans)
+                ctx.spans->complete("simulate", tele.job, tele.attempt,
+                                    tele.worker, simStartUs,
+                                    simEndUs - simStartUs);
+        }
     } catch (const std::exception &e) {
         out.ok = false;
         out.error = e.what();
+    }
+    if (jobStartUs) {
+        if (ctx.metrics) {
+            ctx.metrics->jobsExecuted.add();
+            if (!out.ok)
+                ctx.metrics->jobFailures.add();
+            ctx.metrics->jobMs.observe(static_cast<std::uint64_t>(
+                (obs::monotonicMicros() - jobStartUs) / 1000));
+        }
+        if (ctx.spans && !out.ok)
+            ctx.spans->instant("job-failed", tele.job, tele.attempt,
+                               tele.worker, obs::monotonicMicros(),
+                               out.error);
     }
     return out;
 }

@@ -13,6 +13,10 @@
  */
 #pragma once
 
+#include <cstdint>
+
+#include "src/obs/metrics_registry.h"
+#include "src/obs/span_log.h"
 #include "src/runner/sweep_runner.h"
 
 namespace wsrs::ckpt {
@@ -23,6 +27,26 @@ class SharedWarmupCache;
 namespace wsrs::runner {
 
 class TraceCache;
+
+/**
+ * Registry handles for the runner-layer instruments (job counts, warm-up
+ * cache behaviour, per-stage host latencies). Constructing one binds (or
+ * re-binds) the instruments in @p registry; executeJob bumps them through
+ * a borrowed pointer, so the disabled path is a null check — exactly the
+ * TraceSink discipline, and gated the same way by the perf-smoke A/B.
+ */
+struct RunnerMetrics
+{
+    explicit RunnerMetrics(obs::MetricsRegistry &registry);
+
+    obs::MetricCounter &jobsExecuted;
+    obs::MetricCounter &jobFailures;
+    obs::MetricCounter &warmupHits;
+    obs::MetricCounter &warmupBuilds;
+    obs::MetricHistogram &jobMs;      ///< Whole executeJob wall time.
+    obs::MetricHistogram &warmupMs;   ///< Warm-up acquire (hit or build).
+    obs::MetricHistogram &simulateMs; ///< Measured-slice simulation.
+};
 
 /** Caches and policy one executeJob call runs against. All pointers are
  *  borrowed and may be shared between concurrent calls. */
@@ -37,6 +61,21 @@ struct JobContext
     /** Restore one functional warm-up snapshot per benchmark instead of
      *  core-timed warm-up (see SweepRunner::Options::reuseWarmup). */
     bool reuseWarmup = false;
+
+    // ---- telemetry (null = disabled; see docs/observability.md) ----
+    /** Metric handles to bump per job. */
+    RunnerMetrics *metrics = nullptr;
+    /** Span log receiving warmup/simulate/job events. */
+    obs::SpanLog *spans = nullptr;
+};
+
+/** Per-call span identity: which job/attempt this execution is, on whose
+ *  timeline. Ignored unless the context carries a span log. */
+struct JobTelemetry
+{
+    std::uint64_t job = 0;     ///< Sweep job index.
+    std::uint32_t attempt = 0; ///< Lease attempt (0 = in-process runner).
+    std::uint64_t worker = 0;  ///< Worker id (0 = local).
 };
 
 /**
@@ -44,6 +83,7 @@ struct JobContext
  * captured into the outcome's error field; the call itself only throws on
  * broken preconditions (reuseWarmup without a warmup cache).
  */
-SweepOutcome executeJob(const SweepJob &job, const JobContext &ctx);
+SweepOutcome executeJob(const SweepJob &job, const JobContext &ctx,
+                        const JobTelemetry &tele = {});
 
 } // namespace wsrs::runner

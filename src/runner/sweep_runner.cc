@@ -8,6 +8,8 @@
 
 #include "src/ckpt/warmup_cache.h"
 #include "src/common/log.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/span_log.h"
 #include "src/runner/job_exec.h"
 #include "src/runner/resume_journal.h"
 #include "src/runner/trace_cache.h"
@@ -109,6 +111,28 @@ SweepRunner::run(const std::vector<SweepJob> &jobs)
     ctx.warmups = &warmups;
     ctx.reuseWarmup = options_.reuseWarmup;
 
+    std::unique_ptr<RunnerMetrics> metrics;
+    if (options_.metrics) {
+        metrics = std::make_unique<RunnerMetrics>(*options_.metrics);
+        ctx.metrics = metrics.get();
+    }
+    obs::SpanLog *const spans = options_.spans;
+    ctx.spans = spans;
+    std::vector<std::int64_t> jobSpanStart(jobs.size(), 0);
+    if (spans) {
+        // Root span per job: enqueued at sweep submission, closed at
+        // completion — the local-run analogue of the distributed
+        // enqueue -> merge timeline (there is no lease layer, so the
+        // warmup/simulate children clamp straight into the root).
+        const std::int64_t now = obs::monotonicMicros();
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            if (recovered[i])
+                continue;
+            jobSpanStart[i] = now;
+            spans->nameJob(i, jobs[i].profile.name);
+        }
+    }
+
     const auto worker = [&]() {
         for (;;) {
             const std::size_t i =
@@ -118,9 +142,19 @@ SweepRunner::run(const std::vector<SweepJob> &jobs)
             if (recovered[i])
                 continue;
             SweepOutcome &out = outcomes[i];
-            out = executeJob(jobs[i], ctx);
+            out = executeJob(jobs[i], ctx, JobTelemetry{i, 0, 0});
             if (journal)
                 journal->record(i, out);
+            if (spans) {
+                const std::int64_t now = obs::monotonicMicros();
+                if (out.ok)
+                    spans->nameJob(i, out.results.benchmark + "@" +
+                                          out.results.machine);
+                spans->complete("job", i, 0, 0, jobSpanStart[i],
+                                now - jobSpanStart[i],
+                                out.ok ? "" : "failed");
+                spans->instant("merged", i, 0, 0, now);
+            }
             if (options_.onEvent) {
                 // The count is advanced under the same lock that serializes
                 // delivery, so callbacks observe completed = 1, 2, ... N

@@ -31,6 +31,11 @@
 #include "src/sim/simulator.h"
 #include "src/workload/profile.h"
 
+namespace wsrs::obs {
+class MetricsRegistry;
+class SpanLog;
+} // namespace wsrs::obs
+
 namespace wsrs::runner {
 
 /** One unit of sweep work. */
@@ -86,6 +91,13 @@ class SweepRunner
         bool resume = false;
         /** Per-completion progress hook (serialized; may be empty). */
         std::function<void(const SweepEvent &)> onEvent;
+
+        // ---- telemetry (null = disabled; docs/observability.md) ----
+        /** Registry the runner's job/warm-up instruments bind to. */
+        obs::MetricsRegistry *metrics = nullptr;
+        /** Span log: one root span per job (enqueue -> completion) with
+         *  warmup/simulate children, same shape as a distributed run. */
+        obs::SpanLog *spans = nullptr;
     };
 
     /** What happened around the sweep (reported in the sweep report). */

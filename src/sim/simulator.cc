@@ -1,6 +1,7 @@
 #include "simulator.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -146,6 +147,7 @@ runSimulationImpl(const workload::BenchmarkProfile &profile,
                   const SimConfig &config, workload::MicroOpSource &source,
                   ckpt::Snapshotter *source_snap)
 {
+    const auto host0 = std::chrono::steady_clock::now();
     auto predictor = makePredictor(config.predictor);
     StatGroup stats(profile.name);
     memory::MemoryHierarchy mem(config.mem, stats);
@@ -312,6 +314,9 @@ runSimulationImpl(const workload::BenchmarkProfile &profile,
         os << "}";
         r.statsJson = os.str();
     }
+    r.hostSeconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - host0)
+                        .count();
     return r;
 }
 

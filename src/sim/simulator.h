@@ -80,6 +80,11 @@ struct SimResults
      *  metrics plus the full core (stall attribution, wake-up latency,
      *  intervals) and memory statistics. Always populated. */
     std::string statsJson;
+    /** Host wall time of the whole run (warm-up + measure), seconds.
+     *  Deliberately not part of statsJson: it varies run to run, and the
+     *  stats document must stay deterministic for a given job. Telemetry
+     *  consumers (wsrs-sim --metrics-out) read it from here instead. */
+    double hostSeconds = 0;
 };
 
 /** Run one benchmark on one machine. */

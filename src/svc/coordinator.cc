@@ -34,6 +34,9 @@ struct Conn
     bool waitingClaim = false; ///< Sent Claim, no shard was available.
     bool retired = false;      ///< Got NoWork; only stats/EOF expected.
     std::uint64_t jobsDone = 0;
+    /** coordinator_now - worker_now at Hello: added to worker span
+     *  timestamps to land them on the coordinator's timeline. */
+    std::int64_t clockOffsetUs = 0;
 };
 
 /** Lease-queue state of one shard. */
@@ -47,6 +50,7 @@ struct ShardState
     std::int64_t notBeforeMs = 0;///< Backoff gate for the next lease.
     std::int64_t deadlineMs = 0; ///< Lease expiry while Leased.
     Conn *owner = nullptr;       ///< Lease holder while Leased.
+    std::int64_t leaseStartUs = 0; ///< Span start of the current lease.
 };
 
 } // namespace
@@ -83,12 +87,26 @@ Coordinator::run()
     telemetry_ = {};
     telemetry_.warmupReuse = options_.reuseWarmup;
     svcReport_ = {};
-    obs::SvcCounters &ctr = svcReport_.counters;
+
+    // The service counters live as registry instruments (absorbing the
+    // old ad-hoc struct): bound to the caller's registry when one is
+    // supplied (live `/metrics` visibility), else to a fresh per-run one.
+    // svcReport_.counters is snapshotted from them at merge.
+    obs::MetricsRegistry localRegistry;
+    obs::SvcMetrics ctr(options_.metrics ? *options_.metrics
+                                         : localRegistry);
+
+    obs::SpanLog *const spans = options_.spans;
+    const std::uint64_t traceId =
+        spans ? (sweepKey_ ^
+                 static_cast<std::uint64_t>(obs::monotonicMicros())) | 1
+              : 0;
 
     const std::size_t total = jobs_.size();
     std::vector<runner::SweepOutcome> outcomes(total);
     std::vector<bool> have(total, false);
     std::size_t completed = 0;
+    std::vector<std::int64_t> jobSpanStart(total, 0);
 
     // The resume journal doubles as the authoritative work queue: jobs
     // already journaled are delivered as recovered events and never
@@ -127,8 +145,19 @@ Coordinator::run()
         st.shard = std::move(s);
         shards.push_back(std::move(st));
     }
-    ctr.shards = shards.size();
-    ctr.shardSize = options_.shardSize == 0 ? 1 : options_.shardSize;
+    ctr.shards.set(static_cast<std::int64_t>(shards.size()));
+    ctr.shardSize.set(static_cast<std::int64_t>(
+        options_.shardSize == 0 ? 1 : options_.shardSize));
+
+    if (spans) {
+        // Every not-yet-recovered job's root span opens now: enqueued at
+        // sweep submission, closed when its outcome merges.
+        const std::int64_t now = obs::monotonicMicros();
+        for (const std::uint64_t i : pending) {
+            jobSpanStart[i] = now;
+            spans->nameJob(i, jobs_[i].profile.name);
+        }
+    }
 
     std::vector<std::unique_ptr<Conn>> conns;
     std::uint64_t nextWorkerId = 1;
@@ -141,8 +170,12 @@ Coordinator::run()
     const auto acceptOutcome = [&](std::uint64_t index,
                                    runner::SweepOutcome out) {
         if (index >= total || have[index]) {
-            if (index < total)
-                ++ctr.duplicateResults;
+            if (index < total) {
+                ctr.duplicateResults.add();
+                if (spans)
+                    spans->instant("duplicate-dropped", index, 0, 0,
+                                   obs::monotonicMicros());
+            }
             return;
         }
         outcomes[index] = std::move(out);
@@ -150,6 +183,18 @@ Coordinator::run()
         ++completed;
         if (journal)
             journal->record(index, outcomes[index]);
+        if (spans) {
+            const std::int64_t now = obs::monotonicMicros();
+            const runner::SweepOutcome &o = outcomes[index];
+            if (o.ok)
+                spans->nameJob(index, o.results.benchmark + "@" +
+                                          o.results.machine);
+            if (jobSpanStart[index])
+                spans->complete("job", index, 0, 0, jobSpanStart[index],
+                                now - jobSpanStart[index],
+                                o.ok ? "" : "failed");
+            spans->instant("merged", index, 0, 0, now);
+        }
         if (options_.onEvent) {
             runner::SweepEvent ev;
             ev.index = index;
@@ -169,21 +214,42 @@ Coordinator::run()
         return missing;
     };
 
+    /** Close the current lease's per-job "attempt" spans. */
+    const auto closeAttemptSpans = [&](const ShardState &st,
+                                       const char *detail) {
+        if (!spans || !st.leaseStartUs)
+            return;
+        const std::int64_t now = obs::monotonicMicros();
+        const std::uint64_t worker = st.owner ? st.owner->workerId : 0;
+        for (const std::uint64_t j : st.shard.jobs)
+            spans->complete("attempt", j, st.attempts, worker,
+                            st.leaseStartUs, now - st.leaseStartUs,
+                            detail);
+    };
+
     /** Return a shard to the queue after its lease holder failed. */
     const auto requeueShard = [&](ShardState &st, bool timedOut) {
+        closeAttemptSpans(st, timedOut ? "timed-out" : "worker-died");
         st.owner = nullptr;
+        st.leaseStartUs = 0;
         std::vector<std::uint64_t> missing = missingJobs(st);
         if (timedOut)
-            ++ctr.leaseTimeouts;
+            ctr.leaseTimeouts.add();
         else
-            ++ctr.leaseRetries;
+            ctr.leaseRetries.add();
         if (missing.empty()) {
             st.status = ShardState::Status::Done;
             return;
         }
+        if (spans) {
+            const std::int64_t now = obs::monotonicMicros();
+            for (const std::uint64_t j : missing)
+                spans->instant("re-leased", j, st.attempts, 0, now,
+                               timedOut ? "timed-out" : "worker-died");
+        }
         if (st.attempts > options_.maxLeaseRetries) {
             st.status = ShardState::Status::Failed;
-            ++ctr.shardsFailed;
+            ctr.shardsFailed.add();
             for (const std::uint64_t j : missing) {
                 runner::SweepOutcome out;
                 out.ok = false;
@@ -210,7 +276,7 @@ Coordinator::run()
     /** Drop a connection, re-queueing anything it held. */
     const auto dropConn = [&](Conn *conn, bool timedOut) {
         if (conn->helloDone && !conn->retired)
-            ++ctr.workersLost;
+            ctr.workersLost.add();
         for (ShardState &st : shards)
             if (st.status == ShardState::Status::Leased && st.owner == conn)
                 requeueShard(st, timedOut);
@@ -243,7 +309,7 @@ Coordinator::run()
             if (allDone()) {
                 conn->waitingClaim = false;
                 conn->retired = true;
-                sendFrame(*conn->stream, FrameType::NoWork, "{}");
+                sendFrame(*conn->stream, FrameType::NoWork, "{}", traceId);
                 continue;
             }
             ShardState *st = nextLeasable();
@@ -258,9 +324,10 @@ Coordinator::run()
                               options_.perJobTimeoutMs *
                               std::max<std::size_t>(st->shard.jobs.size(),
                                                     1));
-            ++ctr.leasesGranted;
+            st->leaseStartUs = spans ? obs::monotonicMicros() : 0;
+            ctr.leasesGranted.add();
             if (!sendFrame(*conn->stream, FrameType::Lease,
-                           leasePayload(st->shard)))
+                           leasePayload(st->shard, st->attempts), traceId))
                 broken.push_back(conn);
         }
         for (Conn *conn : broken)
@@ -283,25 +350,31 @@ Coordinator::run()
                     hexKey(sweepKey_).c_str(),
                     static_cast<unsigned long long>(total));
                 sendFrame(*conn->stream, FrameType::HelloAck,
-                          helloAckPayload(false, why));
+                          helloAckPayload(false, why), traceId);
                 return false;
             }
             conn->helloDone = true;
             conn->pid = hello.pid;
             conn->workerId = nextWorkerId++;
-            ++ctr.workersSeen;
+            // Skew normalization: assume the Hello arrived "now", so the
+            // worker clock at hello.monoUs maps onto our clock here. The
+            // residual (one-way transit) is sub-millisecond on local
+            // sockets; the span writer clamps whatever survives.
+            conn->clockOffsetUs =
+                hello.monoUs ? obs::monotonicMicros() - hello.monoUs : 0;
+            ctr.workersSeen.add();
             obs::WorkerLiveness w;
             w.id = conn->workerId;
             w.pid = hello.pid;
             w.alive = true;
             svcReport_.workers.push_back(w);
             return sendFrame(*conn->stream, FrameType::HelloAck,
-                             helloAckPayload(true, ""));
+                             helloAckPayload(true, ""), traceId);
           }
           case FrameType::Claim:
             if (!conn->helloDone) {
                 sendFrame(*conn->stream, FrameType::Error,
-                          errorPayload("claim before hello"));
+                          errorPayload("claim before hello"), traceId);
                 return false;
             }
             conn->waitingClaim = true;
@@ -321,13 +394,25 @@ Coordinator::run()
                 if (st.shard.id != id || st.owner != conn)
                     continue;
                 if (missingJobs(st).empty()) {
+                    closeAttemptSpans(st, "done");
                     st.status = ShardState::Status::Done;
                     st.owner = nullptr;
+                    st.leaseStartUs = 0;
                 } else {
                     // Worker claims completion but jobs are missing:
                     // treat like a failed lease so they are retried.
                     requeueShard(st, false);
                 }
+            }
+            return true;
+          }
+          case FrameType::SpanBatch: {
+            if (!spans)
+                return true; // Stale batch from an untraced run; drop.
+            for (obs::SpanEvent e : parseSpanBatch(frame.payload)) {
+                e.worker = conn->workerId;
+                e.startUs += conn->clockOffsetUs;
+                spans->add(std::move(e));
             }
             return true;
           }
@@ -344,7 +429,8 @@ Coordinator::run()
           default:
             sendFrame(*conn->stream, FrameType::Error,
                       errorPayload(strprintf("unexpected %s frame",
-                                             frameTypeName(frame.type))));
+                                             frameTypeName(frame.type))),
+                      traceId);
             return false;
         }
     };
@@ -443,6 +529,7 @@ Coordinator::run()
     conns.clear();
     listener_->close();
 
+    svcReport_.counters = ctr.snapshot();
     return outcomes;
 }
 

@@ -37,6 +37,8 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/metrics_registry.h"
+#include "src/obs/span_log.h"
 #include "src/runner/sweep_report.h"
 #include "src/runner/sweep_runner.h"
 #include "src/svc/transport.h"
@@ -71,6 +73,18 @@ class Coordinator
         std::uint64_t drainGraceMs = 3000;
         /** Per-completion progress hook (serialized; may be empty). */
         std::function<void(const runner::SweepEvent &)> onEvent;
+
+        // ---- telemetry (null = disabled) ----
+        /** Span log for the per-job distributed timeline. When set, the
+         *  coordinator mints a trace id, stamps it on every frame, and
+         *  merges worker span batches onto its own clock (skew offset
+         *  taken from each worker's Hello). */
+        obs::SpanLog *spans = nullptr;
+        /** Registry the service counters bind to. Defaults to a fresh
+         *  per-run registry; supply the process registry to expose the
+         *  counters through `/metrics` (they then accumulate across
+         *  runs, while the report still snapshots at merge time). */
+        obs::MetricsRegistry *metrics = nullptr;
     };
 
     Coordinator(Options options, std::vector<runner::SweepJob> jobs);

@@ -10,7 +10,8 @@ namespace wsrs::svc {
 namespace {
 
 constexpr char kFrameMagic[4] = {'W', 'S', 'V', 'F'};
-constexpr std::size_t kHeadBytes = 4 + 4 + 8;  // magic, type, length.
+// magic, type, traceId, length.
+constexpr std::size_t kHeadBytes = 4 + 4 + 8 + 8;
 
 void
 putLe32(std::string &out, std::uint32_t v)
@@ -67,10 +68,11 @@ readExact(Stream &stream, char *buf, std::size_t len, bool atBoundary)
 }
 
 std::uint32_t
-frameCrc(FrameType type, std::string_view payload)
+frameCrc(FrameType type, std::uint64_t traceId, std::string_view payload)
 {
     std::string head;
     putLe32(head, static_cast<std::uint32_t>(type));
+    putLe64(head, traceId);
     putLe64(head, payload.size());
     std::uint32_t crc = ckpt::crc32(head.data(), head.size());
     return ckpt::crc32(payload.data(), payload.size(), crc);
@@ -90,6 +92,7 @@ frameTypeName(FrameType type)
       case FrameType::JobDone: return "job_done";
       case FrameType::ShardDone: return "shard_done";
       case FrameType::WorkerStats: return "worker_stats";
+      case FrameType::SpanBatch: return "span_batch";
       case FrameType::SweepRequest: return "sweep_request";
       case FrameType::SweepAccepted: return "sweep_accepted";
       case FrameType::SweepRejected: return "sweep_rejected";
@@ -102,7 +105,8 @@ frameTypeName(FrameType type)
 }
 
 std::string
-encodeFrame(FrameType type, std::string_view payload)
+encodeFrame(FrameType type, std::string_view payload,
+            std::uint64_t traceId)
 {
     if (payload.size() > kMaxFramePayload)
         fatal("frame payload of %zu bytes exceeds the %llu-byte limit",
@@ -112,16 +116,18 @@ encodeFrame(FrameType type, std::string_view payload)
     out.reserve(kHeadBytes + payload.size() + 4);
     out.append(kFrameMagic, sizeof(kFrameMagic));
     putLe32(out, static_cast<std::uint32_t>(type));
+    putLe64(out, traceId);
     putLe64(out, payload.size());
     out.append(payload.data(), payload.size());
-    putLe32(out, frameCrc(type, payload));
+    putLe32(out, frameCrc(type, traceId, payload));
     return out;
 }
 
 bool
-sendFrame(Stream &stream, FrameType type, std::string_view payload)
+sendFrame(Stream &stream, FrameType type, std::string_view payload,
+          std::uint64_t traceId)
 {
-    const std::string wire = encodeFrame(type, payload);
+    const std::string wire = encodeFrame(type, payload, traceId);
     return stream.writeAll(wire.data(), wire.size());
 }
 
@@ -139,13 +145,15 @@ recvFrame(Stream &stream, Frame &out)
                 static_cast<unsigned char>(head[2]),
                 static_cast<unsigned char>(head[3]));
     const std::uint32_t type = getLe32(head + 4);
-    const std::uint64_t len = getLe64(head + 8);
+    const std::uint64_t traceId = getLe64(head + 8);
+    const std::uint64_t len = getLe64(head + 16);
     if (len > kMaxFramePayload)
         fatalIo("service frame of type %u declares %llu payload bytes, "
                 "limit is %llu — refusing to buffer",
                 type, static_cast<unsigned long long>(len),
                 static_cast<unsigned long long>(kMaxFramePayload));
     out.type = static_cast<FrameType>(type);
+    out.traceId = traceId;
     out.payload.resize(static_cast<std::size_t>(len));
     if (len > 0)
         readExact(stream, out.payload.data(),
@@ -153,7 +161,8 @@ recvFrame(Stream &stream, Frame &out)
     char crcBuf[4];
     readExact(stream, crcBuf, sizeof(crcBuf), false);
     const std::uint32_t stored = getLe32(crcBuf);
-    const std::uint32_t computed = frameCrc(out.type, out.payload);
+    const std::uint32_t computed =
+        frameCrc(out.type, out.traceId, out.payload);
     if (stored != computed)
         fatalIo("service frame CRC mismatch on %s frame (stored %08x, "
                 "computed %08x over %llu payload bytes)",

@@ -4,8 +4,14 @@
  *
  * Wire layout (all integers little-endian):
  *
- *   frame := magic[4]="WSVF" u32 type u64 payloadLen payload
- *            u32 crc32(type || payloadLen || payload)
+ *   frame := magic[4]="WSVF" u32 type u64 traceId u64 payloadLen payload
+ *            u32 crc32(type || traceId || payloadLen || payload)
+ *
+ * traceId is the sweep's telemetry trace identifier (0 = untraced): the
+ * coordinator mints it when the sweep is submitted and stamps it on every
+ * frame it sends; workers echo it back, which propagates the id across
+ * the process boundary without touching any payload codec (see
+ * docs/observability.md, "service telemetry").
  *
  * Control frames (handshakes, leases, requests, status) carry JSON
  * payloads; JobDone carries the binary ckpt::Writer encoding of a
@@ -36,6 +42,7 @@ enum class FrameType : std::uint32_t {
     JobDone = 6,     ///< worker->coord binary: u64 index || outcome.
     ShardDone = 7,   ///< worker->coord JSON {shard}.
     WorkerStats = 8, ///< worker->coord JSON warm-up cache counters.
+    SpanBatch = 9,   ///< worker->coord binary span events (proto.h).
 
     // Client <-> serve daemon.
     SweepRequest = 16,  ///< client->daemon JSON sweep spec.
@@ -57,14 +64,17 @@ inline constexpr std::uint64_t kMaxFramePayload = 64ull << 20;
 struct Frame
 {
     FrameType type = FrameType::Error;
+    std::uint64_t traceId = 0; ///< Sweep telemetry trace (0 = untraced).
     std::string payload;
 };
 
 /** Serialize a frame to its wire bytes. */
-std::string encodeFrame(FrameType type, std::string_view payload);
+std::string encodeFrame(FrameType type, std::string_view payload,
+                        std::uint64_t traceId = 0);
 
 /** Send one frame; false when the peer is gone. */
-bool sendFrame(Stream &stream, FrameType type, std::string_view payload);
+bool sendFrame(Stream &stream, FrameType type, std::string_view payload,
+               std::uint64_t traceId = 0);
 
 /**
  * Receive exactly one frame.

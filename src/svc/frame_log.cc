@@ -1,0 +1,72 @@
+#include "frame_log.h"
+
+#include "src/obs/span_log.h"
+
+namespace wsrs::svc {
+
+FrameLogWriter::FrameLogWriter(const std::string &path)
+{
+    os_.open(path);
+    if (!os_)
+        return;
+    ok_ = true;
+    t0Us_ = obs::monotonicMicros();
+    os_ << "{\"schema\": \"wsrs-svc-frames-v1\", \"format\": \"jsonl\"}\n";
+}
+
+FrameLogWriter::~FrameLogWriter()
+{
+    finish();
+}
+
+void
+FrameLogWriter::append(std::uint64_t conn, std::string_view dir,
+                       std::string_view type, std::string_view body,
+                       std::uint64_t payload_bytes)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!ok_ || finished_)
+        return;
+    if (frames_ >= kMaxFrames) {
+        ++dropped_;
+        return;
+    }
+    ++frames_;
+    os_ << "{\"t_ms\": " << (obs::monotonicMicros() - t0Us_) / 1000
+        << ", \"conn\": " << conn << ", \"dir\": \"" << dir
+        << "\", \"type\": \"" << type
+        << "\", \"payload_bytes\": " << payload_bytes << ", \"body\": ";
+    if (body.empty()) {
+        os_ << "null";
+    } else {
+        // One record per line: raw newlines inside a *valid* JSON body
+        // can only be insignificant whitespace (string contents must
+        // escape them), so flattening keeps the body equivalent.
+        for (const char c : body)
+            os_ << ((c == '\n' || c == '\r') ? ' ' : c);
+    }
+    os_ << "}\n";
+}
+
+void
+FrameLogWriter::flush()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ok_ && !finished_)
+        os_.flush();
+}
+
+void
+FrameLogWriter::finish()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!ok_ || finished_)
+        return;
+    finished_ = true;
+    os_ << "{\"frames\": " << frames_
+        << ", \"dropped_frames\": " << dropped_ << "}\n";
+    os_.flush();
+    os_.close();
+}
+
+} // namespace wsrs::svc

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Streaming protocol frame log for the sweep daemon.
+ *
+ * The daemon's flight recorder used to buffer frames in memory and dump
+ * one JSON document at stop — which meant a SIGKILLed daemon left no log
+ * at all. FrameLogWriter streams instead: one line-delimited JSON record
+ * per frame (`wsrs-svc-frames-v1`, `"format": "jsonl"`), appended through
+ * a single buffered writer shared by every thread. Lines are *not*
+ * synced per frame; the daemon calls flush() explicitly whenever its
+ * admission queue drains, so the on-disk log trails live traffic by at
+ * most one busy burst. A crash can therefore tear the final line —
+ * readers (scripts/check_stats_schema.py, scripts/frame_log_report.py)
+ * must tolerate a torn tail and treat the trailer line as optional.
+ *
+ * File layout:
+ *   {"schema": "wsrs-svc-frames-v1", "format": "jsonl"}     <- header
+ *   {"t_ms": .., "conn": .., "dir": "rx", "type": ..,
+ *    "payload_bytes": .., "body": ..}                       <- per frame
+ *   {"frames": N, "dropped_frames": M}                      <- trailer
+ */
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace wsrs::svc {
+
+/** Thread-safe append-only JSONL frame log. */
+class FrameLogWriter
+{
+  public:
+    /** Retention bound: frames past this are counted, not written. */
+    static constexpr std::uint64_t kMaxFrames = 65536;
+
+    /**
+     * Open @p path and write the header line. A path that cannot be
+     * opened leaves the writer in a disarmed state (ok() == false);
+     * appends become no-ops instead of taking the daemon down.
+     */
+    explicit FrameLogWriter(const std::string &path);
+    ~FrameLogWriter();
+
+    FrameLogWriter(const FrameLogWriter &) = delete;
+    FrameLogWriter &operator=(const FrameLogWriter &) = delete;
+
+    bool ok() const { return ok_; }
+
+    /**
+     * Append one frame record. @p body must be a complete JSON value
+     * (object, string, ...) or empty, which is recorded as null —
+     * binary and oversized payloads pass "" and keep payload_bytes.
+     */
+    void append(std::uint64_t conn, std::string_view dir,
+                std::string_view type, std::string_view body,
+                std::uint64_t payload_bytes);
+
+    /** Push buffered lines to the filesystem (called on queue drain). */
+    void flush();
+
+    /** Write the trailer line and close. Idempotent. */
+    void finish();
+
+  private:
+    std::mutex mu_;
+    std::ofstream os_;
+    std::int64_t t0Us_ = 0; ///< monotonic epoch of the log.
+    std::uint64_t frames_ = 0;
+    std::uint64_t dropped_ = 0;
+    bool ok_ = false;
+    bool finished_ = false;
+};
+
+} // namespace wsrs::svc

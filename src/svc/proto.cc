@@ -41,11 +41,12 @@ parseHexKey(const std::string &text, const std::string &what)
 
 std::string
 helloPayload(std::int64_t pid, std::uint64_t sweep_key,
-             std::uint64_t num_jobs)
+             std::uint64_t num_jobs, std::int64_t mono_us)
 {
     std::ostringstream os;
     os << "{\"role\": \"worker\", \"pid\": " << pid << ", \"sweep_key\": \""
-       << hexKey(sweep_key) << "\", \"jobs\": " << num_jobs << "}";
+       << hexKey(sweep_key) << "\", \"jobs\": " << num_jobs
+       << ", \"mono_us\": " << mono_us << "}";
     return os.str();
 }
 
@@ -59,6 +60,7 @@ parseHello(const std::string &payload)
     info.sweepKey =
         parseHexKey(doc.getString("sweep_key", ""), "hello frame");
     info.jobs = static_cast<std::uint64_t>(doc.getInt("jobs", 0));
+    info.monoUs = doc.getInt("mono_us", 0);
     return info;
 }
 
@@ -86,25 +88,28 @@ parseHelloAck(const std::string &payload)
 }
 
 std::string
-leasePayload(const Shard &shard)
+leasePayload(const Shard &shard, std::uint32_t attempt)
 {
     std::ostringstream os;
-    os << "{\"shard\": " << shard.id << ", \"jobs\": [";
+    os << "{\"shard\": " << shard.id << ", \"attempt\": " << attempt
+       << ", \"jobs\": [";
     for (std::size_t i = 0; i < shard.jobs.size(); ++i)
         os << (i ? ", " : "") << shard.jobs[i];
     os << "]}";
     return os.str();
 }
 
-Shard
+LeaseInfo
 parseLease(const std::string &payload)
 {
     const JsonValue doc = parseJson(payload, "lease frame");
-    Shard shard;
-    shard.id = static_cast<std::uint64_t>(doc.getInt("shard", 0));
+    LeaseInfo lease;
+    lease.shard.id = static_cast<std::uint64_t>(doc.getInt("shard", 0));
+    lease.attempt =
+        static_cast<std::uint32_t>(doc.getInt("attempt", 1));
     for (const JsonValue &v : doc.get("jobs").asArray())
-        shard.jobs.push_back(static_cast<std::uint64_t>(v.asInt()));
-    return shard;
+        lease.shard.jobs.push_back(static_cast<std::uint64_t>(v.asInt()));
+    return lease;
 }
 
 std::string
@@ -177,6 +182,51 @@ parseWorkerStats(const std::string &payload)
     stats.sharedRebuilds =
         static_cast<std::uint64_t>(doc.getInt("shared_rebuilds", 0));
     return stats;
+}
+
+std::string
+spanBatchPayload(const std::vector<obs::SpanEvent> &events)
+{
+    ckpt::Writer w;
+    w.u64(events.size());
+    for (const obs::SpanEvent &e : events) {
+        w.str(e.name);
+        w.u8(static_cast<std::uint8_t>(e.phase));
+        w.u64(e.job);
+        w.u32(e.attempt);
+        w.u64(e.worker);
+        w.u64(static_cast<std::uint64_t>(e.startUs));
+        w.u64(static_cast<std::uint64_t>(e.durUs));
+        w.str(e.detail);
+    }
+    return w.buffer();
+}
+
+std::vector<obs::SpanEvent>
+parseSpanBatch(const std::string &payload)
+{
+    ckpt::Reader r(payload, "span_batch frame");
+    const std::uint64_t count = r.u64();
+    if (count > 1u << 20)
+        fatalIo("span_batch frame declares %llu events — refusing",
+                static_cast<unsigned long long>(count));
+    std::vector<obs::SpanEvent> events;
+    events.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+        obs::SpanEvent e;
+        e.name = r.str();
+        e.phase = static_cast<char>(r.u8());
+        e.job = r.u64();
+        e.attempt = r.u32();
+        e.worker = r.u64();
+        e.startUs = static_cast<std::int64_t>(r.u64());
+        e.durUs = static_cast<std::int64_t>(r.u64());
+        e.detail = r.str();
+        events.push_back(std::move(e));
+    }
+    if (!r.atEnd())
+        fatalIo("span_batch frame has trailing bytes");
+    return events;
 }
 
 std::string

@@ -12,7 +12,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "src/obs/span_log.h"
 #include "src/runner/sweep_runner.h"
 #include "src/svc/shard.h"
 
@@ -31,18 +33,31 @@ struct HelloInfo
     std::int64_t pid = 0;
     std::uint64_t sweepKey = 0; ///< sweepKeyHash of the worker's job list.
     std::uint64_t jobs = 0;     ///< Worker's job-list length.
+    /** Worker's monotonic clock (obs::monotonicMicros) at handshake;
+     *  the coordinator derives its skew-normalization offset from this
+     *  (0 = worker predates span telemetry). */
+    std::int64_t monoUs = 0;
 };
 
 std::string helloPayload(std::int64_t pid, std::uint64_t sweep_key,
-                         std::uint64_t num_jobs);
+                         std::uint64_t num_jobs,
+                         std::int64_t mono_us = 0);
 HelloInfo parseHello(const std::string &payload);
 
 std::string helloAckPayload(bool ok, const std::string &error);
 /** @return empty string when ok, else the refusal message. */
 std::string parseHelloAck(const std::string &payload);
 
-std::string leasePayload(const Shard &shard);
-Shard parseLease(const std::string &payload);
+/** Decoded Lease frame body: the shard plus its lease attempt number
+ *  (1-based; >1 means the shard is being retried after a loss). */
+struct LeaseInfo
+{
+    Shard shard;
+    std::uint32_t attempt = 1;
+};
+
+std::string leasePayload(const Shard &shard, std::uint32_t attempt = 1);
+LeaseInfo parseLease(const std::string &payload);
 
 std::string shardDonePayload(std::uint64_t shard_id);
 std::uint64_t parseShardDone(const std::string &payload);
@@ -71,6 +86,11 @@ struct WorkerStatsInfo
 
 std::string workerStatsPayload(const WorkerStatsInfo &stats);
 WorkerStatsInfo parseWorkerStats(const std::string &payload);
+
+/** Binary SpanBatch body: worker-recorded span events, timestamps on the
+ *  worker's own monotonic clock (the coordinator normalizes them). */
+std::string spanBatchPayload(const std::vector<obs::SpanEvent> &events);
+std::vector<obs::SpanEvent> parseSpanBatch(const std::string &payload);
 
 std::string errorPayload(const std::string &message);
 std::string parseErrorPayload(const std::string &payload);

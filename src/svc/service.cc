@@ -1,12 +1,14 @@
 #include "service.h"
 
 #include <poll.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <cstring>
 #include <deque>
 #include <fstream>
 #include <mutex>
@@ -15,11 +17,15 @@
 #include <vector>
 
 #include "src/common/log.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/span_log.h"
 #include "src/obs/svc_counters.h"
+#include "src/runner/job_exec.h"
 #include "src/runner/sweep_report.h"
 #include "src/runner/sweep_runner.h"
 #include "src/sim/presets.h"
 #include "src/svc/frame.h"
+#include "src/svc/frame_log.h"
 #include "src/svc/json_min.h"
 #include "src/svc/proto.h"
 #include "src/svc/transport.h"
@@ -29,8 +35,6 @@ namespace wsrs::svc {
 
 namespace {
 
-/** Frame-log retention bound: the log is a flight recorder, not a tape. */
-constexpr std::size_t kMaxLoggedFrames = 512;
 /** Finished requests kept visible in status replies. */
 constexpr std::size_t kMaxFinishedViews = 32;
 
@@ -38,6 +42,7 @@ constexpr std::size_t kMaxFinishedViews = 32;
 struct Request
 {
     std::uint64_t id = 0;
+    std::uint64_t conn = 0; ///< Frame-log connection id.
     std::unique_ptr<Stream> stream;
     std::vector<runner::SweepJob> jobs;
     bool shareTraces = true;
@@ -51,14 +56,6 @@ struct RequestView
     std::string state; ///< queued | running | done | failed.
     std::size_t jobsTotal = 0;
     std::size_t jobsDone = 0;
-};
-
-struct FrameLogEntry
-{
-    const char *dir;  ///< "rx" | "tx".
-    const char *type; ///< frameTypeName.
-    std::string body; ///< JSON body, or empty for binary/large payloads.
-    std::uint64_t payloadBytes = 0;
 };
 
 /** Parse and validate one SweepRequest body into jobs + policy. */
@@ -119,47 +116,53 @@ struct SweepService::Impl
     std::condition_variable cv;
     std::deque<std::unique_ptr<Request>> queue;
     std::deque<RequestView> views;
-    obs::SvcCounters counters;
     std::uint64_t nextRequestId = 1;
+    std::uint64_t nextConnId = 1;
     unsigned runningNow = 0;
 
-    std::vector<FrameLogEntry> frameLog;
-    std::uint64_t droppedFrames = 0;
+    // The daemon's instruments live in its own registry (not the global
+    // process one) so each daemon instance — tests run several per
+    // process — starts from zero. The registry backs both the Prometheus
+    // `/metrics` endpoint and the status reply's svc object.
+    obs::MetricsRegistry registry;
+    obs::SvcMetrics metrics{registry};
+    obs::MetricGauge &queuedGauge = registry.gauge(
+        "wsrs_svc_queued", "Requests waiting behind the executors.");
+    obs::MetricGauge &runningGauge =
+        registry.gauge("wsrs_svc_running", "Requests currently executing.");
+    obs::MetricHistogram &requestMs = registry.histogram(
+        "wsrs_svc_request_duration_ms",
+        "Sweep request wall time, dequeue to reply sent (ms).",
+        obs::MetricsRegistry::latencyBucketsMs());
+
+    std::unique_ptr<FrameLogWriter> frameLog;
 
     std::atomic<bool> stopping{false};
     std::atomic<bool> stopRequested{false};
     bool started = false;
     bool stopped = false;
 
-    void logFrame(const char *dir, FrameType type, std::string_view body,
-                  std::uint64_t payload_bytes);
+    void logFrame(std::uint64_t conn, const char *dir, FrameType type,
+                  std::string_view body, std::uint64_t payload_bytes);
     RequestView *findView(std::uint64_t id);
     void ioLoop();
-    void handleConnection(std::unique_ptr<Stream> stream);
+    void handleConnection(std::uint64_t conn,
+                          std::unique_ptr<Stream> stream);
+    void handleHttpGet(std::uint64_t conn, std::unique_ptr<Stream> stream);
     void executorLoop();
     void runRequest(Request &req);
+    void flushFrameLogIfDrained();
     std::string buildStatusJson() const;
-    void writeFrameLog();
 };
 
 void
-SweepService::Impl::logFrame(const char *dir, FrameType type,
-                             std::string_view body,
+SweepService::Impl::logFrame(std::uint64_t conn, const char *dir,
+                             FrameType type, std::string_view body,
                              std::uint64_t payload_bytes)
 {
-    if (options.frameLogPath.empty())
-        return;
-    std::lock_guard<std::mutex> lock(mu);
-    if (frameLog.size() >= kMaxLoggedFrames) {
-        ++droppedFrames;
-        return;
-    }
-    FrameLogEntry e;
-    e.dir = dir;
-    e.type = frameTypeName(type);
-    e.body = std::string(body);
-    e.payloadBytes = payload_bytes;
-    frameLog.push_back(std::move(e));
+    if (frameLog)
+        frameLog->append(conn, dir, frameTypeName(type), body,
+                         payload_bytes);
 }
 
 RequestView *
@@ -186,7 +189,7 @@ SweepService::Impl::ioLoop()
         if (!peer)
             continue;
         try {
-            handleConnection(std::move(peer));
+            handleConnection(nextConnId++, std::move(peer));
         } catch (const FatalError &e) {
             // A malformed client must not take the daemon down.
             std::fprintf(stderr, "wsrs-sim: serve: dropped client: %s\n",
@@ -197,7 +200,8 @@ SweepService::Impl::ioLoop()
 }
 
 void
-SweepService::Impl::handleConnection(std::unique_ptr<Stream> stream)
+SweepService::Impl::handleConnection(std::uint64_t conn,
+                                     std::unique_ptr<Stream> stream)
 {
     // One request frame per connection; a silent client is cut loose
     // instead of wedging the accept loop.
@@ -206,21 +210,36 @@ SweepService::Impl::handleConnection(std::unique_ptr<Stream> stream)
         stream->close();
         return;
     }
+
+    // Sniff the first bytes without consuming them: a framed client
+    // leads with the "WSVF" magic, a curious human (curl, nc, the
+    // dashboard poller) leads with "GET ". Both protocols share one
+    // endpoint so dashboards need no extra port.
+    char peeked[4] = {0, 0, 0, 0};
+    const long pn =
+        ::recv(stream->pollFd(), peeked, sizeof peeked, MSG_PEEK);
+    if (pn == 4 && std::memcmp(peeked, "GET ", 4) == 0) {
+        handleHttpGet(conn, std::move(stream));
+        return;
+    }
+
     Frame frame;
     if (!recvFrame(*stream, frame))
         return;
 
     switch (frame.type) {
       case FrameType::StatusRequest: {
-        logFrame("rx", frame.type, frame.payload, frame.payload.size());
+        logFrame(conn, "rx", frame.type, frame.payload,
+                 frame.payload.size());
         const std::string status = buildStatusJson();
         sendFrame(*stream, FrameType::StatusReply, status);
-        logFrame("tx", FrameType::StatusReply, "", status.size());
+        logFrame(conn, "tx", FrameType::StatusReply, "", status.size());
         stream->close();
         return;
       }
       case FrameType::SweepRequest: {
-        logFrame("rx", frame.type, frame.payload, frame.payload.size());
+        logFrame(conn, "rx", frame.type, frame.payload,
+                 frame.payload.size());
         std::unique_ptr<Request> req;
         try {
             req = std::make_unique<Request>(
@@ -228,14 +247,13 @@ SweepService::Impl::handleConnection(std::unique_ptr<Stream> stream)
         } catch (const FatalError &e) {
             const std::string body = errorPayload(e.what());
             sendFrame(*stream, FrameType::Error, body);
-            logFrame("tx", FrameType::Error, body, body.size());
-            std::lock_guard<std::mutex> lock(mu);
-            ++counters.requestsFailed;
+            logFrame(conn, "tx", FrameType::Error, body, body.size());
+            metrics.requestsFailed.add();
             return;
         }
         std::unique_lock<std::mutex> lock(mu);
         if (queue.size() >= options.queueDepth) {
-            ++counters.backpressureRejects;
+            metrics.backpressureRejects.add();
             // Hint scales with the backlog: a deeper queue means a
             // longer wait before a retry can be admitted.
             const std::uint64_t hint =
@@ -248,12 +266,14 @@ SweepService::Impl::handleConnection(std::unique_ptr<Stream> stream)
                << options.queueDepth << ")\"}";
             const std::string body = os.str();
             sendFrame(*stream, FrameType::SweepRejected, body);
-            logFrame("tx", FrameType::SweepRejected, body, body.size());
+            logFrame(conn, "tx", FrameType::SweepRejected, body,
+                     body.size());
             return;
         }
         req->id = nextRequestId++;
+        req->conn = conn;
         req->stream = std::move(stream);
-        ++counters.requestsAdmitted;
+        metrics.requestsAdmitted.add();
         RequestView view;
         view.id = req->id;
         view.state = "queued";
@@ -269,9 +289,10 @@ SweepService::Impl::handleConnection(std::unique_ptr<Stream> stream)
         // Ack before enqueueing: once queued, an executor owns the
         // stream and this thread must not touch it again.
         sendFrame(*req->stream, FrameType::SweepAccepted, body);
-        logFrame("tx", FrameType::SweepAccepted, body, body.size());
+        logFrame(conn, "tx", FrameType::SweepAccepted, body, body.size());
         lock.lock();
         queue.push_back(std::move(req));
+        queuedGauge.set(static_cast<std::int64_t>(queue.size()));
         lock.unlock();
         cv.notify_one();
         return;
@@ -282,10 +303,73 @@ SweepService::Impl::handleConnection(std::unique_ptr<Stream> stream)
                       "status_request",
                       frameTypeName(frame.type)));
         sendFrame(*stream, FrameType::Error, body);
-        logFrame("tx", FrameType::Error, body, body.size());
+        logFrame(conn, "tx", FrameType::Error, body, body.size());
         return;
       }
     }
+}
+
+void
+SweepService::Impl::handleHttpGet(std::uint64_t conn,
+                                  std::unique_ptr<Stream> stream)
+{
+    // One read covers any sane request line; headers are ignored.
+    char buf[1024];
+    const long n = stream->read(buf, sizeof buf - 1);
+    if (n <= 0) {
+        stream->close();
+        return;
+    }
+    std::string line(buf, static_cast<std::size_t>(n));
+    if (const auto eol = line.find_first_of("\r\n");
+        eol != std::string::npos)
+        line.resize(eol);
+    // "GET <path> HTTP/1.x" (the version token is optional).
+    std::string path;
+    if (const auto sp = line.find(' '); sp != std::string::npos) {
+        path = line.substr(sp + 1);
+        if (const auto end = path.find(' '); end != std::string::npos)
+            path.resize(end);
+    }
+    if (frameLog)
+        frameLog->append(conn, "rx", "http_get",
+                         "{\"path\": \"" + jsonEscapeMin(path) + "\"}",
+                         static_cast<std::uint64_t>(n));
+
+    int code = 200;
+    const char *codeName = "OK";
+    const char *ctype = "text/plain; charset=utf-8";
+    std::string body;
+    if (path == "/status") {
+        ctype = "application/json";
+        body = buildStatusJson() + "\n";
+    } else if (path == "/metrics") {
+        ctype = "text/plain; version=0.0.4; charset=utf-8";
+        std::ostringstream os;
+        registry.writePrometheus(os);
+        body = os.str();
+    } else if (path == "/metrics.json") {
+        ctype = "application/json";
+        std::ostringstream os;
+        registry.writeJson(os);
+        body = os.str();
+    } else {
+        code = 404;
+        codeName = "Not Found";
+        body = "unknown path; try /status, /metrics or /metrics.json\n";
+    }
+
+    std::ostringstream os;
+    os << "HTTP/1.0 " << code << " " << codeName << "\r\n"
+       << "Content-Type: " << ctype << "\r\n"
+       << "Content-Length: " << body.size() << "\r\n"
+       << "Connection: close\r\n\r\n"
+       << body;
+    const std::string reply = os.str();
+    stream->writeAll(reply.data(), reply.size());
+    if (frameLog)
+        frameLog->append(conn, "tx", "http_reply", "", body.size());
+    stream->close();
 }
 
 void
@@ -303,22 +387,47 @@ SweepService::Impl::executorLoop()
             req = std::move(queue.front());
             queue.pop_front();
             ++runningNow;
+            queuedGauge.set(static_cast<std::int64_t>(queue.size()));
+            runningGauge.set(runningNow);
             if (RequestView *v = findView(req->id))
                 v->state = "running";
         }
         runRequest(*req);
-        std::lock_guard<std::mutex> lock(mu);
-        --runningNow;
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            --runningNow;
+            runningGauge.set(runningNow);
+        }
+        flushFrameLogIfDrained();
     }
+}
+
+void
+SweepService::Impl::flushFrameLogIfDrained()
+{
+    if (!frameLog)
+        return;
+    bool drained;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        drained = queue.empty() && runningNow == 0;
+    }
+    // Flush-on-drain: buffered log lines reach the filesystem whenever
+    // the daemon goes idle, so the on-disk log trails live traffic by at
+    // most one busy burst (readers tolerate the torn tail regardless).
+    if (drained)
+        frameLog->flush();
 }
 
 void
 SweepService::Impl::runRequest(Request &req)
 {
+    const std::int64_t startUs = obs::monotonicMicros();
     runner::SweepRunner::Options opt;
     opt.threads = options.sweepThreads;
     opt.shareTraces = req.shareTraces;
     opt.reuseWarmup = req.reuseWarmup;
+    opt.metrics = &registry; ///< Runner instruments join `/metrics`.
     opt.onEvent = [&](const runner::SweepEvent &ev) {
         std::lock_guard<std::mutex> lock(mu);
         if (RequestView *v = findView(req.id))
@@ -345,18 +454,21 @@ SweepService::Impl::runRequest(Request &req)
     {
         std::lock_guard<std::mutex> lock(mu);
         if (ok)
-            ++counters.requestsCompleted;
+            metrics.requestsCompleted.add();
         else
-            ++counters.requestsFailed;
+            metrics.requestsFailed.add();
         if (RequestView *v = findView(req.id))
             v->state = ok ? "done" : "failed";
     }
     sendFrame(*req.stream, replyType, body);
-    logFrame("tx", replyType,
+    logFrame(req.conn, "tx", replyType,
              replyType == FrameType::SweepResult ? std::string_view() :
                                                    std::string_view(body),
              body.size());
     req.stream->close();
+    requestMs.observe(
+        static_cast<std::uint64_t>((obs::monotonicMicros() - startUs) /
+                                   1000));
 }
 
 std::string
@@ -371,7 +483,7 @@ SweepService::Impl::buildStatusJson() const
        << ", \"executors\": " << options.executors
        << ", \"queued\": " << queue.size()
        << ", \"running\": " << runningNow << ", \"svc\": ";
-    obs::writeSvcJson(os, counters, {});
+    obs::writeSvcJson(os, metrics.snapshot(), {});
     os << ", \"requests\": [";
     bool first = true;
     for (const RequestView &v : views) {
@@ -383,36 +495,6 @@ SweepService::Impl::buildStatusJson() const
     }
     os << "]}";
     return os.str();
-}
-
-void
-SweepService::Impl::writeFrameLog()
-{
-    if (options.frameLogPath.empty())
-        return;
-    std::ofstream os(options.frameLogPath);
-    if (!os) {
-        std::fprintf(stderr, "wsrs-sim: serve: cannot write frame log "
-                             "'%s'\n",
-                     options.frameLogPath.c_str());
-        return;
-    }
-    std::lock_guard<std::mutex> lock(mu);
-    os << "{\"schema\": \"wsrs-svc-frames-v1\", \"dropped_frames\": "
-       << droppedFrames << ", \"frames\": [";
-    bool first = true;
-    for (const FrameLogEntry &e : frameLog) {
-        os << (first ? "" : ", ") << "{\"dir\": \"" << e.dir
-           << "\", \"type\": \"" << e.type
-           << "\", \"payload_bytes\": " << e.payloadBytes << ", \"body\": ";
-        if (e.body.empty())
-            os << "null";
-        else
-            os << e.body;
-        os << "}";
-        first = false;
-    }
-    os << "]}\n";
 }
 
 SweepService::SweepService(ServiceOptions options)
@@ -438,6 +520,14 @@ SweepService::start()
         im.options.executors = 1;
     if (::pipe(im.wakePipe) != 0)
         fatalIo("serve: cannot create the shutdown pipe");
+    if (!im.options.frameLogPath.empty()) {
+        im.frameLog =
+            std::make_unique<FrameLogWriter>(im.options.frameLogPath);
+        if (!im.frameLog->ok())
+            std::fprintf(stderr,
+                         "wsrs-sim: serve: cannot write frame log '%s'\n",
+                         im.options.frameLogPath.c_str());
+    }
     im.listener =
         makeTransport(im.options.endpoint)->listen(im.options.endpoint);
     im.started = true;
@@ -462,7 +552,8 @@ SweepService::stop()
         if (t.joinable())
             t.join();
     im.executors.clear();
-    im.writeFrameLog();
+    if (im.frameLog)
+        im.frameLog->finish();
     ::close(im.wakePipe[0]);
     ::close(im.wakePipe[1]);
     im.stopped = true;

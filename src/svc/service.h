@@ -15,9 +15,18 @@
  * live wsrs-svc-status-v1 JSON snapshot (queue occupancy, per-request
  * progress, admission counters) without ever queueing.
  *
- * Every control frame is optionally appended to an in-memory frame log
- * (bounded) written as a wsrs-svc-frames-v1 JSON document on stop — the
- * protocol's flight recorder, validated by scripts/check_stats_schema.py.
+ * The same endpoint also answers plain-text HTTP GETs (the first bytes
+ * are sniffed: "WSVF" magic = framed client, "GET " = curl/dashboard):
+ * `/status` returns the status document, `/metrics` the Prometheus text
+ * exposition of the daemon's metrics registry (admission counters, queue
+ * gauges, request/job/warm-up latency histograms), `/metrics.json` the
+ * wsrs-metrics-v1 JSON equivalent. scripts/svc_dashboard.py renders the
+ * dashboard from these endpoints.
+ *
+ * Every control frame is optionally streamed to a JSONL frame log
+ * (wsrs-svc-frames-v1, src/svc/frame_log.h) through a single buffered
+ * writer, flushed whenever the admission queue drains — the protocol's
+ * flight recorder, validated by scripts/check_stats_schema.py.
  */
 #pragma once
 
@@ -38,7 +47,7 @@ struct ServiceOptions
     unsigned executors = 1;
     /** Worker threads inside each request's SweepRunner (1 = serial). */
     unsigned sweepThreads = 1;
-    /** Write a wsrs-svc-frames-v1 protocol log here on stop (optional). */
+    /** Stream a wsrs-svc-frames-v1 JSONL protocol log here (optional). */
     std::string frameLogPath;
 };
 

@@ -1,0 +1,121 @@
+#include "src/obs/metrics_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace wsrs::obs {
+namespace {
+
+TEST(MetricsRegistry, CounterGaugeBasics)
+{
+    MetricsRegistry reg;
+    MetricCounter &c = reg.counter("wsrs_test_events_total", "events");
+    c.add();
+    c.add(4);
+    EXPECT_EQ(c.value(), 5u);
+
+    MetricGauge &g = reg.gauge("wsrs_test_depth", "queue depth");
+    g.set(7);
+    g.add(-3);
+    EXPECT_EQ(g.value(), 4);
+
+    // Re-registration returns the same instrument.
+    EXPECT_EQ(&reg.counter("wsrs_test_events_total", "events"), &c);
+    EXPECT_EQ(&reg.gauge("wsrs_test_depth", ""), &g);
+}
+
+TEST(MetricsRegistry, HistogramBuckets)
+{
+    MetricsRegistry reg;
+    MetricHistogram &h =
+        reg.histogram("wsrs_test_latency_ms", "latency", {1, 10, 100});
+    h.observe(0);   // le=1
+    h.observe(1);   // le=1 (inclusive bound)
+    h.observe(5);   // le=10
+    h.observe(100); // le=100
+    h.observe(101); // +Inf
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.sum(), 207u);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(2), 1u);
+    EXPECT_EQ(h.bucketCount(3), 1u); // overflow
+}
+
+TEST(MetricsRegistry, JsonExportShape)
+{
+    MetricsRegistry reg;
+    reg.counter("wsrs_test_a_total", "a").add(3);
+    reg.gauge("wsrs_test_b", "b").set(-2);
+    reg.histogram("wsrs_test_c_ms", "c", {5, 50}).observe(7);
+    std::ostringstream os;
+    reg.writeJson(os);
+    const std::string doc = os.str();
+    EXPECT_NE(doc.find("\"schema\": \"wsrs-metrics-v1\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"name\": \"wsrs_test_a_total\", "
+                       "\"type\": \"counter\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"value\": -2"), std::string::npos);
+    EXPECT_NE(doc.find("\"buckets\": [{\"le\": 5, \"count\": 0}, "
+                       "{\"le\": 50, \"count\": 1}]"),
+              std::string::npos);
+    EXPECT_EQ(doc.back(), '\n');
+}
+
+TEST(MetricsRegistry, PrometheusExposition)
+{
+    MetricsRegistry reg;
+    reg.counter("wsrs_test_a_total", "a events").add(3);
+    reg.histogram("wsrs_test_c_ms", "c", {5, 50}).observe(7);
+    std::ostringstream os;
+    reg.writePrometheus(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("# HELP wsrs_test_a_total a events\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE wsrs_test_a_total counter\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("wsrs_test_a_total 3\n"), std::string::npos);
+    // Histogram buckets are cumulative and end with +Inf == count.
+    EXPECT_NE(text.find("wsrs_test_c_ms_bucket{le=\"5\"} 0\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("wsrs_test_c_ms_bucket{le=\"50\"} 1\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("wsrs_test_c_ms_bucket{le=\"+Inf\"} 1\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("wsrs_test_c_ms_sum 7\n"), std::string::npos);
+    EXPECT_NE(text.find("wsrs_test_c_ms_count 1\n"), std::string::npos);
+}
+
+TEST(MetricsRegistry, ConcurrentUpdatesFold)
+{
+    MetricsRegistry reg;
+    MetricCounter &c = reg.counter("wsrs_test_mt_total", "");
+    MetricHistogram &h = reg.histogram("wsrs_test_mt_ms", "", {10, 100});
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 10000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                c.add();
+                h.observe(static_cast<std::uint64_t>(t));
+                // Concurrent registration of the same name must be safe
+                // and return a stable instrument.
+                if (i % 1000 == 0)
+                    reg.counter("wsrs_test_mt_total", "").add(0);
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(c.value(), kThreads * kPerThread);
+    EXPECT_EQ(h.count(), kThreads * kPerThread);
+    EXPECT_EQ(h.bucketCount(0), kThreads * kPerThread);
+}
+
+} // namespace
+} // namespace wsrs::obs

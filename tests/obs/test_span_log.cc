@@ -1,0 +1,96 @@
+#include "src/obs/span_log.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace wsrs::obs {
+namespace {
+
+TEST(SpanLog, AppendAndDrain)
+{
+    SpanLog log;
+    log.complete("job", 0, 0, 0, 100, 50);
+    log.instant("merged", 0, 0, 0, 150);
+    EXPECT_EQ(log.size(), 2u);
+    const auto events = log.drain();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].name, "job");
+    EXPECT_EQ(events[0].phase, 'X');
+    EXPECT_EQ(events[1].phase, 'i');
+    EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(SpanLog, ChromeTraceShape)
+{
+    SpanLog log;
+    log.nameJob(3, "gzip@WSRS-RC-512");
+    log.complete("job", 3, 0, 0, 1000, 400);
+    log.complete("attempt", 3, 1, 2, 1050, 300);
+    log.complete("simulate", 3, 1, 2, 1100, 200);
+    log.instant("merged", 3, 0, 0, 1400);
+    std::ostringstream os;
+    log.writeChromeTrace(os, "sweep deadbeef");
+    const std::string doc = os.str();
+    EXPECT_NE(doc.find("\"schema\": \"wsrs-spans-v1\""), std::string::npos);
+    EXPECT_NE(doc.find("\"traceEvents\": ["), std::string::npos);
+    EXPECT_NE(doc.find("job 3 gzip@WSRS-RC-512"), std::string::npos);
+    // Timestamps are rebased to the earliest event.
+    EXPECT_NE(doc.find("\"name\": \"job\", \"ph\": \"X\", \"ts\": 0"),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"attempt\": 1"), std::string::npos);
+}
+
+TEST(SpanLog, ClampsChildrenIntoParents)
+{
+    SpanLog log;
+    // Earliest raw timestamp is 900, so after rebasing the root "job"
+    // span covers [100, 200].
+    log.complete("job", 0, 0, 0, 1000, 100);
+    // Skewed attempt escaping the root on both sides -> [100, 200].
+    log.complete("attempt", 0, 1, 1, 950, 300);
+    // Leaf escaping its attempt -> clamped into it as well.
+    log.complete("simulate", 0, 1, 1, 900, 500);
+    std::ostringstream os;
+    log.writeChromeTrace(os, "clamp");
+    const std::string doc = os.str();
+    EXPECT_NE(doc.find("\"name\": \"attempt\", \"ph\": \"X\", "
+                       "\"ts\": 100, \"dur\": 100"),
+              std::string::npos)
+        << doc;
+    EXPECT_NE(doc.find("\"name\": \"simulate\", \"ph\": \"X\", "
+                       "\"ts\": 100, \"dur\": 100"),
+              std::string::npos)
+        << doc;
+}
+
+TEST(SpanLog, ConcurrentAppends)
+{
+    SpanLog log;
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 2000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < kPerThread; ++i)
+                log.complete("simulate", static_cast<std::uint64_t>(t), 1,
+                             static_cast<std::uint64_t>(t), i, 1);
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(log.size(),
+              static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+TEST(SpanLog, MonotonicMicrosAdvances)
+{
+    const std::int64_t a = monotonicMicros();
+    const std::int64_t b = monotonicMicros();
+    EXPECT_GE(b, a);
+}
+
+} // namespace
+} // namespace wsrs::obs

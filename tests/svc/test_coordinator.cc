@@ -295,7 +295,7 @@ TEST(Coordinator, DuplicateResultsAreDroppedAndCounted)
         Frame frame;
         ASSERT_TRUE(recvFrame(*stream, frame));
         ASSERT_EQ(frame.type, FrameType::Lease);
-        const Shard shard = parseLease(frame.payload);
+        const Shard shard = parseLease(frame.payload).shard;
         runner::SweepOutcome fake;
         fake.ok = false;
         fake.error = "synthetic";

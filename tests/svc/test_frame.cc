@@ -24,6 +24,28 @@ TEST(Frame, RoundTripsOverAStreamPair)
     ASSERT_TRUE(recvFrame(*b, got));
     EXPECT_EQ(got.type, FrameType::Hello);
     EXPECT_EQ(got.payload, payload);
+    EXPECT_EQ(got.traceId, 0u); // Untraced unless the sender stamps one.
+}
+
+TEST(Frame, PropagatesTheTraceId)
+{
+    auto [a, b] = localPair();
+    const std::uint64_t trace = 0x1122334455667788ull;
+    ASSERT_TRUE(sendFrame(*a, FrameType::Lease, "{\"shard\": 0}", trace));
+    Frame got;
+    ASSERT_TRUE(recvFrame(*b, got));
+    EXPECT_EQ(got.type, FrameType::Lease);
+    EXPECT_EQ(got.traceId, trace);
+}
+
+TEST(Frame, CorruptTraceIdFailsTheCrc)
+{
+    auto [a, b] = localPair();
+    std::string wire = encodeFrame(FrameType::Claim, "{}", 42);
+    wire[4 + 4 + 3] ^= 0x01; // Flip one traceId bit.
+    ASSERT_TRUE(a->writeAll(wire.data(), wire.size()));
+    Frame got;
+    EXPECT_THROW(recvFrame(*b, got), IoError);
 }
 
 TEST(Frame, RoundTripsBinaryAndEmptyPayloads)
@@ -80,7 +102,7 @@ TEST(Frame, CorruptPayloadFailsTheCrc)
 {
     auto [a, b] = localPair();
     std::string wire = encodeFrame(FrameType::Lease, "{\"shard\": 3}");
-    wire[4 + 4 + 8 + 2] ^= 0x40; // Flip one payload bit.
+    wire[4 + 4 + 8 + 8 + 2] ^= 0x40; // Flip one payload bit.
     ASSERT_TRUE(a->writeAll(wire.data(), wire.size()));
     Frame got;
     try {
@@ -100,7 +122,7 @@ TEST(Frame, OversizedDeclaredLengthIsRefusedBeforeBuffering)
     // allocation instead of trusting the peer.
     const std::uint64_t huge = 1ull << 40;
     for (int i = 0; i < 8; ++i)
-        wire[8 + i] = static_cast<char>(huge >> (8 * i));
+        wire[4 + 4 + 8 + i] = static_cast<char>(huge >> (8 * i));
     ASSERT_TRUE(a->writeAll(wire.data(), wire.size()));
     Frame got;
     try {

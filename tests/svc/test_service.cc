@@ -14,6 +14,7 @@
 #include "src/common/log.h"
 #include "src/svc/json_min.h"
 #include "src/svc/service.h"
+#include "src/svc/transport.h"
 
 namespace wsrs::svc {
 namespace {
@@ -172,10 +173,52 @@ TEST(Service, StatusTracksRequestLifecycles)
     service.stop();
 }
 
-TEST(Service, WritesTheFrameLogOnStop)
+TEST(Service, AnswersHttpGetOnTheSameEndpoint)
+{
+    ServiceOptions opt;
+    opt.endpoint = endpointFor("http");
+    SweepService service(opt);
+    service.start();
+    submitSweep(service.endpoint(), kTinyRequest);
+
+    const auto get = [&](const std::string &path) {
+        auto stream = makeTransport(service.endpoint())
+                          ->connect(service.endpoint());
+        const std::string req = "GET " + path + " HTTP/1.0\r\n\r\n";
+        EXPECT_TRUE(stream->writeAll(req.data(), req.size()));
+        std::string out;
+        char buf[4096];
+        long n;
+        while ((n = stream->read(buf, sizeof buf)) > 0)
+            out.append(buf, static_cast<std::size_t>(n));
+        return out;
+    };
+
+    const std::string metrics = get("/metrics");
+    EXPECT_NE(metrics.find("HTTP/1.0 200 OK"), std::string::npos);
+    EXPECT_NE(metrics.find(
+                  "# TYPE wsrs_svc_requests_admitted_total counter"),
+              std::string::npos);
+    EXPECT_NE(metrics.find("wsrs_svc_requests_admitted_total 1"),
+              std::string::npos);
+    // The request's runner instruments joined the same registry.
+    EXPECT_NE(metrics.find("wsrs_runner_jobs_total 1"),
+              std::string::npos);
+
+    const std::string status = get("/status");
+    EXPECT_NE(status.find("wsrs-svc-status-v1"), std::string::npos);
+
+    const std::string metricsJson = get("/metrics.json");
+    EXPECT_NE(metricsJson.find("wsrs-metrics-v1"), std::string::npos);
+
+    EXPECT_NE(get("/nope").find("HTTP/1.0 404"), std::string::npos);
+    service.stop();
+}
+
+TEST(Service, StreamsTheFrameLogAsJsonl)
 {
     const std::string logPath =
-        testing::TempDir() + "wsrs_serve_frames.json";
+        testing::TempDir() + "wsrs_serve_frames.jsonl";
     ServiceOptions opt;
     opt.endpoint = endpointFor("log");
     opt.frameLogPath = logPath;
@@ -183,29 +226,62 @@ TEST(Service, WritesTheFrameLogOnStop)
         SweepService service(opt);
         service.start();
         submitSweep(service.endpoint(), kTinyRequest);
+
+        // Flush-on-drain: with the queue empty again, the buffered log
+        // (header + the request's frames) reaches the filesystem before
+        // stop. The flush runs on the executor thread just after our
+        // reply, so poll briefly.
+        bool flushed = false;
+        for (int i = 0; i < 200 && !flushed; ++i) {
+            std::ifstream peek(logPath);
+            std::ostringstream buf;
+            buf << peek.rdbuf();
+            flushed = buf.str().find("sweep_result") != std::string::npos;
+            if (!flushed)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(10));
+        }
+        EXPECT_TRUE(flushed);
+
         queryStatus(service.endpoint());
         service.stop();
     }
     std::ifstream is(logPath);
     ASSERT_TRUE(is.good());
-    std::ostringstream buf;
-    buf << is.rdbuf();
-    const JsonValue log = parseJson(buf.str(), "frame log");
-    EXPECT_EQ(log.getString("schema", ""), "wsrs-svc-frames-v1");
-    const auto &frames = log.get("frames").asArray();
-    ASSERT_GE(frames.size(), 4u);
+    std::string line;
+    ASSERT_TRUE(std::getline(is, line));
+    const JsonValue header = parseJson(line, "frame log header");
+    EXPECT_EQ(header.getString("schema", ""), "wsrs-svc-frames-v1");
+    EXPECT_EQ(header.getString("format", ""), "jsonl");
+
+    std::size_t frames = 0;
     bool sawRequest = false, sawResult = false, sawStatus = false;
-    for (const JsonValue &f : frames) {
-        const std::string type = f.getString("type", "");
+    bool sawTrailer = false;
+    while (std::getline(is, line)) {
+        const JsonValue rec = parseJson(line, "frame log line");
+        if (!rec.has("dir")) {
+            // Trailer: frame count + drops, written once on finish.
+            EXPECT_EQ(rec.getInt("frames", -1),
+                      static_cast<long long>(frames));
+            EXPECT_EQ(rec.getInt("dropped_frames", -1), 0);
+            sawTrailer = true;
+            continue;
+        }
+        ++frames;
+        const std::string type = rec.getString("type", "");
         sawRequest |= type == "sweep_request";
         sawResult |= type == "sweep_result";
         sawStatus |= type == "status_reply";
-        EXPECT_TRUE(f.getString("dir", "") == "rx" ||
-                    f.getString("dir", "") == "tx");
+        EXPECT_TRUE(rec.getString("dir", "") == "rx" ||
+                    rec.getString("dir", "") == "tx");
+        EXPECT_GE(rec.getInt("conn", -1), 1);
+        EXPECT_GE(rec.getInt("t_ms", -1), 0);
     }
+    EXPECT_GE(frames, 4u);
     EXPECT_TRUE(sawRequest);
     EXPECT_TRUE(sawResult);
     EXPECT_TRUE(sawStatus);
+    EXPECT_TRUE(sawTrailer);
 }
 
 } // namespace

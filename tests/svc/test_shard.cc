@@ -77,9 +77,12 @@ TEST(Proto, LeaseAndShardDoneRoundTrip)
     Shard shard;
     shard.id = 5;
     shard.jobs = {10, 11, 12, 40};
-    const Shard got = parseLease(leasePayload(shard));
-    EXPECT_EQ(got.id, 5u);
-    EXPECT_EQ(got.jobs, shard.jobs);
+    const LeaseInfo got = parseLease(leasePayload(shard, 2));
+    EXPECT_EQ(got.shard.id, 5u);
+    EXPECT_EQ(got.shard.jobs, shard.jobs);
+    EXPECT_EQ(got.attempt, 2u);
+    // Leases from before attempt-stamping default to attempt 1.
+    EXPECT_EQ(parseLease("{\"shard\": 5, \"jobs\": [1]}").attempt, 1u);
     EXPECT_EQ(parseShardDone(shardDonePayload(5)), 5u);
 }
 

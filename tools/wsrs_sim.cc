@@ -20,6 +20,8 @@
 
 #include "src/common/args.h"
 #include "src/common/log.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/span_log.h"
 #include "src/runner/sweep_report.h"
 #include "src/runner/sweep_runner.h"
 #include "src/sim/presets.h"
@@ -258,6 +260,13 @@ main(int argc, char **argv)
     args.addOption("status",
                    "print the daemon's wsrs-svc-status-v1 document "
                    "(needs --connect)", true);
+    args.addOption("metrics-out",
+                   "write the process metrics snapshot (wsrs-metrics-v1 "
+                   "JSON) to FILE after the run ('-' = stdout)");
+    args.addOption("spans-out",
+                   "with --all: write the sweep's per-job span timeline "
+                   "(wsrs-spans-v1 Chrome trace JSON, Perfetto-loadable) "
+                   "to FILE ('-' = stdout)");
     args.addOption("help", "show this help", true);
 
     try {
@@ -305,6 +314,17 @@ main(int argc, char **argv)
             if (!os)
                 fatalIo("cannot open stats file '%s'", path.c_str());
             os << doc << "\n";
+        };
+
+        const auto writeMetricsFile = [](const std::string &path) {
+            if (path == "-") {
+                obs::MetricsRegistry::process().writeJson(std::cout);
+                return;
+            }
+            std::ofstream os(path);
+            if (!os)
+                fatalIo("cannot open metrics file '%s'", path.c_str());
+            obs::MetricsRegistry::process().writeJson(os);
         };
 
         // The full Figure-4/5 matrix, built identically by --all, by the
@@ -446,6 +466,17 @@ main(int argc, char **argv)
             runner::SvcReport svcReport;
             const runner::SvcReport *svcPtr = nullptr;
 
+            // Telemetry is opt-in per flag: the span log records the
+            // per-job timeline (local or distributed), the process
+            // registry collects runner/service instruments. Neither
+            // touches the sweep report.
+            obs::SpanLog spanLog;
+            obs::SpanLog *const spans =
+                args.has("spans-out") ? &spanLog : nullptr;
+            obs::MetricsRegistry *const metrics =
+                args.has("metrics-out") ? &obs::MetricsRegistry::process()
+                                        : nullptr;
+
             if (args.has("coordinator")) {
                 // Distributed execution: shard the pending jobs out to
                 // worker processes; optionally self-spawn them.
@@ -462,6 +493,8 @@ main(int argc, char **argv)
                 copt.resume = args.has("resume");
                 copt.reuseWarmup = args.has("reuse-warmup");
                 copt.onEvent = printEvent;
+                copt.spans = spans;
+                copt.metrics = metrics;
                 svc::Coordinator coord(copt, jobs);
                 coord.bind();
 
@@ -519,6 +552,8 @@ main(int argc, char **argv)
                 opt.journalPath = args.get("resume-journal", "");
                 opt.resume = args.has("resume");
                 opt.onEvent = printEvent;
+                opt.spans = spans;
+                opt.metrics = metrics;
                 runner::SweepRunner sweep(opt);
                 outcomes = sweep.run(jobs);
                 telemetry = sweep.telemetry();
@@ -540,11 +575,31 @@ main(int argc, char **argv)
                     os << "\n";
                 }
             }
+            if (spans) {
+                const std::string path = args.get("spans-out");
+                std::ostringstream label;
+                label << "wsrs-sim --all (" << jobs.size() << " jobs)";
+                if (path == "-") {
+                    spanLog.writeChromeTrace(std::cout, label.str());
+                } else {
+                    std::ofstream os(path);
+                    if (!os)
+                        fatalIo("cannot open spans file '%s'",
+                                path.c_str());
+                    spanLog.writeChromeTrace(os, label.str());
+                }
+            }
+            if (metrics)
+                writeMetricsFile(args.get("metrics-out"));
             for (const auto &o : outcomes)
                 if (!o.ok)
                     return kExitJobFailure;
             return 0;
         }
+
+        if (args.has("spans-out"))
+            fatal("--spans-out records a sweep timeline; combine it with "
+                  "--all");
 
         const std::string bench = args.get("bench", "gzip");
         const std::string machine = args.get("machine", "RR-256");
@@ -557,6 +612,26 @@ main(int argc, char **argv)
             sim::runSimulation(workload::findProfile(bench), cfg);
         if (args.has("stats-json"))
             writeStatsFile(args.get("stats-json"), r.statsJson);
+        if (args.has("metrics-out")) {
+            // Single runs bump sim-level instruments here at the tool
+            // layer, from the results — the simulator core itself stays
+            // free of registry calls.
+            auto &reg = obs::MetricsRegistry::process();
+            reg.counter("wsrs_sim_runs_total",
+                        "Completed single-run simulations.")
+                .add();
+            reg.counter("wsrs_sim_cycles_total",
+                        "Simulated cycles across runs.")
+                .add(r.stats.cycles);
+            reg.counter("wsrs_sim_committed_uops_total",
+                        "Committed micro-ops across runs.")
+                .add(r.stats.committed);
+            reg.histogram("wsrs_sim_host_ms",
+                          "Host wall time per simulation run (ms).",
+                          obs::MetricsRegistry::latencyBucketsMs())
+                .observe(std::uint64_t(r.hostSeconds * 1000));
+            writeMetricsFile(args.get("metrics-out"));
+        }
         if (args.has("csv")) {
             printCsvHeader();
             printCsv(r);
