@@ -67,6 +67,50 @@ def check_hist(h, where, expected_buckets=None):
     return total
 
 
+MEM_STALL_KEYS = ("queue-full", "bank-busy", "bank-prep", "data-burst",
+                  "idle")
+
+
+def check_memory_obj(mem, where, core_cycles):
+    """Validate the `memory` object of a stats document.
+
+    Two shapes exist: the constant model emits the flat hierarchy counter
+    map, the dram model a structured object whose stall attribution must
+    cover the measured window exactly (sum(causes) == stall.cycles ==
+    core cycles — the memory-side analogue of the pipeline invariant).
+    """
+    expect(isinstance(mem, dict), f"{where}: must be an object")
+    if mem.get("model") != "dram":
+        for key, v in mem.items():
+            expect(isinstance(v, int) and v >= 0,
+                   f"{where}: counter '{key}' must be a non-negative int")
+        return
+    for key in ("banks", "row_bytes", "window_depth"):
+        expect(isinstance(mem.get(key), int) and mem[key] > 0,
+               f"{where}: '{key}' must be a positive int")
+    expect(mem.get("page_policy") in ("open", "closed"),
+           f"{where}: page_policy {mem.get('page_policy')!r}")
+    timing = mem["timing"]
+    for key in ("t_rp", "t_rcd", "t_cas", "burst_cycles"):
+        expect(isinstance(timing.get(key), int) and timing[key] >= 0,
+               f"{where}.timing: '{key}' must be a non-negative int")
+    for key, v in mem["counters"].items():
+        expect(isinstance(v, int) and v >= 0,
+               f"{where}.counters: '{key}' must be a non-negative int")
+    stall = mem["stall"]
+    causes = stall["causes"]
+    expect(tuple(causes.keys()) == MEM_STALL_KEYS,
+           f"{where}.stall: causes {tuple(causes.keys())} != "
+           f"{MEM_STALL_KEYS}")
+    total = sum(causes.values())
+    expect(total == stall["cycles"],
+           f"{where}.stall: causes sum {total} != cycles "
+           f"{stall['cycles']}")
+    expect(stall["cycles"] == core_cycles,
+           f"{where}.stall: attribution covers {stall['cycles']} cycles, "
+           f"core measured {core_cycles}")
+
+
 def check_stats_doc(doc, where):
     expect(doc.get("schema") == "wsrs-stats-v1",
            f"{where}: schema is {doc.get('schema')!r}, "
@@ -78,6 +122,7 @@ def check_stats_doc(doc, where):
                 "pipeline"):
         expect(key in core, f"{where}.core: missing '{key}'")
     cycles = core["cycles"]
+    check_memory_obj(doc["memory"], f"{where}.memory", cycles)
     clusters = core["num_clusters"]
     pipe = core["pipeline"]
     legends = pipe["stall_causes"]

@@ -1,0 +1,306 @@
+#include "dram.h"
+
+#include <algorithm>
+
+#include "src/common/log.h"
+
+namespace wsrs::memory {
+
+using obs::MemQueueStall;
+
+DramController::DramController(const DramParams &params, StatGroup &stats)
+    : params_(params),
+      requests_(stats, "dram.requests", "demand requests served"),
+      reads_(stats, "dram.reads", "demand read requests"),
+      writes_(stats, "dram.writes", "demand write requests"),
+      rowHits_(stats, "dram.row_hits", "accesses to the open row"),
+      rowEmpties_(stats, "dram.row_empties", "accesses opening a closed bank"),
+      rowConflicts_(stats, "dram.row_conflicts",
+                    "accesses displacing another open row"),
+      queueFullWaits_(stats, "dram.queue_full_waits",
+                      "demand requests delayed by a full in-flight window"),
+      prefetchIssued_(stats, "dram.prefetch_issued",
+                      "prefetch requests accepted"),
+      prefetchDrops_(stats, "dram.prefetch_drops",
+                     "prefetch requests dropped on a full window")
+{
+    WSRS_ASSERT(params.banks > 0 && params.rowBytes > 0);
+    WSRS_ASSERT(params.windowDepth > 0);
+    banks_.assign(params.banks, Bank{});
+}
+
+void
+DramController::charge(MemQueueStall bucket, Cycle from, Cycle to)
+{
+    // First-cause attribution: every cycle belongs to the earliest charge
+    // that claimed it, so later (overlapping) service segments are clipped
+    // against the single high-water marker. Cycles before the measurement
+    // epoch are never charged.
+    from = std::max({from, attrUntil_, epoch_});
+    if (from >= to)
+        return;
+    pending_.push_back({from, to, static_cast<std::uint8_t>(bucket)});
+    attrUntil_ = to;
+}
+
+void
+DramController::drainTo(Cycle now)
+{
+    // Retire completed in-flight requests so the window reflects
+    // occupancy at the core clock.
+    while (!events_.empty() && events_.top().at <= now)
+        events_.pop();
+    // Fold attribution segments that are entirely in the past; the core
+    // clock never reaches `now` again, so they are final. Segments are
+    // only folded up to `now` — the still-future tail stays pending so a
+    // dump at an earlier end-of-measure cycle can clip it exactly.
+    while (!pending_.empty() && pending_.front().from < now) {
+        AttrSeg &s = pending_.front();
+        const Cycle upto = std::min(s.to, now);
+        stall_[s.bucket] += upto - s.from;
+        if (upto < s.to) {
+            s.from = upto;
+            break;
+        }
+        pending_.pop_front();
+    }
+}
+
+Cycle
+DramController::serveLine(Addr addr, Cycle at, bool attribute,
+                          std::uint32_t &bank_out)
+{
+    const std::uint64_t rowAddr = addr / params_.rowBytes;
+    const std::uint32_t bankIdx =
+        static_cast<std::uint32_t>(rowAddr % banks_.size());
+    const std::uint64_t row = rowAddr / banks_.size();
+    Bank &bank = banks_[bankIdx];
+    bank_out = bankIdx;
+
+    const Cycle bankStart = std::max(at, bank.readyAt);
+    Cycle prep;
+    if (!params_.closedPage && bank.openRow == row) {
+        prep = params_.tCas;
+        ++rowHits_;
+    } else if (bank.openRow == kNoRow || params_.closedPage) {
+        prep = params_.tRcd + params_.tCas;
+        ++rowEmpties_;
+    } else {
+        prep = params_.tRp + params_.tRcd + params_.tCas;
+        ++rowConflicts_;
+    }
+    const Cycle casDone = bankStart + prep;
+    // One shared data bus: bursts serialize in CAS-completion order,
+    // which (bus occupancy being monotonic) is also FIFO per the demand
+    // stream — completions never reorder.
+    const Cycle busStart = std::max(casDone, busFreeAt_);
+    const Cycle done = busStart + params_.burstCycles;
+
+    bank.readyAt = casDone;
+    bank.openRow = params_.closedPage ? kNoRow : row;
+    busFreeAt_ = done;
+
+    if (attribute) {
+        charge(MemQueueStall::BankBusy, at, bankStart);
+        charge(MemQueueStall::BankPrep, bankStart, casDone);
+        charge(MemQueueStall::DataBurst, casDone, done);
+    }
+    return done;
+}
+
+Cycle
+DramController::request(Addr addr, bool is_store, Cycle at, Cycle now)
+{
+    drainTo(now);
+    ++requests_;
+    ++(is_store ? writes_ : reads_);
+
+    // Bounded in-flight window: a full window delays admission until
+    // enough outstanding requests (oldest first) have completed.
+    Cycle admit = at;
+    if (events_.size() >= params_.windowDepth) {
+        ++queueFullWaits_;
+        while (events_.size() >= params_.windowDepth) {
+            admit = std::max(admit, events_.top().at);
+            events_.pop();
+        }
+        charge(MemQueueStall::QueueFull, at, admit);
+    }
+
+    std::uint32_t bank = 0;
+    const Cycle done = serveLine(addr, admit, /*attribute=*/true, bank);
+    events_.schedule(done, bank);
+    return done - at;
+}
+
+bool
+DramController::tryPrefetch(Addr addr, Cycle at, Cycle now)
+{
+    drainTo(now);
+    if (events_.size() >= params_.windowDepth) {
+        ++prefetchDrops_;
+        return false;
+    }
+    // Prefetches occupy the bank and bus (later demand requests that wait
+    // behind them are charged BankBusy/DataBurst as first causes) but
+    // charge nothing themselves: their service must not bill the
+    // triggering access, and unclaimed cycles fall to Idle.
+    std::uint32_t bank = 0;
+    const Cycle done = serveLine(addr, at, /*attribute=*/false, bank);
+    events_.schedule(done, bank);
+    ++prefetchIssued_;
+    return true;
+}
+
+void
+DramController::rebaseTiming()
+{
+    for (Bank &b : banks_)
+        b.readyAt = 0;
+    busFreeAt_ = 0;
+    events_.clear();
+    pending_.clear();
+    attrUntil_ = 0;
+    epoch_ = 0;
+    stall_.fill(0);
+}
+
+void
+DramController::resetState()
+{
+    rebaseTiming();
+    for (Bank &b : banks_)
+        b.openRow = kNoRow;
+}
+
+void
+DramController::resetMeasurement(Cycle epoch)
+{
+    epoch_ = epoch;
+    attrUntil_ = std::max(attrUntil_, epoch);
+    stall_.fill(0);
+    // Segments charged by the warm-up phase may spill into the
+    // measurement window (a refill still in flight at the boundary);
+    // keep the spill, drop everything fully before the epoch.
+    while (!pending_.empty() && pending_.front().to <= epoch)
+        pending_.pop_front();
+    if (!pending_.empty() && pending_.front().from < epoch)
+        pending_.front().from = epoch;
+}
+
+std::array<std::uint64_t, DramController::kNumStallBuckets>
+DramController::stallCycles(Cycle end) const
+{
+    std::array<std::uint64_t, kNumStallBuckets> out = stall_;
+    // Fold the pending tail, clipped to the measurement window: charges
+    // for in-flight service past `end` belong to the next window.
+    for (const AttrSeg &s : pending_) {
+        const Cycle from = std::max<Cycle>(s.from, epoch_);
+        const Cycle to = std::min<Cycle>(s.to, end);
+        if (from < to)
+            out[s.bucket] += to - from;
+    }
+    const Cycle total = end > epoch_ ? end - epoch_ : 0;
+    std::uint64_t claimed = 0;
+    for (std::size_t b = 0; b < kNumStallBuckets; ++b)
+        if (b != static_cast<std::size_t>(MemQueueStall::Idle))
+            claimed += out[b];
+    WSRS_ASSERT(claimed <= total);
+    out[static_cast<std::size_t>(MemQueueStall::Idle)] = total - claimed;
+    return out;
+}
+
+void
+DramController::dumpJson(std::ostream &os, const StatGroup &counters,
+                         Cycle end) const
+{
+    os << "{\"model\": \"dram\", \"banks\": " << params_.banks
+       << ", \"row_bytes\": " << params_.rowBytes
+       << ", \"window_depth\": " << params_.windowDepth
+       << ", \"page_policy\": \""
+       << (params_.closedPage ? "closed" : "open")
+       << "\", \"timing\": {\"t_rp\": " << params_.tRp
+       << ", \"t_rcd\": " << params_.tRcd << ", \"t_cas\": " << params_.tCas
+       << ", \"burst_cycles\": " << params_.burstCycles
+       << "}, \"counters\": ";
+    counters.dumpJson(os);
+    const auto buckets = stallCycles(end);
+    os << ", \"stall\": {\"cycles\": " << (end > epoch_ ? end - epoch_ : 0)
+       << ", \"causes\": {";
+    for (std::size_t b = 0; b < kNumStallBuckets; ++b) {
+        os << (b ? ", " : "") << '"'
+           << obs::memQueueStallName(static_cast<MemQueueStall>(b))
+           << "\": " << buckets[b];
+    }
+    os << "}}}";
+}
+
+void
+DramController::snapshot(ckpt::Writer &w) const
+{
+    w.u64(banks_.size());
+    for (const Bank &b : banks_) {
+        w.u64(b.readyAt);
+        w.u64(b.openRow);
+    }
+    events_.snapshot(w);
+    w.u64(busFreeAt_);
+    w.u64(epoch_);
+    w.u64(attrUntil_);
+    for (const std::uint64_t s : stall_)
+        w.u64(s);
+    w.u64(pending_.size());
+    for (const AttrSeg &s : pending_) {
+        w.u64(s.from);
+        w.u64(s.to);
+        w.u64(s.bucket);
+    }
+    w.u64(requests_.value());
+    w.u64(reads_.value());
+    w.u64(writes_.value());
+    w.u64(rowHits_.value());
+    w.u64(rowEmpties_.value());
+    w.u64(rowConflicts_.value());
+    w.u64(queueFullWaits_.value());
+    w.u64(prefetchIssued_.value());
+    w.u64(prefetchDrops_.value());
+}
+
+void
+DramController::restore(ckpt::Reader &r)
+{
+    if (r.u64() != banks_.size())
+        r.fail("DRAM bank count mismatch");
+    for (Bank &b : banks_) {
+        b.readyAt = r.u64();
+        b.openRow = r.u64();
+    }
+    events_.restore(r);
+    busFreeAt_ = r.u64();
+    epoch_ = r.u64();
+    attrUntil_ = r.u64();
+    for (std::uint64_t &s : stall_)
+        s = r.u64();
+    const std::uint64_t npend = r.u64();
+    pending_.clear();
+    for (std::uint64_t i = 0; i < npend; ++i) {
+        AttrSeg s;
+        s.from = r.u64();
+        s.to = r.u64();
+        s.bucket = static_cast<std::uint8_t>(r.u64());
+        if (s.bucket >= kNumStallBuckets)
+            r.fail("DRAM stall segment bucket out of range");
+        pending_.push_back(s);
+    }
+    requests_.restore(r.u64());
+    reads_.restore(r.u64());
+    writes_.restore(r.u64());
+    rowHits_.restore(r.u64());
+    rowEmpties_.restore(r.u64());
+    rowConflicts_.restore(r.u64());
+    queueFullWaits_.restore(r.u64());
+    prefetchIssued_.restore(r.u64());
+    prefetchDrops_.restore(r.u64());
+}
+
+} // namespace wsrs::memory

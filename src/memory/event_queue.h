@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Minimal event queue for the event-driven memory backend: a binary
+ * min-heap of events keyed by (cycle, sequence). Same-cycle events pop
+ * in schedule order — the FIFO tie-break that makes the DRAM
+ * controller's completion stream deterministic and checkpoint-stable.
+ */
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/ckpt/io.h"
+#include "src/common/types.h"
+
+namespace wsrs::memory {
+
+/** One scheduled completion. */
+struct MemEvent
+{
+    Cycle at = 0;            ///< Absolute cycle the event fires.
+    std::uint64_t seq = 0;   ///< Schedule order; breaks same-cycle ties.
+    std::uint32_t bank = 0;  ///< Owning DRAM bank (payload).
+};
+
+/** Min-heap of MemEvents ordered by (at, seq). */
+class EventQueue
+{
+  public:
+    void
+    schedule(Cycle at, std::uint32_t bank)
+    {
+        heap_.push_back({at, nextSeq_++, bank});
+        std::push_heap(heap_.begin(), heap_.end(), later);
+    }
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+
+    /** Earliest event; undefined when empty. */
+    const MemEvent &top() const { return heap_.front(); }
+
+    void
+    pop()
+    {
+        std::pop_heap(heap_.begin(), heap_.end(), later);
+        heap_.pop_back();
+    }
+
+    /** Drop every event, restarting the tie-break sequence. */
+    void
+    clear()
+    {
+        heap_.clear();
+        nextSeq_ = 0;
+    }
+
+    /**
+     * Checkpoint the raw heap array. The layout is a deterministic
+     * function of the schedule/pop history, so writing it verbatim and
+     * reading it back reproduces the queue bit-exactly.
+     */
+    void
+    snapshot(ckpt::Writer &w) const
+    {
+        w.u64(nextSeq_);
+        w.u64(heap_.size());
+        for (const MemEvent &e : heap_) {
+            w.u64(e.at);
+            w.u64(e.seq);
+            w.u64(e.bank);
+        }
+    }
+
+    void
+    restore(ckpt::Reader &r)
+    {
+        nextSeq_ = r.u64();
+        const std::uint64_t n = r.u64();
+        heap_.clear();
+        heap_.reserve(static_cast<std::size_t>(n));
+        for (std::uint64_t i = 0; i < n; ++i) {
+            MemEvent e;
+            e.at = r.u64();
+            e.seq = r.u64();
+            e.bank = static_cast<std::uint32_t>(r.u64());
+            heap_.push_back(e);
+        }
+        if (!std::is_heap(heap_.begin(), heap_.end(), later))
+            r.fail("memory event queue is not a heap");
+    }
+
+  private:
+    /** True when @p a fires after @p b (max-heap comparator inversion). */
+    static bool
+    later(const MemEvent &a, const MemEvent &b)
+    {
+        return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+
+    std::vector<MemEvent> heap_;
+    std::uint64_t nextSeq_ = 0;
+};
+
+} // namespace wsrs::memory

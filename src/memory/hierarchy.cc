@@ -16,6 +16,8 @@ MemoryHierarchy::MemoryHierarchy(const HierarchyParams &params,
 {
     if (params.mshrs > 0)
         missDone_.assign(params.mshrs, 0);
+    if (params.model == MemModel::Dram)
+        dram_ = std::make_unique<DramController>(params.dram, stats);
 }
 
 TimedAccess
@@ -58,7 +60,12 @@ MemoryHierarchy::access(Addr addr, bool is_store, Cycle now)
     out.l2Hit = l2.hit;
     if (!l2.hit) {
         ++l2Misses_;
-        out.latency += params_.l2MissPenalty;
+        if (dram_)
+            out.latency += dram_->request(addr, is_store,
+                                          start + params_.l1MissPenalty,
+                                          now);
+        else
+            out.latency += params_.l2MissPenalty;
     }
 
     if (params_.mshrs > 0) {
@@ -67,11 +74,21 @@ MemoryHierarchy::access(Addr addr, bool is_store, Cycle now)
     }
 
     // Optional next-line stride prefetch into L2 (extension; default off).
+    // Prefetches never charge latency to the triggering access: they only
+    // touch L2 tags and, under the DRAM model, occupy bank/bus timing as
+    // droppable background traffic.
     for (unsigned i = 1; i <= params_.prefetchDepth; ++i) {
         const Addr next = addr + Addr{i} * params_.l1.lineBytes;
+        // Clamp at the top of the address space: Addr arithmetic wraps,
+        // and a wrapped "successor" would prefetch an unrelated low line.
+        if (next < addr)
+            break;
         if (!l2_.probe(next)) {
             l2_.access(next, false);
             ++prefetches_;
+            if (dram_)
+                dram_->tryPrefetch(next, start + params_.l1MissPenalty,
+                                   now);
         }
     }
     return out;
@@ -91,6 +108,8 @@ MemoryHierarchy::snapshot(ckpt::Writer &w) const
     w.u64(writebacks_.value());
     w.u64(mshrStalls_.value());
     w.u64(prefetches_.value());
+    if (dram_)
+        dram_->snapshot(w);
 }
 
 void
@@ -109,6 +128,8 @@ MemoryHierarchy::restore(ckpt::Reader &r)
     writebacks_.restore(r.u64());
     mshrStalls_.restore(r.u64());
     prefetches_.restore(r.u64());
+    if (dram_)
+        dram_->restore(r);
 }
 
 void
@@ -120,15 +141,31 @@ MemoryHierarchy::flush()
     for (auto &c : missDone_)
         c = 0;
     missDonePos_ = 0;
+    if (dram_)
+        dram_->resetState();
 }
 
 void
 MemoryHierarchy::rebaseTiming()
 {
+    // Every field keyed by absolute cycles must rebase together: the L2
+    // refill port, the in-flight MSHR completion times (a saturated MSHR
+    // file from the warming pass would otherwise stall every early miss
+    // of the restored core behind phantom outstanding refills) and the
+    // DRAM backend's bank/bus/pending-event state.
     l2PortFree_ = 0;
     for (auto &c : missDone_)
         c = 0;
     missDonePos_ = 0;
+    if (dram_)
+        dram_->rebaseTiming();
+}
+
+void
+MemoryHierarchy::resetMeasurement(Cycle now)
+{
+    if (dram_)
+        dram_->resetMeasurement(now);
 }
 
 } // namespace wsrs::memory

@@ -14,12 +14,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/ckpt/snapshotter.h"
 #include "src/common/stats.h"
 #include "src/common/types.h"
 #include "src/memory/cache.h"
+#include "src/memory/dram.h"
 
 namespace wsrs::memory {
 
@@ -30,7 +32,7 @@ struct HierarchyParams
     CacheParams l2{.sizeBytes = 512 * 1024, .assoc = 8, .lineBytes = 64};
     Cycle l1Latency = 2;        ///< Load-use latency on an L1 hit.
     Cycle l1MissPenalty = 12;   ///< Extra cycles for an L1 miss / L2 hit.
-    Cycle l2MissPenalty = 80;   ///< Extra cycles for an L2 miss.
+    Cycle l2MissPenalty = 80;   ///< Extra cycles for an L2 miss (Constant).
     unsigned l2BytesPerCycle = 16; ///< L2 refill bandwidth.
     /** Maximum overlapped L1 misses (0 = unlimited, the paper-era
      *  idealization this repo defaults to). */
@@ -38,6 +40,11 @@ struct HierarchyParams
     /** Optional next-N-line stride prefetcher into L2 on L1 misses
      *  (0 = off; extension, not part of the paper's machine). */
     unsigned prefetchDepth = 0;
+    /** Backend serving L2 misses: the paper's fixed constant (default,
+     *  keeps every golden fingerprint) or the event-driven DRAM model. */
+    MemModel model = MemModel::Constant;
+    /** DRAM geometry/timing; consulted only when model == Dram. */
+    DramParams dram{};
 };
 
 /** Result of a timed access. */
@@ -81,7 +88,17 @@ class MemoryHierarchy : public ckpt::Snapshotter
      */
     void rebaseTiming();
 
+    /**
+     * Start a measurement window at core cycle @p now: forwards to the
+     * DRAM backend's stall-attribution epoch. No-op (and no behaviour
+     * change) under the Constant model. Pair with Core::resetStats.
+     */
+    void resetMeasurement(Cycle now);
+
     const HierarchyParams &params() const { return params_; }
+
+    /** The DRAM backend, or nullptr under the Constant model. */
+    const DramController *dram() const { return dram_.get(); }
 
     std::uint64_t l1Misses() const { return l1Misses_.value(); }
     std::uint64_t mshrStalls() const { return mshrStalls_.value(); }
@@ -97,6 +114,10 @@ class MemoryHierarchy : public ckpt::Snapshotter
     HierarchyParams params_;
     Cache l1_;
     Cache l2_;
+    /** Event-driven backend; constructed (and its counters registered)
+     *  only when params.model == Dram, so the Constant model's stats
+     *  JSON stays byte-identical to the pre-DRAM seed. */
+    std::unique_ptr<DramController> dram_;
     Cycle l2PortFree_ = 0;   ///< Next cycle the L2 refill port is free.
     /** Completion times of in-flight misses (MSHR occupancy model). */
     std::vector<Cycle> missDone_;

@@ -48,6 +48,19 @@ commitStallName(CommitStall c)
     }
 }
 
+const char *
+memQueueStallName(MemQueueStall c)
+{
+    switch (c) {
+      case MemQueueStall::QueueFull: return "queue-full";
+      case MemQueueStall::BankBusy:  return "bank-busy";
+      case MemQueueStall::BankPrep:  return "bank-prep";
+      case MemQueueStall::DataBurst: return "data-burst";
+      case MemQueueStall::Idle:      return "idle";
+      default:                       return "invalid";
+    }
+}
+
 PipelineStats::PipelineStats(StatGroup &group, unsigned num_clusters)
     : numClusters_(num_clusters)
 {

@@ -71,9 +71,27 @@ enum class CommitStall : std::uint8_t {
     kCount
 };
 
+/**
+ * Dominant memory-controller outcome of one cycle, charged on a
+ * first-cause basis by the event-driven DRAM backend (src/memory/dram.h).
+ * Cycles not claimed by any cause are Idle, so over any measurement
+ * window sum(buckets) == core cycles — the same attribution invariant
+ * the pipeline histograms obey, enforced on the exported `memory` stats
+ * object by scripts/check_stats_schema.py.
+ */
+enum class MemQueueStall : std::uint8_t {
+    QueueFull = 0, ///< Waiting for a slot in the bounded in-flight window.
+    BankBusy,      ///< Target bank still serving an earlier request.
+    BankPrep,      ///< Row precharge/activate/CAS before data moves.
+    DataBurst,     ///< Line transfer occupying the shared data bus.
+    Idle,          ///< No request in service (derived at dump time).
+    kCount
+};
+
 const char *issueStallName(IssueStall c);
 const char *renameStallName(RenameStall c);
 const char *commitStallName(CommitStall c);
+const char *memQueueStallName(MemQueueStall c);
 
 /** One interval-sampler record. */
 struct IntervalSample

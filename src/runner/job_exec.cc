@@ -27,7 +27,17 @@ RunnerMetrics::RunnerMetrics(obs::MetricsRegistry &r)
                            obs::MetricsRegistry::latencyBucketsMs())),
       simulateMs(r.histogram("wsrs_runner_simulate_duration_ms",
                              "Measured-slice simulation wall time",
-                             obs::MetricsRegistry::latencyBucketsMs()))
+                             obs::MetricsRegistry::latencyBucketsMs())),
+      memRequests(r.counter("wsrs_mem_requests_total",
+                            "DRAM demand requests across measured slices")),
+      memRowHits(r.counter("wsrs_mem_row_hits_total",
+                           "DRAM open-row hits across measured slices")),
+      memRowConflicts(r.counter("wsrs_mem_row_conflicts_total",
+                                "DRAM row conflicts across measured "
+                                "slices")),
+      memQueueFullWaits(r.counter("wsrs_mem_queue_full_waits_total",
+                                  "DRAM requests delayed by a full "
+                                  "in-flight window"))
 {
 }
 
@@ -116,6 +126,14 @@ executeJob(const SweepJob &job, const JobContext &ctx,
     if (jobStartUs) {
         if (ctx.metrics) {
             ctx.metrics->jobsExecuted.add();
+            if (out.ok) {
+                ctx.metrics->memRequests.add(out.results.mem.dramRequests);
+                ctx.metrics->memRowHits.add(out.results.mem.dramRowHits);
+                ctx.metrics->memRowConflicts.add(
+                    out.results.mem.dramRowConflicts);
+                ctx.metrics->memQueueFullWaits.add(
+                    out.results.mem.dramQueueFullWaits);
+            }
             if (!out.ok)
                 ctx.metrics->jobFailures.add();
             ctx.metrics->jobMs.observe(static_cast<std::uint64_t>(

@@ -46,6 +46,12 @@ struct RunnerMetrics
     obs::MetricHistogram &jobMs;      ///< Whole executeJob wall time.
     obs::MetricHistogram &warmupMs;   ///< Warm-up acquire (hit or build).
     obs::MetricHistogram &simulateMs; ///< Measured-slice simulation.
+
+    // ---- memory backend (non-zero only under --mem-model dram) ----
+    obs::MetricCounter &memRequests;
+    obs::MetricCounter &memRowHits;
+    obs::MetricCounter &memRowConflicts;
+    obs::MetricCounter &memQueueFullWaits;
 };
 
 /** Caches and policy one executeJob call runs against. All pointers are

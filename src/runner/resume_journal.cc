@@ -87,6 +87,10 @@ encodeOutcome(ckpt::Writer &w, const SweepOutcome &out)
     for (const std::uint64_t c : s.issueWidthHist)
         w.u64(c);
     w.u64(s.windowOccupancySum);
+    w.u64(r.mem.dramRequests);
+    w.u64(r.mem.dramRowHits);
+    w.u64(r.mem.dramRowConflicts);
+    w.u64(r.mem.dramQueueFullWaits);
 }
 
 SweepOutcome
@@ -124,6 +128,10 @@ decodeOutcome(ckpt::Reader &r)
     for (std::uint64_t &c : s.issueWidthHist)
         c = r.u64();
     s.windowOccupancySum = r.u64();
+    res.mem.dramRequests = r.u64();
+    res.mem.dramRowHits = r.u64();
+    res.mem.dramRowConflicts = r.u64();
+    res.mem.dramQueueFullWaits = r.u64();
     if (!r.atEnd())
         r.fail("trailing bytes after journal outcome");
     return out;

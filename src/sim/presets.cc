@@ -197,4 +197,30 @@ figure4Presets()
             "WSRS-RC-384", "WSRS-RC-512", "WSRS-RM-512"};
 }
 
+memory::HierarchyParams
+findMemPreset(std::string_view label)
+{
+    memory::HierarchyParams p;
+    if (label == "constant")
+        return p;
+    if (label == "dram") {
+        p.model = memory::MemModel::Dram;
+        return p;
+    }
+    if (label == "dram-closed") {
+        p.model = memory::MemModel::Dram;
+        p.dram.closedPage = true;
+        return p;
+    }
+    fatal("unknown memory model preset '%.*s' (constant | dram | "
+          "dram-closed)",
+          static_cast<int>(label.size()), label.data());
+}
+
+std::vector<std::string>
+memPresets()
+{
+    return {"constant", "dram", "dram-closed"};
+}
+
 } // namespace wsrs::sim

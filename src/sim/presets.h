@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/core/params.h"
+#include "src/memory/hierarchy.h"
 
 namespace wsrs::sim {
 
@@ -70,5 +71,17 @@ core::CoreParams findPreset(std::string_view label);
 
 /** Labels of the six Figure-4 machines, in paper legend order. */
 std::vector<std::string> figure4Presets();
+
+/**
+ * Look up a memory-backend preset (`wsrs-sim --mem-model`):
+ * "constant" (the paper's fixed 80-cycle L2 miss, the default — bit-exact
+ * with a default-constructed HierarchyParams), "dram" (event-driven
+ * open-page banked DRAM) or "dram-closed" (auto-precharge page policy).
+ * @throws wsrs::FatalError for unknown labels.
+ */
+memory::HierarchyParams findMemPreset(std::string_view label);
+
+/** Labels accepted by findMemPreset, default first. */
+std::vector<std::string> memPresets();
 
 } // namespace wsrs::sim

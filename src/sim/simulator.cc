@@ -198,6 +198,11 @@ runSimulationImpl(const workload::BenchmarkProfile &profile,
     }
 
     machine.resetStats();
+    // The measurement epoch: the core clock keeps counting across
+    // resetStats, so the memory backend's stall attribution must anchor
+    // to the same cycle the measured slice starts at (0 on the warm-up
+    // blob path, the warm-up length otherwise).
+    mem.resetMeasurement(machine.now());
     if (config.timelineRows > 0)
         machine.enableTimeline(config.timelineRows);
 
@@ -255,6 +260,13 @@ runSimulationImpl(const workload::BenchmarkProfile &profile,
     const std::uint64_t acc0 = mem.accesses();
     const std::uint64_t l1m0 = mem.l1Misses();
     const std::uint64_t l2m0 = mem.l2Misses();
+    MemBackendStats mem0;
+    if (const memory::DramController *d = mem.dram()) {
+        mem0.dramRequests = d->requests();
+        mem0.dramRowHits = d->rowHits();
+        mem0.dramRowConflicts = d->rowConflicts();
+        mem0.dramQueueFullWaits = d->queueFullWaits();
+    }
 
     machine.run(config.measureUops);
 
@@ -284,6 +296,13 @@ runSimulationImpl(const workload::BenchmarkProfile &profile,
     const std::uint64_t l2m = mem.l2Misses() - l2m0;
     r.l1MissRate = acc ? double(l1m) / acc : 0.0;
     r.l2MissRate = l1m ? double(l2m) / l1m : 0.0;
+    if (const memory::DramController *d = mem.dram()) {
+        r.mem.dramRequests = d->requests() - mem0.dramRequests;
+        r.mem.dramRowHits = d->rowHits() - mem0.dramRowHits;
+        r.mem.dramRowConflicts = d->rowConflicts() - mem0.dramRowConflicts;
+        r.mem.dramQueueFullWaits =
+            d->queueFullWaits() - mem0.dramQueueFullWaits;
+    }
     if (config.timelineRows > 0) {
         std::ostringstream os;
         machine.dumpTimeline(os, config.timelineRows);
@@ -310,7 +329,14 @@ runSimulationImpl(const workload::BenchmarkProfile &profile,
         os << "}, \"core\": ";
         machine.dumpStatsJson(os);
         os << ", \"memory\": ";
-        stats.dumpJson(os);
+        // Constant model: the flat counter map, byte-identical to the
+        // pre-DRAM seed. DRAM model: a structured object wrapping the
+        // same counters plus geometry and the stall attribution up to
+        // the final measured cycle.
+        if (const memory::DramController *d = mem.dram())
+            d->dumpJson(os, stats, machine.now());
+        else
+            stats.dumpJson(os);
         os << "}";
         r.statsJson = os.str();
     }

@@ -64,12 +64,23 @@ struct SimConfig
     const std::string *warmupBlob = nullptr;
 };
 
+/** Memory-backend counters of a measured run, for telemetry consumers
+ *  (wsrs_mem_* registry instruments). All zero under the Constant model. */
+struct MemBackendStats
+{
+    std::uint64_t dramRequests = 0;
+    std::uint64_t dramRowHits = 0;
+    std::uint64_t dramRowConflicts = 0;
+    std::uint64_t dramQueueFullWaits = 0;
+};
+
 /** Results of a measured slice. */
 struct SimResults
 {
     std::string benchmark;
     std::string machine;
     core::CoreStats stats;
+    MemBackendStats mem;
     double ipc = 0;
     double unbalancingDegree = 0;   ///< Figure-5 metric, percent.
     double branchMispredictRate = 0;

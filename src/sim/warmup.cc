@@ -98,6 +98,15 @@ hashMemParams(std::uint64_t h, const memory::HierarchyParams &p)
     h = mixCombine(h, p.l2BytesPerCycle);
     h = mixCombine(h, p.mshrs);
     h = mixCombine(h, p.prefetchDepth);
+    h = mixCombine(h, static_cast<std::uint64_t>(p.model));
+    h = mixCombine(h, p.dram.banks);
+    h = mixCombine(h, p.dram.rowBytes);
+    h = mixCombine(h, p.dram.tRp);
+    h = mixCombine(h, p.dram.tRcd);
+    h = mixCombine(h, p.dram.tCas);
+    h = mixCombine(h, p.dram.burstCycles);
+    h = mixCombine(h, p.dram.windowDepth);
+    h = mixCombine(h, p.dram.closedPage);
     return h;
 }
 

@@ -1,6 +1,7 @@
 /** @file Tests for the two-level hierarchy timing (paper Table 3). */
 #include <gtest/gtest.h>
 
+#include "src/ckpt/io.h"
 #include "src/memory/hierarchy.h"
 
 namespace wsrs::memory {
@@ -95,6 +96,163 @@ TEST(Hierarchy, CustomGeometry)
     MemoryHierarchy mem(p, stats);
     EXPECT_EQ(mem.access(0x40, false, 0).latency, 1u + 6u + 40u);
     EXPECT_EQ(mem.access(0x40, false, 10).latency, 1u);
+}
+
+TEST(Hierarchy, RebaseTimingClearsSaturatedMshrFile)
+{
+    // Regression: warm-up snapshots are transplanted into a core whose
+    // clock restarts at zero. A saturated MSHR file carries completion
+    // stamps from the warming pass's (huge) cycle numbers; without the
+    // rebase, every early miss of the measured run would wait behind
+    // these phantom in-flight refills.
+    StatGroup stats("mshr");
+    HierarchyParams p;
+    p.mshrs = 2;
+    MemoryHierarchy mem(p, stats);
+    mem.access(0x10000, false, 1000000);
+    mem.access(0x20000, false, 1000000);
+    mem.access(0x30000, false, 1000000);  // all MSHR slots stamped ~1e6
+    EXPECT_EQ(mem.mshrStalls(), 1u);
+
+    mem.rebaseTiming();
+    const TimedAccess t = mem.access(0x40000, false, 0);
+    EXPECT_EQ(t.latency, 94u) << "phantom-busy MSHR slots after rebase";
+    EXPECT_EQ(mem.mshrStalls(), 1u);
+}
+
+TEST(Hierarchy, DramColdMissLatency)
+{
+    // Constant 80 is replaced by event timing: the miss reaches the
+    // controller at start + l1MissPenalty = 12, pays activate + CAS
+    // (28 + 28) and a 4-cycle burst -> 60 extra; 2 + 12 + 60 total.
+    StatGroup stats("dram");
+    HierarchyParams p;
+    p.model = MemModel::Dram;
+    MemoryHierarchy mem(p, stats);
+    ASSERT_NE(mem.dram(), nullptr);
+    const TimedAccess t = mem.access(0x40, false, 0);
+    EXPECT_FALSE(t.l2Hit);
+    EXPECT_EQ(t.latency, 2u + 12u + 60u);
+    EXPECT_EQ(mem.dram()->requests(), 1u);
+}
+
+TEST(Hierarchy, DramRebaseMatchesFreshInstance)
+{
+    StatGroup warmStats("warm");
+    HierarchyParams p;
+    p.model = MemModel::Dram;
+    MemoryHierarchy warmed(p, warmStats);
+    // Warm bank 0 only (row addresses all ≡ 0 mod banks) at large cycle
+    // numbers, leaving busy bank/bus/port stamps behind.
+    const Addr bankStride = Addr{p.dram.rowBytes} * p.dram.banks;
+    for (Addr i = 0; i < 64; ++i)
+        warmed.access(i * bankStride, false, 2000000);
+    warmed.rebaseTiming();
+
+    StatGroup freshStats("fresh");
+    MemoryHierarchy fresh(p, freshStats);
+    // A bank neither instance has touched: identical cold timing, with no
+    // residue from the warming pass's absolute cycle stamps.
+    const Addr untouchedBank7 = Addr{7} * p.dram.rowBytes;
+    EXPECT_EQ(warmed.access(untouchedBank7, false, 0).latency,
+              fresh.access(untouchedBank7, false, 0).latency);
+}
+
+TEST(Hierarchy, DramSnapshotRoundTripContinuesIdentically)
+{
+    StatGroup sa("a"), sb("b");
+    HierarchyParams p;
+    p.model = MemModel::Dram;
+    MemoryHierarchy a(p, sa);
+    for (Addr addr = 0; addr < 16 * 1024; addr += 64)
+        a.access(addr, false, 100);
+
+    ckpt::Writer w;
+    a.snapshot(w);
+    ckpt::Reader r(w.buffer(), "<hier>");
+    MemoryHierarchy b(p, sb);
+    b.restore(r);
+
+    EXPECT_EQ(b.l2Misses(), a.l2Misses());
+    EXPECT_EQ(b.dram()->requests(), a.dram()->requests());
+    for (Addr addr = 256 * 1024; addr < 272 * 1024; addr += 64) {
+        EXPECT_EQ(b.access(addr, false, 5000).latency,
+                  a.access(addr, false, 5000).latency);
+    }
+    EXPECT_EQ(b.dram()->rowHits(), a.dram()->rowHits());
+    EXPECT_EQ(b.dram()->rowConflicts(), a.dram()->rowConflicts());
+}
+
+TEST(Hierarchy, PrefetchClampsAtTopOfAddressSpace)
+{
+    // Regression: Addr arithmetic wraps, so the line "after" the top of
+    // the address space is line 0 — prefetching it would pollute L2 with
+    // unrelated low lines and, worse, loop over the whole depth.
+    StatGroup stats("wrap");
+    HierarchyParams p;
+    p.prefetchDepth = 4;
+    MemoryHierarchy mem(p, stats);
+    const Addr topLine = ~Addr{0} & ~Addr{63};  // 0xFFFF...FFC0
+    mem.access(topLine, false, 0);
+    EXPECT_EQ(mem.prefetches(), 0u);
+    // Line 0 must still be cold: a wrapped prefetch would have filled it.
+    const TimedAccess low = mem.access(0x0, false, 100);
+    EXPECT_FALSE(low.l1Hit);
+    EXPECT_FALSE(low.l2Hit);
+    EXPECT_EQ(mem.prefetches(), 4u);  // normal operation away from the top
+
+    // Near the top, successors stop at the clamp: topLine-2*64 and
+    // topLine-64 issue (topLine itself is resident), nothing wraps.
+    mem.access(topLine - 3 * 64, false, 200);
+    EXPECT_EQ(mem.prefetches(), 6u);
+}
+
+TEST(Hierarchy, PrefetchNeverChargesTheTriggeringAccess)
+{
+    // Regression: the triggering miss must observe the same latency
+    // whether or not it spawns prefetches — under both backends. (Under
+    // DRAM, prefetches occupy banks and may slow *later* accesses, but
+    // never the access that issued them.)
+    for (const MemModel model : {MemModel::Constant, MemModel::Dram}) {
+        HierarchyParams base;
+        base.model = model;
+        StatGroup s0("off"), s1("on");
+        MemoryHierarchy off(base, s0);
+        HierarchyParams withPf = base;
+        withPf.prefetchDepth = 4;
+        MemoryHierarchy on(withPf, s1);
+        EXPECT_EQ(on.access(0x1000, false, 0).latency,
+                  off.access(0x1000, false, 0).latency)
+            << "model " << int(model);
+        EXPECT_EQ(on.prefetches(), 4u);
+    }
+}
+
+TEST(Hierarchy, StoreMissesConsumeRefillBandwidthLikeLoads)
+{
+    // Stores are off the critical path for *latency* reporting, but they
+    // still move lines: a store miss must hold the L2 refill port and an
+    // MSHR slot exactly like a load miss, or stores would be free
+    // bandwidth. Interleave each and require identical port progression.
+    StatGroup sl("loads"), ss("stores");
+    HierarchyParams p;
+    p.mshrs = 1;
+    MemoryHierarchy viaLoads(p, sl);
+    MemoryHierarchy viaStores(p, ss);
+    for (int i = 0; i < 4; ++i) {
+        const Addr addr = Addr{0x100000} + Addr(i) * 0x10000;
+        EXPECT_EQ(viaStores.access(addr, true, 0).latency,
+                  viaLoads.access(addr, false, 0).latency)
+            << "miss " << i;
+    }
+    // Same occupancy: a trailing load observes the same queueing whether
+    // the traffic ahead of it was loads or stores.
+    const TimedAccess afterLoads = viaLoads.access(0x500000, false, 10);
+    const TimedAccess afterStores = viaStores.access(0x500000, false, 10);
+    EXPECT_EQ(afterStores.latency, afterLoads.latency);
+    EXPECT_EQ(viaStores.l1Misses(), viaLoads.l1Misses());
+    EXPECT_EQ(viaStores.l2Misses(), viaLoads.l2Misses());
+    EXPECT_EQ(viaStores.mshrStalls(), viaLoads.mshrStalls());
 }
 
 } // namespace

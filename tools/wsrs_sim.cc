@@ -175,6 +175,9 @@ main(int argc, char **argv)
     args.addOption("seed", "extra trace seed (default 0)");
     args.addOption("predictor",
                    "2bc-gskew | tournament | gshare | bimodal | perfect");
+    args.addOption("mem-model",
+                   "memory backend preset: constant | dram | dram-closed "
+                   "(default constant; see docs/memory.md)");
     args.addOption("ff-scope", "intra | adjacent | complete");
     args.addOption("set-regs", "override physical register count");
     args.addOption("set-window", "override per-cluster window");
@@ -287,6 +290,8 @@ main(int argc, char **argv)
                 std::size_t(args.getUint("timeline", 0));
             if (args.has("predictor"))
                 cfg.predictor = predictorFromName(args.get("predictor"));
+            if (args.has("mem-model"))
+                cfg.mem = sim::findMemPreset(args.get("mem-model"));
             if (args.has("ff-scope"))
                 cfg.core.ffScope = ffScopeFromName(args.get("ff-scope"));
             if (args.has("set-regs"))
@@ -511,9 +516,9 @@ main(int argc, char **argv)
                     cmd.push_back("--connect=" + coord.endpoint());
                     for (const char *o :
                          {"uops", "warmup", "seed", "predictor",
-                          "ff-scope", "set-regs", "set-window", "set-lsq",
-                          "set-issue", "timeline", "interval-stats",
-                          "warmup-cache-dir"})
+                          "mem-model", "ff-scope", "set-regs",
+                          "set-window", "set-lsq", "set-issue", "timeline",
+                          "interval-stats", "warmup-cache-dir"})
                         if (args.has(o))
                             cmd.push_back(std::string("--") + o + "=" +
                                           args.get(o));
@@ -630,6 +635,19 @@ main(int argc, char **argv)
                           "Host wall time per simulation run (ms).",
                           obs::MetricsRegistry::latencyBucketsMs())
                 .observe(std::uint64_t(r.hostSeconds * 1000));
+            reg.counter("wsrs_mem_requests_total",
+                        "DRAM demand requests across measured slices.")
+                .add(r.mem.dramRequests);
+            reg.counter("wsrs_mem_row_hits_total",
+                        "DRAM open-row hits across measured slices.")
+                .add(r.mem.dramRowHits);
+            reg.counter("wsrs_mem_row_conflicts_total",
+                        "DRAM row conflicts across measured slices.")
+                .add(r.mem.dramRowConflicts);
+            reg.counter("wsrs_mem_queue_full_waits_total",
+                        "DRAM requests delayed by a full in-flight "
+                        "window.")
+                .add(r.mem.dramQueueFullWaits);
             writeMetricsFile(args.get("metrics-out"));
         }
         if (args.has("csv")) {
