@@ -30,7 +30,13 @@ and then structurally checked:
   - wsrs-spans-v1 span timelines (wsrs-sim --spans-out) are valid Chrome
     trace-event JSON with exactly one "job" root span per job, no
     negative durations, and every child event nested inside its parent
-    window (attempts inside the job, stage spans inside their attempt).
+    window (attempts inside the job, stage spans inside their attempt);
+  - wsrs-explore-v1 design-space reports (wsrs-explore) have exact axis
+    coverage (enumerated == the product of the axis sizes, feasible +
+    infeasible == enumerated), a genuinely non-dominated frontier in the
+    documented sort order, and — when a confirmation sweep ran — an
+    analytic estimate paired with a measured IPC (and consistent ranks)
+    on every confirmed point.
 
 Exit status is non-zero on the first file that fails; used by the `obs`
 and `svc` labelled ctests.
@@ -467,6 +473,182 @@ def check_sweep_report(doc, where):
     return len(jobs)
 
 
+def check_rf_doc(doc, where):
+    """Validate a wsrs-rf-v1 organization table (wsrs-rf --json)."""
+    orgs = doc["organizations"]
+    expect(isinstance(orgs, list) and orgs,
+           f"{where}: 'organizations' must be a non-empty list")
+    seen = set()
+    for i, org in enumerate(orgs):
+        owhere = f"{where}.organizations[{i}]"
+        name = org.get("name")
+        expect(isinstance(name, str) and name,
+               f"{owhere}: 'name' must be a non-empty string")
+        expect(name not in seen, f"{owhere}: duplicate organization "
+                                 f"{name!r}")
+        seen.add(name)
+        for key in ("total_regs", "copies_per_reg", "read_ports",
+                    "write_ports", "subfiles", "entries_per_subfile"):
+            expect(isinstance(org.get(key), int) and org[key] >= 1,
+                   f"{owhere}: '{key}' must be a positive int")
+        expect(org["subfiles"] * org["entries_per_subfile"]
+               >= org["total_regs"],
+               f"{owhere}: subfile geometry can't back "
+               f"{org['total_regs']} registers")
+        for key in ("total_area_rel", "access_time_ns",
+                    "energy_nj_per_cycle"):
+            v = org.get(key)
+            expect(isinstance(v, (int, float)) and v > 0,
+                   f"{owhere}: '{key}' must be a positive number")
+    return len(orgs)
+
+
+def _explore_dominates(a, b):
+    """a, b are (ipc, area, energy): maximize ipc, minimize the rest."""
+    no_worse = a[0] >= b[0] and a[1] <= b[1] and a[2] <= b[2]
+    better = a[0] > b[0] or a[1] < b[1] or a[2] < b[2]
+    return no_worse and better
+
+
+def check_explore_report(doc, where):
+    """Validate a wsrs-explore-v1 design-space report (wsrs-explore)."""
+    space = doc["space"]
+    axes = space["axes"]
+    expect(isinstance(axes, list) and axes,
+           f"{where}: 'space.axes' must be a non-empty list")
+    total = 1
+    for i, ax in enumerate(axes):
+        awhere = f"{where}.space.axes[{i}]"
+        values = ax.get("values")
+        expect(isinstance(values, list) and values,
+               f"{awhere}: 'values' must be a non-empty list")
+        expect(ax.get("size") == len(values),
+               f"{awhere}: size {ax.get('size')} != "
+               f"{len(values)} values")
+        total *= len(values)
+    expect(space["total_configs"] == total,
+           f"{where}: total_configs {space['total_configs']} != "
+           f"axis product {total}")
+    expect(space["enumerated"] == total,
+           f"{where}: enumerated {space['enumerated']} != "
+           f"total_configs {total} — axis coverage is not exact")
+    expect(space["feasible"] + space["infeasible"] == space["enumerated"],
+           f"{where}: feasible {space['feasible']} + infeasible "
+           f"{space['infeasible']} != enumerated {space['enumerated']}")
+    workloads = space["workloads"]
+    expect(isinstance(workloads, list) and workloads,
+           f"{where}: 'space.workloads' must be a non-empty list")
+    expect(doc["objectives"] == ["est_ipc", "area_rel",
+                                 "energy_nj_per_cycle"],
+           f"{where}: unexpected objectives {doc['objectives']!r}")
+
+    frontier = doc["frontier"]
+    expect(isinstance(frontier, list),
+           f"{where}: 'frontier' must be a list")
+    expect(doc["frontier_size"] == len(frontier),
+           f"{where}: frontier_size {doc['frontier_size']} != "
+           f"{len(frontier)} points")
+    expect(len(frontier) <= space["feasible"],
+           f"{where}: frontier larger than the feasible space")
+    axis_params = [ax["param"] for ax in axes]
+    objs = []
+    measured = {}  # rank -> measured object
+    seen_idx = set()
+    for k, p in enumerate(frontier):
+        pwhere = f"{where}.frontier[{k}]"
+        expect(p["rank"] == k, f"{pwhere}: rank {p['rank']} != slot {k}")
+        idx = p["index"]
+        expect(isinstance(idx, int) and 0 <= idx < total,
+               f"{pwhere}: index {idx!r} outside the space")
+        expect(idx not in seen_idx, f"{pwhere}: duplicate index {idx}")
+        seen_idx.add(idx)
+        expect(p["name"] == f"x{idx}",
+               f"{pwhere}: name {p['name']!r} != 'x{idx}'")
+        config = p["config"]
+        expect(isinstance(config, dict)
+               and sorted(config) == sorted(axis_params),
+               f"{pwhere}: config keys don't match the space axes")
+        est = p["est"]
+        for key in ("ipc", "area_rel", "energy_nj_per_cycle"):
+            v = est.get(key)
+            expect(isinstance(v, (int, float)) and v > 0,
+                   f"{pwhere}: est.{key} must be a positive number")
+        expect(isinstance(p.get("rf"), dict) and "total_area_rel"
+               in p["rf"],
+               f"{pwhere}: missing register-file breakdown")
+        objs.append((est["ipc"], est["area_rel"],
+                     est["energy_nj_per_cycle"]))
+        m = p.get("measured")
+        if m is not None:
+            mwhere = f"{pwhere}.measured"
+            expect(isinstance(m["ipc"], (int, float)) and m["ipc"] > 0,
+                   f"{mwhere}: 'ipc' must be a positive number")
+            per = m["per_workload"]
+            expect(sorted(per) == sorted(workloads),
+                   f"{mwhere}: per_workload keys don't match the "
+                   f"space workloads")
+            for w, v in per.items():
+                expect(isinstance(v, (int, float)) and v > 0,
+                       f"{mwhere}.per_workload[{w}]: bad IPC {v!r}")
+            expect(m["rank_inversion"]
+                   == (m["est_rank"] != m["measured_rank"]),
+                   f"{mwhere}: rank_inversion flag inconsistent with "
+                   f"est_rank/measured_rank")
+            measured[k] = m
+
+    # The frontier must be genuinely non-dominated and in report order.
+    for a in range(len(objs)):
+        for b in range(len(objs)):
+            if a != b and _explore_dominates(objs[a], objs[b]):
+                raise Fail(f"{where}: frontier[{a}] dominates "
+                           f"frontier[{b}] — not a Pareto set")
+    for k in range(1, len(objs)):
+        expect(objs[k - 1][0] >= objs[k][0],
+               f"{where}: frontier not sorted by est.ipc at rank {k}")
+
+    confirm = doc["confirm"]
+    if confirm is None:
+        expect(not measured,
+               f"{where}: measured points without a confirm block")
+        return len(frontier)
+    expect(confirm["confirmed"] <= confirm["requested"],
+           f"{where}: confirmed {confirm['confirmed']} > requested "
+           f"{confirm['requested']}")
+    expect(confirm["confirmed"] <= len(frontier),
+           f"{where}: confirmed more points than the frontier holds")
+    expect(confirm["jobs"]
+           == confirm["confirmed"] * len(workloads),
+           f"{where}: confirm.jobs {confirm['jobs']} != confirmed "
+           f"{confirm['confirmed']} x {len(workloads)} workloads")
+    errors = confirm["errors"]
+    expect(isinstance(errors, list),
+           f"{where}: 'confirm.errors' must be a list")
+    expect((confirm["failures"] == 0) == (len(errors) == 0),
+           f"{where}: failures {confirm['failures']} inconsistent with "
+           f"{len(errors)} error entries")
+    expect(len(measured) == confirm["confirmed"] - len(errors),
+           f"{where}: {len(measured)} measured points != confirmed "
+           f"{confirm['confirmed']} - {len(errors)} failed")
+    expect(all(k < confirm["confirmed"] for k in measured),
+           f"{where}: measured IPC on a rank beyond confirm.confirmed")
+    n_ok = len(measured)
+    est_ranks = sorted(m["est_rank"] for m in measured.values())
+    meas_ranks = sorted(m["measured_rank"] for m in measured.values())
+    expect(est_ranks == list(range(n_ok)),
+           f"{where}: est ranks are not a permutation of 0..{n_ok - 1}")
+    expect(meas_ranks == list(range(n_ok)),
+           f"{where}: measured ranks are not a permutation of "
+           f"0..{n_ok - 1}")
+    s = confirm["spearman"]
+    expect(s is None or (isinstance(s, (int, float))
+                         and -1.000001 <= s <= 1.000001),
+           f"{where}: spearman {s!r} outside [-1, 1]")
+    expect(isinstance(confirm["rank_inversions"], int)
+           and confirm["rank_inversions"] <= n_ok * (n_ok - 1) // 2,
+           f"{where}: rank_inversions exceeds the number of pairs")
+    return len(frontier)
+
+
 def check_file(path):
     with open(path) as f:
         text = f.read()
@@ -498,6 +680,12 @@ def check_file(path):
     elif schema == "wsrs-spans-v1":
         n = check_spans_doc(doc, path)
         print(f"{path}: ok (span timeline, {n} job spans)")
+    elif schema == "wsrs-explore-v1":
+        n = check_explore_report(doc, path)
+        print(f"{path}: ok (explore report, {n} frontier points)")
+    elif schema == "wsrs-rf-v1":
+        n = check_rf_doc(doc, path)
+        print(f"{path}: ok (register-file table, {n} organizations)")
     else:
         check_stats_doc(doc, path)
         print(f"{path}: ok (single-run stats, "

@@ -14,6 +14,10 @@ Produces grouped bar charts (matplotlib, if installed) mirroring the
 paper's presentation: one panel for the integer benchmarks, one for the
 floating-point benchmarks, one bar per machine configuration. Falls back
 to an ASCII rendering when matplotlib is unavailable.
+
+A wsrs-explore-v1 design-space report (wsrs-explore --out=report.json)
+gets an IPC-vs-area Pareto scatter instead: the estimated frontier as a
+connected staircase, confirmed points overlaid with their measured IPC.
 """
 
 import json
@@ -43,6 +47,67 @@ def parse_sweep_report(path):
     table = {bench: [by.get(m, 0.0) for m in machines]
              for bench, by in rows.items()}
     return [(machines, table)] if table else []
+
+
+def parse_explore_report(path):
+    """Frontier points of a wsrs-explore-v1 report as
+    (area_rel, est_ipc, name, measured_ipc | None) tuples; None if the
+    file is not an explore report."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    if not isinstance(doc, dict) or doc.get("schema") != "wsrs-explore-v1":
+        return None
+    pts = []
+    for p in doc["frontier"]:
+        m = p.get("measured")
+        pts.append((p["est"]["area_rel"], p["est"]["ipc"], p["name"],
+                    m["ipc"] if m else None))
+    return pts
+
+
+def pareto_scatter(path, pts):
+    """Render the IPC-vs-area Pareto frontier of one explore report."""
+    pts = sorted(pts)
+    areas = [p[0] for p in pts]
+    est = [p[1] for p in pts]
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+
+        fig, ax = plt.subplots(figsize=(7, 4.5))
+        ax.step(areas, est, where="post", color="tab:blue", alpha=0.5,
+                zorder=1)
+        ax.scatter(areas, est, s=18, color="tab:blue", zorder=2,
+                   label="estimated frontier")
+        confirmed = [(a, m, n) for a, _, n, m in pts if m is not None]
+        if confirmed:
+            ax.scatter([c[0] for c in confirmed],
+                       [c[1] for c in confirmed], s=40, marker="x",
+                       color="tab:red", zorder=3, label="measured IPC")
+            for a, m, n in confirmed:
+                ax.annotate(n, (a, m), fontsize=6,
+                            textcoords="offset points", xytext=(3, 3))
+        ax.set_xlabel("area (noWS-2 relative)")
+        ax.set_ylabel("IPC")
+        ax.set_title("design-space Pareto frontier")
+        ax.legend(fontsize=8)
+        out = path.rsplit(".", 1)[0] + "_pareto.png"
+        fig.tight_layout()
+        fig.savefig(out, dpi=150)
+        print(f"wrote {out}")
+    except ImportError:
+        print(f"\n{path}: Pareto frontier (IPC vs area)")
+        top = max(est) or 1.0
+        width = 46
+        for a, e, name, m in pts:
+            bar = "#" * int(width * e / top)
+            meas = f"  measured {m:.3f}" if m is not None else ""
+            print(f"  {name:>8} area {a:6.3f} ipc {e:6.3f} |{bar}{meas}")
 
 
 def parse_table(path):
@@ -87,6 +152,13 @@ def main():
         print(__doc__)
         return 1
     for path in sys.argv[1:]:
+        frontier = parse_explore_report(path)
+        if frontier is not None:
+            if frontier:
+                pareto_scatter(path, frontier)
+            else:
+                print(f"{path}: empty frontier")
+            continue
         groups = parse_sweep_report(path)
         if groups is None:
             groups = parse_table(path)

@@ -1,5 +1,7 @@
 #include "wakeup_model.h"
 
+#include <algorithm>
+
 namespace wsrs::cxmodel {
 
 SchedulerOrg
@@ -72,6 +74,24 @@ section43Organizations()
 {
     return {makeConventional8Way(), makeWs8Way(), makeWsrs8Way(),
             makeConventional4Way(), makeWsrs7Cluster14Way()};
+}
+
+SchedulerOrg
+schedulerOrgFromParams(const core::CoreParams &params)
+{
+    SchedulerOrg org;
+    org.name = params.name;
+    org.issueWidth = params.numClusters * params.issuePerCluster;
+    org.numClusters = params.numClusters;
+    org.resultsPerCluster = params.writebackPerCluster;
+    org.windowPerCluster = params.clusterWindow;
+    const unsigned visible_clusters =
+        params.mode == core::RegFileMode::Wsrs
+            ? std::min(2u, params.numClusters)
+            : params.numClusters;
+    org.producersVisible = visible_clusters * params.writebackPerCluster;
+    org.regReadWritePipe = params.regReadStages;
+    return org;
 }
 
 } // namespace wsrs::cxmodel

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "src/common/types.h"
+#include "src/core/params.h"
 
 namespace wsrs::cxmodel {
 
@@ -102,5 +103,16 @@ SchedulerOrg makeWsrs7Cluster14Way();    ///< Section-7 extension.
 
 /** All of the above, in presentation order. */
 std::vector<SchedulerOrg> section43Organizations();
+
+/**
+ * Derive the scheduling-complexity view of an arbitrary machine
+ * description. Producers visible to one operand follow the paper's rule:
+ * all clusters' result buses on conventional/WS machines, one cluster
+ * pair's buses under WSRS (read specialization confines an operand to two
+ * clusters regardless of the cluster count — section 4.3 / section 7).
+ * Applied to the Section-5 8-way presets this reproduces the section43
+ * organizations exactly.
+ */
+SchedulerOrg schedulerOrgFromParams(const core::CoreParams &params);
 
 } // namespace wsrs::cxmodel

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Calibration harness of the analytic model: run the paper's 72-job
+ * Figure-4 matrix (12 benchmarks x 6 machines) cycle-accurately, estimate
+ * the same jobs analytically, and report the Spearman rank correlation
+ * between the two orderings. The explorer's value is *ranking* candidate
+ * configurations for confirmation, so rank correlation — not absolute
+ * IPC error — is the calibration target (gated at >= 0.8 by the
+ * explore-labelled ctest, tests/explore/test_calibration_gate.cc).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/explore/analytic_model.h"
+
+namespace wsrs::obs {
+class MetricsRegistry;
+} // namespace wsrs::obs
+
+namespace wsrs::explore {
+
+/** Knobs of one calibration run. */
+struct CalibrationOptions
+{
+    unsigned threads = 0;  ///< Sweep threads (0 = hardware concurrency).
+    std::uint64_t measureUops = 200000;
+    std::uint64_t warmupUops = 50000;
+    obs::MetricsRegistry *metrics = nullptr;
+};
+
+/** One benchmark x machine pair of the matrix. */
+struct CalibrationJob
+{
+    std::string benchmark;
+    std::string machine;
+    double measuredIpc = 0;
+    double estimatedIpc = 0;
+    bool ok = false;
+    std::string error;
+};
+
+/** Everything a calibration run produced. */
+struct CalibrationResult
+{
+    std::vector<CalibrationJob> jobs; ///< Benchmark-outer matrix order.
+    std::size_t failures = 0;
+    /** Spearman over the successful jobs' (estimated, measured) pairs. */
+    double spearmanIpc = 0;
+};
+
+/** Run the Figure-4 matrix and correlate it against @p model. */
+CalibrationResult calibrate(const AnalyticModel &model,
+                            const CalibrationOptions &options);
+
+/** Render @p result as a fixed-width text table plus the summary line
+ *  (the `wsrs-explore --calibrate` output). */
+std::string calibrationReportText(const CalibrationResult &result);
+
+} // namespace wsrs::explore

@@ -1,0 +1,66 @@
+#include "pareto.h"
+
+#include <algorithm>
+
+namespace wsrs::explore {
+
+bool
+dominates(const Objectives &a, const Objectives &b)
+{
+    if (a.ipc < b.ipc || a.area > b.area || a.energy > b.energy)
+        return false;
+    return a.ipc > b.ipc || a.area < b.area || a.energy < b.energy;
+}
+
+void
+ParetoArchive::offer(const FrontierPoint &p)
+{
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+        const FrontierPoint &q = points_[i];
+        if (dominates(q.obj, p.obj))
+            return;  // dominated: nothing already kept can be dominated
+        if (q.obj.ipc == p.obj.ipc && q.obj.area == p.obj.area &&
+            q.obj.energy == p.obj.energy) {
+            // Duplicate objective vector: keep the lowest index.
+            points_[keep] = q;
+            if (p.index < points_[keep].index)
+                points_[keep].index = p.index;
+            ++keep;
+            for (++i; i < points_.size(); ++i)
+                points_[keep++] = points_[i];
+            points_.resize(keep);
+            return;
+        }
+        if (!dominates(p.obj, q.obj))
+            points_[keep++] = q;  // q survives
+    }
+    points_.resize(keep);
+    points_.push_back(p);
+}
+
+void
+ParetoArchive::merge(const ParetoArchive &other)
+{
+    for (const FrontierPoint &p : other.points_)
+        offer(p);
+}
+
+std::vector<FrontierPoint>
+ParetoArchive::sorted() const
+{
+    std::vector<FrontierPoint> out = points_;
+    std::sort(out.begin(), out.end(),
+              [](const FrontierPoint &a, const FrontierPoint &b) {
+                  if (a.obj.ipc != b.obj.ipc)
+                      return a.obj.ipc > b.obj.ipc;
+                  if (a.obj.area != b.obj.area)
+                      return a.obj.area < b.obj.area;
+                  if (a.obj.energy != b.obj.energy)
+                      return a.obj.energy < b.obj.energy;
+                  return a.index < b.index;
+              });
+    return out;
+}
+
+} // namespace wsrs::explore

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Exact streaming non-dominated archive over the explorer's objective
+ * triple (maximize estimated IPC, minimize area, minimize energy/cycle).
+ *
+ * The archive is exact, not approximate: after any sequence of offer()
+ * calls it holds precisely the non-dominated subset of everything offered
+ * (duplicated objective vectors keep the lowest enumeration index). That
+ * makes the result a *set* — independent of offer order — which is what
+ * lets the parallel sweep build one archive per chunk and merge them in
+ * any order while staying byte-deterministic: the final frontier depends
+ * only on the set of points enumerated, and the deterministic sort (IPC
+ * desc, area asc, energy asc, index asc) fixes the report order.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace wsrs::explore {
+
+/** Objective vector of one configuration point. */
+struct Objectives
+{
+    double ipc = 0;     ///< Estimated IPC — maximized.
+    double area = 0;    ///< Composite area, noWS-2 relative — minimized.
+    double energy = 0;  ///< nJ per cycle — minimized.
+};
+
+/** One archived point. */
+struct FrontierPoint
+{
+    std::uint64_t index = 0; ///< Flat space index (deterministic tie-break).
+    Objectives obj;
+};
+
+/** True when @p a dominates @p b: no worse in every objective and
+ *  strictly better in at least one. */
+bool dominates(const Objectives &a, const Objectives &b);
+
+/** Exact non-dominated archive (linear scan; frontier sizes here are
+ *  small compared to the enumerated space). */
+class ParetoArchive
+{
+  public:
+    /** Offer a point, keeping the archive exactly non-dominated. Points
+     *  with an identical objective vector keep the lowest index. */
+    void offer(const FrontierPoint &p);
+
+    /** Offer every point of @p other (set-union merge). */
+    void merge(const ParetoArchive &other);
+
+    /** The frontier sorted by (ipc desc, area asc, energy asc, index
+     *  asc) — the explorer's deterministic report order. */
+    std::vector<FrontierPoint> sorted() const;
+
+    std::size_t size() const { return points_.size(); }
+    const std::vector<FrontierPoint> &points() const { return points_; }
+
+  private:
+    std::vector<FrontierPoint> points_;
+};
+
+} // namespace wsrs::explore

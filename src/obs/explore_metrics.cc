@@ -1,0 +1,30 @@
+#include "explore_metrics.h"
+
+namespace wsrs::obs {
+
+ExploreMetrics::ExploreMetrics(MetricsRegistry &r)
+    : configsEnumerated(
+          r.counter("wsrs_explore_configs_total",
+                    "Configuration points decoded and estimated")),
+      configsInfeasible(
+          r.counter("wsrs_explore_configs_infeasible_total",
+                    "Points rejected by feasibility validation")),
+      confirmJobs(r.counter("wsrs_explore_confirm_jobs_total",
+                            "Cycle-accurate confirmation jobs dispatched")),
+      confirmFailures(
+          r.counter("wsrs_explore_confirm_failures_total",
+                    "Confirmation jobs that failed")),
+      frontierSize(r.gauge("wsrs_explore_frontier_size",
+                           "Non-dominated points in the last frontier")),
+      spaceAxes(r.gauge("wsrs_explore_space_axes",
+                        "Axes in the loaded space specification")),
+      enumerateMs(r.histogram("wsrs_explore_enumerate_ms",
+                              "Analytic sweep wall time",
+                              MetricsRegistry::latencyBucketsMs())),
+      confirmMs(r.histogram("wsrs_explore_confirm_ms",
+                            "Confirmation sweep wall time",
+                            MetricsRegistry::latencyBucketsMs()))
+{
+}
+
+} // namespace wsrs::obs

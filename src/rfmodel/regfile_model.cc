@@ -1,8 +1,12 @@
 #include "regfile_model.h"
 
+#include <algorithm>
 #include <cmath>
+#include <ostream>
 
 #include "src/common/log.h"
+#include "src/common/stats.h"
+#include "src/core/cluster_alloc.h"
 
 namespace wsrs::rfmodel {
 
@@ -210,6 +214,91 @@ table1Organizations()
 {
     return {makeNoWsMonolithic(), makeNoWsDistributed(), makeWriteSpec(),
             makeWsrs(), makeNoWs2Cluster()};
+}
+
+RegFileOrg
+regFileOrgFromParams(const core::CoreParams &params)
+{
+    const unsigned clusters = std::max(1u, params.numClusters);
+    const unsigned reads = 2 * params.issuePerCluster;
+    const unsigned wb = params.writebackPerCluster;
+
+    RegFileOrg org;
+    org.name = params.name;
+    org.totalRegs = params.numPhysRegs;
+    org.bitsPerReg = 64;
+
+    switch (params.mode) {
+    case core::RegFileMode::Conventional:
+        org.copiesPerReg = clusters;
+        org.portsPerCopy = {.reads = reads, .writes = clusters * wb};
+        org.numSubfiles = clusters;
+        org.entriesPerSubfile = params.numPhysRegs;
+        org.writeBusesPerSubfile = clusters * wb;
+        org.writeSpanRows = params.numPhysRegs;
+        org.producersVisible = clusters * wb;
+        break;
+    case core::RegFileMode::WriteSpec:
+    case core::RegFileMode::WriteSpecPools:
+        // Write specialization keeps only the local write ports on each
+        // cell; all clusters' buses still enter each read copy but each
+        // spans only its subset's rows.
+        org.copiesPerReg = clusters;
+        org.portsPerCopy = {.reads = reads, .writes = wb};
+        org.numSubfiles = clusters;
+        org.entriesPerSubfile = params.numPhysRegs;
+        org.writeBusesPerSubfile = clusters * wb;
+        org.writeSpanRows =
+            params.numPhysRegs /
+            (params.mode == core::RegFileMode::WriteSpecPools
+                 ? core::kNumFuPools
+                 : clusters);
+        org.producersVisible = clusters * wb;
+        break;
+    case core::RegFileMode::Wsrs: {
+        // Each subfile holds one operand side of one subset pair; an
+        // operand can only have been produced on two clusters.
+        const unsigned copies = std::min(2u, clusters);
+        org.copiesPerReg = copies;
+        org.portsPerCopy = {.reads = reads, .writes = wb};
+        org.numSubfiles = clusters;
+        org.entriesPerSubfile =
+            params.numPhysRegs * copies / clusters;
+        org.writeBusesPerSubfile = copies * wb;
+        org.writeSpanRows = params.numPhysRegs / clusters;
+        org.producersVisible = copies * wb;
+        break;
+    }
+    }
+    return org;
+}
+
+void
+writeOrgJson(std::ostream &os, const RegFileOrg &org,
+             const RegFileEstimate &est)
+{
+    os << "{\"name\": \"" << jsonEscape(org.name) << "\""
+       << ", \"total_regs\": " << org.totalRegs
+       << ", \"copies_per_reg\": " << org.copiesPerReg
+       << ", \"read_ports\": " << org.portsPerCopy.reads
+       << ", \"write_ports\": " << org.portsPerCopy.writes
+       << ", \"subfiles\": " << org.numSubfiles
+       << ", \"entries_per_subfile\": " << org.entriesPerSubfile
+       << ", \"write_buses_per_subfile\": " << org.writeBusesPerSubfile
+       << ", \"write_span_rows\": " << org.writeSpanRows
+       << ", \"producers_visible\": " << org.producersVisible
+       << ", \"bit_area_w2\": ";
+    dumpJsonDouble(os, est.bitArea);
+    os << ", \"total_area_rel\": ";
+    dumpJsonDouble(os, est.totalAreaRel);
+    os << ", \"access_time_ns\": ";
+    dumpJsonDouble(os, est.accessTimeNs);
+    os << ", \"energy_nj_per_cycle\": ";
+    dumpJsonDouble(os, est.energyNJPerCycle);
+    os << ", \"pipe_cycles_10ghz\": " << est.pipeCycles10GHz
+       << ", \"pipe_cycles_5ghz\": " << est.pipeCycles5GHz
+       << ", \"bypass_sources_10ghz\": " << est.bypassSources10GHz
+       << ", \"bypass_sources_5ghz\": " << est.bypassSources5GHz << "}";
 }
 
 } // namespace wsrs::rfmodel

@@ -24,10 +24,12 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
 #include "src/common/types.h"
+#include "src/core/params.h"
 
 namespace wsrs::rfmodel {
 
@@ -157,5 +159,33 @@ RegFileOrg makeWsrs7Cluster();
 
 /** The five Table-1 organizations, in paper column order. */
 std::vector<RegFileOrg> table1Organizations();
+
+/**
+ * Derive the register-file organization implied by an arbitrary machine
+ * description, generalizing Table 1 to any cluster count, issue width,
+ * write-back bandwidth and register count:
+ *
+ *  - conventional: one full copy per cluster, every cluster's results
+ *    written into every copy (for a single cluster this degenerates to one
+ *    file with the machine's own write-back ports, not Table 1's
+ *    12-ported noWS-M idealization);
+ *  - WS / WS-pools: one full copy per cluster with only the local write
+ *    ports on each cell, all clusters' buses entering each copy but
+ *    spanning only their subset's rows;
+ *  - WSRS: two copies per register, each subfile holding one operand side
+ *    of one subset pair.
+ *
+ * Applied to the Section-5 presets this reproduces the matching Table-1
+ * maker organizations field for field.
+ */
+RegFileOrg regFileOrgFromParams(const core::CoreParams &params);
+
+/**
+ * Emit one organization and its estimates as a JSON object (no trailing
+ * newline), the machine-readable face of wsrs-rf's text table. Shared by
+ * `wsrs-rf --json` and the explorer report's per-point "rf" member.
+ */
+void writeOrgJson(std::ostream &os, const RegFileOrg &org,
+                  const RegFileEstimate &est);
 
 } // namespace wsrs::rfmodel

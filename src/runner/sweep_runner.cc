@@ -56,6 +56,24 @@ SweepRunner::crossProduct(
     return jobs;
 }
 
+std::vector<SweepJob>
+SweepRunner::crossProduct(
+    const std::vector<workload::BenchmarkProfile> &profiles,
+    const std::vector<sim::SimConfig> &configs)
+{
+    std::vector<SweepJob> jobs;
+    jobs.reserve(profiles.size() * configs.size());
+    for (const auto &profile : profiles) {
+        for (const auto &config : configs) {
+            SweepJob job;
+            job.profile = profile;
+            job.config = config;
+            jobs.push_back(std::move(job));
+        }
+    }
+    return jobs;
+}
+
 std::vector<SweepOutcome>
 SweepRunner::run(const std::vector<SweepJob> &jobs)
 {

@@ -134,6 +134,16 @@ class SweepRunner
                  const std::vector<std::string> &machine_labels,
                  const sim::SimConfig &base);
 
+    /**
+     * Build the profiles x fully-specified-configurations matrix in the
+     * same row-major submission order (profiles outer). Used by the
+     * design-space explorer, whose confirmation points are arbitrary
+     * machines with no preset label.
+     */
+    static std::vector<SweepJob>
+    crossProduct(const std::vector<workload::BenchmarkProfile> &profiles,
+                 const std::vector<sim::SimConfig> &configs);
+
   private:
     Options options_;
     Telemetry telemetry_;

@@ -162,6 +162,36 @@ presetConventional4Way(unsigned num_regs)
 }
 
 core::CoreParams
+presetForMode(core::RegFileMode mode, core::AllocPolicy policy,
+              unsigned num_regs, core::RenameImpl impl)
+{
+    core::CoreParams p;
+    switch (mode) {
+    case core::RegFileMode::Conventional:
+        p = presetConventional(num_regs);
+        p.renameImpl = impl;
+        break;
+    case core::RegFileMode::WriteSpec:
+        p = presetWriteSpec(num_regs, impl);
+        break;
+    case core::RegFileMode::WriteSpecPools:
+        p = presetWriteSpecPools(num_regs);
+        p.renameImpl = impl;
+        break;
+    case core::RegFileMode::Wsrs:
+        p = wsrsBase(num_regs, impl);
+        p.name = "WSRS-" + std::to_string(num_regs);
+        break;
+    }
+    p.policy = policy;
+    // RC exploits the functional units' ability to execute both operand
+    // orders; the dependence-aware extension assumes the same hardware.
+    p.commutativeFus = policy == core::AllocPolicy::RandomCommutative ||
+                       policy == core::AllocPolicy::DependenceAware;
+    return p;
+}
+
+core::CoreParams
 findPreset(std::string_view label)
 {
     if (label == "RR-256")

@@ -63,6 +63,19 @@ core::CoreParams presetMonolithic8Way(unsigned num_regs = 256);
 core::CoreParams presetConventional4Way(unsigned num_regs = 128);
 
 /**
+ * Machine shell for a given register-file mode with the paper's
+ * pipeline-depth rules applied (conventional: 4 register-read stages;
+ * WS/WS-pools: 3; WSRS: 2 with the Impl-1/Impl-2 front-end costs), the
+ * requested allocation policy, and commutative functional units whenever
+ * the policy exploits operand swapping. The explorer's space
+ * materialization starts from this shell and overrides individual fields.
+ */
+core::CoreParams presetForMode(core::RegFileMode mode,
+                               core::AllocPolicy policy, unsigned num_regs,
+                               core::RenameImpl impl =
+                                   core::RenameImpl::ExactCount);
+
+/**
  * Look up a preset by its paper label: "RR-256", "WSRR-384", "WSRR-512",
  * "WSRS-RC-384", "WSRS-RC-512", "WSRS-RM-512", "WSRS-DEP-512".
  * @throws wsrs::FatalError for unknown labels.

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Unit tests of the explorer's analytic estimator: closed-form pins of
+ * the Sakasegawa M/M/m queue-wait term, Spearman rank-correlation
+ * properties, workload characterization sanity, and monotonicity of the
+ * IPC and hardware estimates across the Figure-4 machines.
+ */
+#include <gtest/gtest.h>
+
+#include "src/explore/analytic_model.h"
+#include "src/sim/presets.h"
+#include "src/workload/profiles.h"
+
+namespace wsrs::explore {
+namespace {
+
+// ---- M/M/m queue wait (closed-form pins) -------------------------------
+
+TEST(MmQueueWait, EmptyQueueWaitsNothing)
+{
+    EXPECT_DOUBLE_EQ(mmQueueWait(0.0, 1), 0.0);
+    EXPECT_DOUBLE_EQ(mmQueueWait(0.0, 4), 0.0);
+}
+
+TEST(MmQueueWait, MM1ClosedForm)
+{
+    // Sakasegawa is exact for m = 1: wq = rho^2 / (1 - rho).
+    EXPECT_NEAR(mmQueueWait(0.5, 1), 0.5, 1e-12);
+    EXPECT_NEAR(mmQueueWait(0.9, 1), 8.1, 1e-12);
+    for (double rho = 0.05; rho < 0.99; rho += 0.05)
+        EXPECT_NEAR(mmQueueWait(rho, 1), rho * rho / (1.0 - rho), 1e-12)
+            << "rho=" << rho;
+}
+
+TEST(MmQueueWait, MultiServerPins)
+{
+    // rho^sqrt(2(m+1)) / (m (1 - rho)), evaluated independently.
+    EXPECT_NEAR(mmQueueWait(0.6, 2), 0.35767927484209455, 1e-12);
+    EXPECT_NEAR(mmQueueWait(0.8, 2), 1.4473045446743937, 1e-12);
+    EXPECT_NEAR(mmQueueWait(0.8, 4), 0.6172394048338887, 1e-12);
+    EXPECT_NEAR(mmQueueWait(0.95, 3), 5.7663577366564684, 1e-12);
+}
+
+TEST(MmQueueWait, MonotoneInLoadAndServers)
+{
+    double prev = -1.0;
+    for (double rho = 0.0; rho < 0.98; rho += 0.01) {
+        const double wq = mmQueueWait(rho, 2);
+        EXPECT_GT(wq, prev) << "rho=" << rho;
+        prev = wq;
+    }
+    // More issue slots at the same utilization wait less.
+    EXPECT_GT(mmQueueWait(0.8, 1), mmQueueWait(0.8, 2));
+    EXPECT_GT(mmQueueWait(0.8, 2), mmQueueWait(0.8, 4));
+    EXPECT_GT(mmQueueWait(0.8, 4), mmQueueWait(0.8, 8));
+}
+
+TEST(MmQueueWait, DivergesTowardSaturation)
+{
+    EXPECT_GT(mmQueueWait(0.999, 2), 100.0);
+    EXPECT_LT(mmQueueWait(0.5, 2), 1.0);
+}
+
+// ---- Spearman ----------------------------------------------------------
+
+TEST(Spearman, PerfectAndReversed)
+{
+    const std::vector<double> a{1, 2, 3, 4, 5};
+    const std::vector<double> up{10, 20, 30, 40, 50};
+    const std::vector<double> down{50, 40, 30, 20, 10};
+    EXPECT_DOUBLE_EQ(spearman(a, up), 1.0);
+    EXPECT_DOUBLE_EQ(spearman(a, down), -1.0);
+    // Rank correlation ignores the scale entirely.
+    const std::vector<double> warped{0.01, 0.02, 5000, 5001, 1e9};
+    EXPECT_DOUBLE_EQ(spearman(a, warped), 1.0);
+}
+
+TEST(Spearman, DegenerateInputs)
+{
+    EXPECT_DOUBLE_EQ(spearman({}, {}), 0.0);
+    EXPECT_DOUBLE_EQ(spearman({1.0}, {2.0}), 0.0);
+    // A constant sample has no ordering to correlate with.
+    EXPECT_DOUBLE_EQ(spearman({1, 2, 3}, {7, 7, 7}), 0.0);
+}
+
+TEST(Spearman, TiesGetAverageRanks)
+{
+    // One discordant pair out of (1,2,3,4) vs (1,2,4,3).
+    const double s = spearman({1, 2, 3, 4}, {1, 2, 4, 3});
+    EXPECT_NEAR(s, 0.8, 1e-12);
+    // Tied values share the average rank: still positively correlated.
+    const double t = spearman({1, 2, 3, 4}, {1, 2, 2, 4});
+    EXPECT_GT(t, 0.9);
+    EXPECT_LT(t, 1.0);
+}
+
+// ---- characterization --------------------------------------------------
+
+TEST(Characterize, AllProfilesProduceSaneSignatures)
+{
+    const AnalyticModel model;
+    for (const auto &p : workload::allProfiles()) {
+        const WorkloadSignature s = model.characterize(p);
+        EXPECT_EQ(s.name, p.name);
+        for (double f : {s.fLoad, s.fStore, s.fBranch, s.fAlu, s.fDest,
+                         s.readyFrac, s.crossBlockFrac, s.strideFrac,
+                         s.randomHotFrac, s.invariantFrac}) {
+            EXPECT_GE(f, 0.0) << p.name;
+            EXPECT_LE(f, 1.0) << p.name;
+        }
+        EXPECT_GE(s.meanExecLat, 1.0) << p.name;
+        EXPECT_GE(s.meanDepDist, 1.0) << p.name;
+        EXPECT_GT(s.footprintBytes, 0.0) << p.name;
+        EXPECT_GT(s.mispredictRate, 0.0) << p.name;
+        EXPECT_LT(s.mispredictRate, 0.5) << p.name;
+    }
+}
+
+// ---- IPC estimate ------------------------------------------------------
+
+TEST(EstimateIpc, BoundedAndDecomposed)
+{
+    const AnalyticModel model;
+    const memory::HierarchyParams mem = sim::findMemPreset("constant");
+    for (const auto &label : sim::figure4Presets()) {
+        const core::CoreParams core = sim::findPreset(label);
+        for (const auto &p : workload::allProfiles()) {
+            const WorkloadSignature s = model.characterize(p);
+            const IpcEstimate e = model.estimateIpc(core, mem, s);
+            EXPECT_GT(e.ipc, 0.0) << label << "/" << p.name;
+            EXPECT_LE(e.ipc, double(core.fetchWidth))
+                << label << "/" << p.name;
+            EXPECT_GT(e.cpiCore, 0.0) << label << "/" << p.name;
+            EXPECT_GE(e.cpiBranch, 0.0) << label << "/" << p.name;
+            EXPECT_GE(e.cpiMem, 0.0) << label << "/" << p.name;
+            EXPECT_GE(e.cpiReg, 0.0) << label << "/" << p.name;
+            EXPECT_NEAR(1.0 / e.ipc,
+                        e.cpiCore + e.cpiBranch + e.cpiMem + e.cpiReg,
+                        1e-9)
+                << label << "/" << p.name;
+            EXPECT_GE(e.mlp, 1.0) << label << "/" << p.name;
+            EXPECT_LE(e.l1MissPerLoad, 1.0) << label << "/" << p.name;
+            EXPECT_LE(e.l2MissPerL1, 1.0) << label << "/" << p.name;
+        }
+    }
+}
+
+TEST(EstimateIpc, MoreRegistersNeverHurt)
+{
+    const AnalyticModel model;
+    const memory::HierarchyParams mem = sim::findMemPreset("constant");
+    for (const auto &p : workload::allProfiles()) {
+        const WorkloadSignature s = model.characterize(p);
+        const double w384 =
+            model.estimateIpc(sim::findPreset("WSRR-384"), mem, s).ipc;
+        const double w512 =
+            model.estimateIpc(sim::findPreset("WSRR-512"), mem, s).ipc;
+        EXPECT_LE(w384, w512 + 1e-12) << p.name;
+    }
+}
+
+TEST(EstimateIpc, SlowerMemoryNeverHelps)
+{
+    const AnalyticModel model;
+    const core::CoreParams core = sim::findPreset("WSRS-RC-512");
+    memory::HierarchyParams fast = sim::findMemPreset("constant");
+    memory::HierarchyParams slow = fast;
+    slow.l2MissPenalty = 4 * fast.l2MissPenalty;
+    for (const auto &p : workload::allProfiles()) {
+        const WorkloadSignature s = model.characterize(p);
+        EXPECT_LE(model.estimateIpc(core, slow, s).ipc,
+                  model.estimateIpc(core, fast, s).ipc + 1e-12)
+            << p.name;
+    }
+}
+
+TEST(EstimateIpc, ReadSpecializationCostsThroughput)
+{
+    // The calibrated model must reproduce the paper's qualitative
+    // ordering: at equal frequency the WSRS machines trail the
+    // write-specialized ones (read specialization pins consumers to a
+    // cluster pair), and RM trails RC.
+    const AnalyticModel model;
+    const memory::HierarchyParams mem = sim::findMemPreset("constant");
+    for (const auto &p : workload::allProfiles()) {
+        const WorkloadSignature s = model.characterize(p);
+        const double wsrr =
+            model.estimateIpc(sim::findPreset("WSRR-512"), mem, s).ipc;
+        const double rc =
+            model.estimateIpc(sim::findPreset("WSRS-RC-512"), mem, s).ipc;
+        const double rm =
+            model.estimateIpc(sim::findPreset("WSRS-RM-512"), mem, s).ipc;
+        EXPECT_GT(wsrr, rc) << p.name;
+        EXPECT_GT(rc, rm) << p.name;
+    }
+}
+
+// ---- hardware estimate -------------------------------------------------
+
+TEST(EstimateHardware, ObjectivesArePositiveAndOrdered)
+{
+    const AnalyticModel model;
+    const HardwareEstimate conv =
+        model.estimateHardware(sim::findPreset("RR-256"));
+    const HardwareEstimate wsrs =
+        model.estimateHardware(sim::findPreset("WSRS-RC-512"));
+    for (const auto &h : {conv, wsrs}) {
+        EXPECT_GT(h.areaRel, 0.0);
+        EXPECT_GT(h.rfAreaRel, 0.0);
+        EXPECT_GT(h.energyNJ, 0.0);
+        EXPECT_GT(h.accessTimeNs, 0.0);
+        EXPECT_GT(h.comparators, 0u);
+        EXPECT_GT(h.bypassSources, 0u);
+    }
+    // The paper's point: specialization shrinks the register file and the
+    // wake-up logic even at twice the register count.
+    EXPECT_LT(wsrs.rfAreaRel, conv.rfAreaRel);
+    EXPECT_LT(wsrs.comparators, conv.comparators);
+    EXPECT_LT(wsrs.accessTimeNs, conv.accessTimeNs);
+}
+
+} // namespace
+} // namespace wsrs::explore

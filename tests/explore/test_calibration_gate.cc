@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The calibration gate: the analytic model's ranking of the paper's
+ * 72-job Figure-4 matrix (12 benchmarks x 6 machines, run
+ * cycle-accurately through the sweep runner) must rank-correlate with
+ * the measured IPCs at Spearman >= 0.8. The explorer's contract is that
+ * its frontier ordering predicts the simulator's ordering; this test is
+ * what keeps the ModelConstants defaults honest when either side
+ * changes.
+ */
+#include <gtest/gtest.h>
+
+#include "src/explore/calibrate.h"
+
+namespace wsrs::explore {
+namespace {
+
+TEST(CalibrationGate, AnalyticRankingTracksMeasuredFigure4)
+{
+    const AnalyticModel model;
+    CalibrationOptions opt; // Defaults: 200k measured uops, hw threads.
+    const CalibrationResult r = calibrate(model, opt);
+    EXPECT_EQ(r.jobs.size(), 72u);
+    EXPECT_EQ(r.failures, 0u);
+    for (const auto &job : r.jobs) {
+        ASSERT_TRUE(job.ok) << job.benchmark << "/" << job.machine << ": "
+                            << job.error;
+        EXPECT_GT(job.measuredIpc, 0.0)
+            << job.benchmark << "/" << job.machine;
+        EXPECT_GT(job.estimatedIpc, 0.0)
+            << job.benchmark << "/" << job.machine;
+    }
+    EXPECT_GE(r.spearmanIpc, 0.8)
+        << "analytic model no longer ranks the Figure-4 matrix; "
+           "recalibrate ModelConstants (see docs/explorer.md):\n"
+        << calibrationReportText(r);
+
+    // The text report carries every job plus the summary line.
+    const std::string text = calibrationReportText(r);
+    EXPECT_NE(text.find("gzip"), std::string::npos);
+    EXPECT_NE(text.find("WSRS-RM-512"), std::string::npos);
+    EXPECT_NE(text.find("spearman"), std::string::npos);
+}
+
+} // namespace
+} // namespace wsrs::explore

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Consistency of the params -> complexity-model bridges the explorer's
+ * hardware objectives stand on: regFileOrgFromParams and
+ * schedulerOrgFromParams applied to the Section-5 presets must reproduce
+ * the hand-written Table-1 / Section-4.3 organizations field for field
+ * (names aside — presets carry their preset label).
+ */
+#include <gtest/gtest.h>
+
+#include "src/cxmodel/wakeup_model.h"
+#include "src/rfmodel/regfile_model.h"
+#include "src/sim/presets.h"
+
+namespace wsrs {
+namespace {
+
+void
+expectSameOrg(const rfmodel::RegFileOrg &got, const rfmodel::RegFileOrg &want)
+{
+    EXPECT_EQ(got.totalRegs, want.totalRegs) << want.name;
+    EXPECT_EQ(got.copiesPerReg, want.copiesPerReg) << want.name;
+    EXPECT_EQ(got.portsPerCopy.reads, want.portsPerCopy.reads) << want.name;
+    EXPECT_EQ(got.portsPerCopy.writes, want.portsPerCopy.writes)
+        << want.name;
+    EXPECT_EQ(got.numSubfiles, want.numSubfiles) << want.name;
+    EXPECT_EQ(got.entriesPerSubfile, want.entriesPerSubfile) << want.name;
+    EXPECT_EQ(got.writeBusesPerSubfile, want.writeBusesPerSubfile)
+        << want.name;
+    EXPECT_EQ(got.writeSpanRows, want.writeSpanRows) << want.name;
+    EXPECT_EQ(got.producersVisible, want.producersVisible) << want.name;
+}
+
+TEST(OrgFromParams, PresetsReproduceTable1)
+{
+    // RR-256 is the conventional 4-cluster machine: noWS-D.
+    expectSameOrg(rfmodel::regFileOrgFromParams(sim::findPreset("RR-256")),
+                  rfmodel::makeNoWsDistributed());
+    // WSRR-512 is write specialization at 512 registers: Table 1's WS.
+    expectSameOrg(
+        rfmodel::regFileOrgFromParams(sim::findPreset("WSRR-512")),
+        rfmodel::makeWriteSpec());
+    // WSRS-RC-512 and WSRS-RM-512 share the WSRS register file.
+    expectSameOrg(
+        rfmodel::regFileOrgFromParams(sim::findPreset("WSRS-RC-512")),
+        rfmodel::makeWsrs());
+    expectSameOrg(
+        rfmodel::regFileOrgFromParams(sim::findPreset("WSRS-RM-512")),
+        rfmodel::makeWsrs());
+}
+
+void
+expectSameSched(const cxmodel::SchedulerOrg &got,
+                const cxmodel::SchedulerOrg &want)
+{
+    EXPECT_EQ(got.issueWidth, want.issueWidth) << want.name;
+    EXPECT_EQ(got.numClusters, want.numClusters) << want.name;
+    EXPECT_EQ(got.resultsPerCluster, want.resultsPerCluster) << want.name;
+    EXPECT_EQ(got.windowPerCluster, want.windowPerCluster) << want.name;
+    EXPECT_EQ(got.producersVisible, want.producersVisible) << want.name;
+    EXPECT_EQ(got.regReadWritePipe, want.regReadWritePipe) << want.name;
+}
+
+TEST(OrgFromParams, PresetsReproduceSection43)
+{
+    expectSameSched(
+        cxmodel::schedulerOrgFromParams(sim::findPreset("RR-256")),
+        cxmodel::makeConventional8Way());
+    expectSameSched(
+        cxmodel::schedulerOrgFromParams(sim::findPreset("WSRR-512")),
+        cxmodel::makeWs8Way());
+    expectSameSched(
+        cxmodel::schedulerOrgFromParams(sim::findPreset("WSRS-RC-512")),
+        cxmodel::makeWsrs8Way());
+}
+
+TEST(OrgFromParams, WsrsConfinesProducersToAClusterPair)
+{
+    // The WSRS wake-up sees one pair's result buses however many
+    // clusters the machine has — the scaling argument of section 7.
+    core::CoreParams wide = sim::findPreset("WSRS-RC-512");
+    const unsigned pairVisible =
+        cxmodel::schedulerOrgFromParams(wide).producersVisible;
+    core::CoreParams conv = sim::findPreset("RR-256");
+    EXPECT_LT(pairVisible,
+              cxmodel::schedulerOrgFromParams(conv).producersVisible);
+}
+
+} // namespace
+} // namespace wsrs

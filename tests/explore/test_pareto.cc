@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Tests of the exact non-dominated archive: dominance semantics, set
+ * equivalence against a brute-force oracle under fixed-seed random offer
+ * orders, duplicate handling, and the deterministic report sort.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "src/explore/pareto.h"
+
+namespace wsrs::explore {
+namespace {
+
+Objectives
+obj(double ipc, double area, double energy)
+{
+    Objectives o;
+    o.ipc = ipc;
+    o.area = area;
+    o.energy = energy;
+    return o;
+}
+
+FrontierPoint
+pt(std::uint64_t index, double ipc, double area, double energy)
+{
+    FrontierPoint p;
+    p.index = index;
+    p.obj = obj(ipc, area, energy);
+    return p;
+}
+
+TEST(Dominates, MaximizeIpcMinimizeCost)
+{
+    const Objectives base = obj(2.0, 1.0, 1.0);
+    EXPECT_TRUE(dominates(obj(2.5, 1.0, 1.0), base));  // better IPC
+    EXPECT_TRUE(dominates(obj(2.0, 0.9, 1.0), base));  // cheaper area
+    EXPECT_TRUE(dominates(obj(2.0, 1.0, 0.9), base));  // cheaper energy
+    EXPECT_TRUE(dominates(obj(2.5, 0.9, 0.9), base));
+    EXPECT_FALSE(dominates(base, base));               // equal: neither
+    EXPECT_FALSE(dominates(obj(2.5, 1.1, 1.0), base)); // trade-off
+    EXPECT_FALSE(dominates(obj(1.9, 0.5, 0.5), base)); // trade-off
+    EXPECT_FALSE(dominates(base, obj(2.5, 1.0, 1.0)));
+}
+
+/** Brute-force non-dominated subset with the archive's duplicate rule
+ *  (identical objective vectors keep the lowest index). */
+std::vector<FrontierPoint>
+oracle(const std::vector<FrontierPoint> &all)
+{
+    std::vector<FrontierPoint> out;
+    for (const auto &p : all) {
+        bool keep = true;
+        for (const auto &q : all) {
+            if (dominates(q.obj, p.obj)) {
+                keep = false;
+                break;
+            }
+            if (q.obj.ipc == p.obj.ipc && q.obj.area == p.obj.area &&
+                q.obj.energy == p.obj.energy && q.index < p.index) {
+                keep = false;
+                break;
+            }
+        }
+        if (keep)
+            out.push_back(p);
+    }
+    return out;
+}
+
+std::vector<std::uint64_t>
+indicesOf(const std::vector<FrontierPoint> &pts)
+{
+    std::vector<std::uint64_t> idx;
+    for (const auto &p : pts)
+        idx.push_back(p.index);
+    std::sort(idx.begin(), idx.end());
+    return idx;
+}
+
+TEST(ParetoArchive, MatchesBruteForceOracle)
+{
+    // Small discrete grid so duplicates and partial ties actually occur.
+    std::mt19937 rng(12345);
+    std::uniform_int_distribution<int> grid(0, 5);
+    std::vector<FrontierPoint> all;
+    for (std::uint64_t i = 0; i < 300; ++i)
+        all.push_back(pt(i, 0.5 * grid(rng), 0.25 * grid(rng),
+                         0.1 * grid(rng)));
+
+    ParetoArchive archive;
+    for (const auto &p : all)
+        archive.offer(p);
+    EXPECT_EQ(indicesOf(archive.points()), indicesOf(oracle(all)));
+
+    // Every archived pair must be mutually non-dominating.
+    const auto &front = archive.points();
+    for (const auto &a : front)
+        for (const auto &b : front)
+            if (a.index != b.index) {
+                EXPECT_FALSE(dominates(a.obj, b.obj))
+                    << a.index << " dominates " << b.index;
+            }
+}
+
+TEST(ParetoArchive, OfferOrderIsIrrelevant)
+{
+    std::mt19937 rng(99);
+    std::uniform_real_distribution<double> uni(0.0, 1.0);
+    std::vector<FrontierPoint> all;
+    for (std::uint64_t i = 0; i < 200; ++i)
+        all.push_back(pt(i, uni(rng), uni(rng), uni(rng)));
+
+    ParetoArchive forward;
+    for (const auto &p : all)
+        forward.offer(p);
+    const auto sortedForward = forward.sorted();
+
+    for (int shuffle = 0; shuffle < 5; ++shuffle) {
+        std::shuffle(all.begin(), all.end(), rng);
+        ParetoArchive again;
+        for (const auto &p : all)
+            again.offer(p);
+        const auto sortedAgain = again.sorted();
+        ASSERT_EQ(sortedAgain.size(), sortedForward.size());
+        for (std::size_t i = 0; i < sortedAgain.size(); ++i)
+            EXPECT_EQ(sortedAgain[i].index, sortedForward[i].index);
+    }
+}
+
+TEST(ParetoArchive, ChunkMergeEqualsSingleArchive)
+{
+    std::mt19937 rng(7);
+    std::uniform_int_distribution<int> grid(0, 8);
+    std::vector<FrontierPoint> all;
+    for (std::uint64_t i = 0; i < 240; ++i)
+        all.push_back(pt(i, 0.5 * grid(rng), 0.25 * grid(rng),
+                         0.1 * grid(rng)));
+
+    ParetoArchive whole;
+    for (const auto &p : all)
+        whole.offer(p);
+
+    // Three chunks merged in a scrambled order (the parallel sweep).
+    ParetoArchive a, b, c;
+    for (std::size_t i = 0; i < all.size(); ++i)
+        (i % 3 == 0 ? a : i % 3 == 1 ? b : c).offer(all[i]);
+    ParetoArchive merged;
+    merged.merge(c);
+    merged.merge(a);
+    merged.merge(b);
+    EXPECT_EQ(indicesOf(merged.points()), indicesOf(whole.points()));
+}
+
+TEST(ParetoArchive, DuplicateVectorsKeepLowestIndex)
+{
+    ParetoArchive archive;
+    archive.offer(pt(17, 2.0, 1.0, 1.0));
+    archive.offer(pt(3, 2.0, 1.0, 1.0));
+    archive.offer(pt(25, 2.0, 1.0, 1.0));
+    ASSERT_EQ(archive.size(), 1u);
+    EXPECT_EQ(archive.points()[0].index, 3u);
+}
+
+TEST(ParetoArchive, SortedReportOrder)
+{
+    // Equal-IPC frontier points trade area against energy, so the
+    // secondary (area asc) ordering is observable.
+    ParetoArchive archive;
+    archive.offer(pt(9, 2.0, 1.2, 0.5));
+    archive.offer(pt(4, 3.0, 2.0, 3.0));
+    archive.offer(pt(6, 2.0, 0.8, 2.0));
+    archive.offer(pt(1, 2.0, 1.0, 1.0));
+    const auto sorted = archive.sorted();
+    ASSERT_EQ(sorted.size(), 4u);
+    // (ipc desc, area asc, energy asc, index asc).
+    EXPECT_EQ(sorted[0].index, 4u);
+    EXPECT_EQ(sorted[1].index, 6u);
+    EXPECT_EQ(sorted[2].index, 1u);
+    EXPECT_EQ(sorted[3].index, 9u);
+}
+
+} // namespace
+} // namespace wsrs::explore

@@ -1,0 +1,8 @@
+# Run `${TOOL} --json` and capture its stdout into ${OUT}. ctest COMMAND
+# lines have no shell, so redirection needs this -P helper.
+execute_process(COMMAND ${TOOL} --json
+    OUTPUT_FILE ${OUT}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${TOOL} --json failed with status ${rc}")
+endif()

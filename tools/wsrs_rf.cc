@@ -4,10 +4,12 @@
  * complexity models for arbitrary organizations from the command line.
  *
  *   wsrs-rf --table1                  # the paper's five organizations
+ *   wsrs-rf --table1 --json           # the same, machine-readable
  *   wsrs-rf --regs=512 --copies=2 --reads=4 --writes=3 --entries=256
  *   wsrs-rf --wakeup --producers=6 --window=56 --clusters=4
  */
 #include <cstdio>
+#include <iostream>
 
 #include "src/common/args.h"
 #include "src/common/log.h"
@@ -35,6 +37,15 @@ printOrg(const rfmodel::RegFileModel &model, const rfmodel::RegFileOrg &org)
                 model.bypassSources(org, 10.0));
 }
 
+/** Machine-readable twin of printOrg (the explorer report's emitter). */
+void
+printOrgJson(const rfmodel::RegFileModel &model,
+             const rfmodel::RegFileOrg &org)
+{
+    const rfmodel::RegFileOrg ref = rfmodel::makeNoWs2Cluster();
+    rfmodel::writeOrgJson(std::cout, org, model.estimate(org, ref));
+}
+
 } // namespace
 
 int
@@ -53,6 +64,7 @@ main(int argc, char **argv)
     args.addOption("window", "wake-up entries per cluster");
     args.addOption("clusters", "number of clusters");
     args.addOption("pipe", "register read/write pipeline length");
+    args.addOption("json", "emit organizations as JSON", true);
     args.addOption("help", "show this help", true);
 
     try {
@@ -84,6 +96,21 @@ main(int argc, char **argv)
         }
 
         if (args.has("table1") || !args.has("regs")) {
+            if (args.has("json")) {
+                std::cout << "{\"schema\":\"wsrs-rf-v1\","
+                             "\"organizations\":[";
+                bool first = true;
+                auto orgs = rfmodel::table1Organizations();
+                orgs.push_back(rfmodel::makeWsrs7Cluster());
+                for (const auto &org : orgs) {
+                    if (!first)
+                        std::cout << ',';
+                    first = false;
+                    printOrgJson(model, org);
+                }
+                std::cout << "]}\n";
+                return 0;
+            }
             for (const auto &org : rfmodel::table1Organizations())
                 printOrg(model, org);
             printOrg(model, rfmodel::makeWsrs7Cluster());
@@ -102,7 +129,12 @@ main(int argc, char **argv)
         org.writeBusesPerSubfile = org.portsPerCopy.writes;
         org.writeSpanRows = org.entriesPerSubfile;
         org.producersVisible = unsigned(args.getUint("producers", 12));
-        printOrg(model, org);
+        if (args.has("json")) {
+            printOrgJson(model, org);
+            std::cout << '\n';
+        } else {
+            printOrg(model, org);
+        }
         return 0;
     } catch (const FatalError &e) {
         std::fprintf(stderr, "wsrs-rf: %s\n", e.what());
